@@ -1,0 +1,45 @@
+// Command uselessmiss regenerates the tables and figures of Dubois et al.,
+// "The Detection and Elimination of Useless Misses in Multiprocessors"
+// (ISCA 1993), and exposes the library's classifiers, protocol simulators
+// and trace tooling on the command line.
+//
+// Usage:
+//
+//	uselessmiss <subcommand> [flags]
+//
+// Subcommands:
+//
+//	list       list the available workloads
+//	table1     classification comparison (paper Table 1)
+//	table2     benchmark characteristics (paper Table 2)
+//	fig5       miss decomposition vs. block size (paper Fig. 5)
+//	fig6       invalidation schedules at one block size (paper Fig. 6)
+//	large      large-data-set study (paper §7)
+//	traffic    memory-traffic study incl. update protocols (paper §8)
+//	finite     finite-cache classification sweep (paper §8)
+//	ablate     design-choice ablations (-what cu | wbwi)
+//	compare    joint per-miss verdicts of the three schemes (paper §3)
+//	penalty    execution-time model of the schedules (miss penalties)
+//	hotspots   miss attribution by data structure (the §6 narrative)
+//	phases     miss classification over computation phases
+//	regen      write every experiment's report into a directory
+//	selfcheck  verify the paper's structural identities on any trace
+//	classify   classify one workload or trace file at one block size
+//	protocols  run protocol simulators over one workload or trace file
+//	tracegen   write a workload's trace to a file
+//	traceinfo  summarize a trace file
+//
+// Run 'uselessmiss <subcommand> -h' for the flags of each subcommand.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "uselessmiss:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiment"
+	"repro/internal/timing"
+)
+
+// cmdRegen regenerates every paper artifact (and the extension studies)
+// into one file per experiment under the output directory — the one-shot
+// reproduction entry point.
+func cmdRegen(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("regen", flag.ContinueOnError)
+	dir := fs.String("o", "results", "output directory")
+	quick := fs.Bool("quick", false, "substitute small data sets in the heavy runs")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return err
+	}
+
+	artifacts := []struct {
+		file string
+		run  func(experiment.Options) error
+	}{
+		{"table2.txt", experiment.Table2},
+		{"table1.txt", experiment.Table1},
+		{"fig5.txt", experiment.Fig5},
+		{"fig6a.txt", func(o experiment.Options) error { return experiment.Fig6(o, 64) }},
+		{"fig6b.txt", func(o experiment.Options) error { return experiment.Fig6(o, 1024) }},
+		{"large.txt", experiment.Large},
+		{"traffic.txt", experiment.Traffic},
+		{"finite.txt", func(o experiment.Options) error { return experiment.FiniteSweep(o, 64, 4) }},
+		{"compare.txt", func(o experiment.Options) error { return experiment.Compare(o, 64) }},
+		{"penalty.txt", func(o experiment.Options) error {
+			return experiment.Penalty(o, 1024, timing.DefaultModel())
+		}},
+		{"hotspots.txt", func(o experiment.Options) error { return experiment.Hotspots(o, 64) }},
+		{"phases.txt", func(o experiment.Options) error { return experiment.Phases(o, 64, 10) }},
+		{"ablate_cu.txt", func(o experiment.Options) error { return experiment.AblationCU(o, 64) }},
+		{"ablate_wbwi.txt", func(o experiment.Options) error { return experiment.AblationWBWI(o, 1024) }},
+		{"ablate_sector.txt", func(o experiment.Options) error { return experiment.AblationSector(o, 1024) }},
+	}
+	for _, a := range artifacts {
+		path := filepath.Join(*dir, a.file)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		o := experiment.Options{Out: f, Quick: *quick}
+		err = a.run(o)
+		if closeErr := f.Close(); err == nil {
+			err = closeErr
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", a.file, err)
+		}
+		fmt.Fprintf(out, "wrote %s\n", path)
+	}
+	return nil
+}

@@ -1,0 +1,489 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/mem"
+	"repro/internal/report"
+	"repro/internal/timing"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// run dispatches a subcommand; it is the testable entry point.
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("missing subcommand (try 'list', 'table1', 'table2', 'fig5', 'fig6', 'large', 'traffic', 'finite', 'ablate', 'compare', 'penalty', 'hotspots', 'phases', 'regen', 'selfcheck', 'classify', 'protocols', 'tracegen', 'traceinfo')")
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "list":
+		return cmdList(out)
+	case "table1":
+		return cmdExperiment(rest, out, "table1")
+	case "table2":
+		return cmdExperiment(rest, out, "table2")
+	case "fig5":
+		return cmdFig5(rest, out)
+	case "fig6":
+		return cmdFig6(rest, out)
+	case "large":
+		return cmdExperiment(rest, out, "large")
+	case "traffic":
+		return cmdExperiment(rest, out, "traffic")
+	case "finite":
+		return cmdFinite(rest, out)
+	case "ablate":
+		return cmdAblate(rest, out)
+	case "compare":
+		return cmdCompare(rest, out)
+	case "penalty":
+		return cmdPenalty(rest, out)
+	case "hotspots":
+		return cmdHotspots(rest, out)
+	case "phases":
+		return cmdPhases(rest, out)
+	case "regen":
+		return cmdRegen(rest, out)
+	case "selfcheck":
+		return cmdSelfcheck(rest, out)
+	case "classify":
+		return cmdClassify(rest, out)
+	case "protocols":
+		return cmdProtocols(rest, out)
+	case "tracegen":
+		return cmdTracegen(rest, out)
+	case "traceinfo":
+		return cmdTraceinfo(rest, out)
+	default:
+		return fmt.Errorf("unknown subcommand %q", cmd)
+	}
+}
+
+func cmdList(out io.Writer) error {
+	tb := report.NewTable("workload", "procs", "data(KB)", "description")
+	for _, name := range workload.Names() {
+		w, err := workload.Get(name)
+		if err != nil {
+			return err
+		}
+		tb.Rowf(w.Name, w.Procs, fmt.Sprintf("%.0f", float64(w.DataBytes)/1024), w.Description)
+	}
+	tb.Fprint(out)
+	return nil
+}
+
+// splitList parses a comma-separated flag value.
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func splitInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range splitList(s) {
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad block size %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// experimentFlags defines the flags shared by the experiment subcommands.
+func experimentFlags(fs *flag.FlagSet) (quick, csv *bool, workloads, protocols *string) {
+	quick = fs.Bool("quick", false, "use the small data sets for the heavy runs")
+	csv = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	workloads = fs.String("workloads", "", "comma-separated workload list (default: the experiment's own)")
+	protocols = fs.String("protocols", "", "comma-separated protocol list (fig6/large only)")
+	return
+}
+
+func cmdExperiment(args []string, out io.Writer, which string) error {
+	fs := flag.NewFlagSet(which, flag.ContinueOnError)
+	quick, csv, workloads, protocols := experimentFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	o := experiment.Options{
+		Out: out, Quick: *quick, CSV: *csv,
+		Workloads: splitList(*workloads),
+		Protocols: splitList(*protocols),
+	}
+	switch which {
+	case "table1":
+		return experiment.Table1(o)
+	case "table2":
+		return experiment.Table2(o)
+	case "large":
+		return experiment.Large(o)
+	case "traffic":
+		return experiment.Traffic(o)
+	default:
+		return fmt.Errorf("internal: unknown experiment %q", which)
+	}
+}
+
+func cmdCompare(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+	_, csv, workloads, _ := experimentFlags(fs)
+	block := fs.Int("block", 64, "block size in bytes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	o := experiment.Options{Out: out, CSV: *csv, Workloads: splitList(*workloads)}
+	return experiment.Compare(o, *block)
+}
+
+func cmdPhases(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("phases", flag.ContinueOnError)
+	_, csv, workloads, _ := experimentFlags(fs)
+	block := fs.Int("block", 64, "block size in bytes")
+	buckets := fs.Int("buckets", 10, "maximum rows per workload")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	o := experiment.Options{Out: out, CSV: *csv, Workloads: splitList(*workloads)}
+	return experiment.Phases(o, *block, *buckets)
+}
+
+func cmdHotspots(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("hotspots", flag.ContinueOnError)
+	_, csv, workloads, _ := experimentFlags(fs)
+	block := fs.Int("block", 64, "block size in bytes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	o := experiment.Options{Out: out, CSV: *csv, Workloads: splitList(*workloads)}
+	return experiment.Hotspots(o, *block)
+}
+
+func cmdPenalty(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("penalty", flag.ContinueOnError)
+	_, csv, workloads, protocols := experimentFlags(fs)
+	block := fs.Int("block", 64, "block size in bytes")
+	missPenalty := fs.Uint64("miss-penalty", 30, "blocking cycles per miss")
+	syncCycles := fs.Uint64("sync-cycles", 3, "cycles per acquire/release")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	o := experiment.Options{
+		Out: out, CSV: *csv,
+		Workloads: splitList(*workloads), Protocols: splitList(*protocols),
+	}
+	m := timing.Model{RefCycles: 1, MissPenalty: *missPenalty, SyncCycles: *syncCycles}
+	return experiment.Penalty(o, *block, m)
+}
+
+func cmdFinite(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("finite", flag.ContinueOnError)
+	_, csv, workloads, _ := experimentFlags(fs)
+	block := fs.Int("block", 64, "block size in bytes")
+	assoc := fs.Int("assoc", 4, "cache associativity")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	o := experiment.Options{Out: out, CSV: *csv, Workloads: splitList(*workloads)}
+	return experiment.FiniteSweep(o, *block, *assoc)
+}
+
+func cmdAblate(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ablate", flag.ContinueOnError)
+	_, csv, workloads, _ := experimentFlags(fs)
+	what := fs.String("what", "cu", "ablation to run: cu (competitive-update threshold), wbwi (invalidation buffer) or sector (coherence grain)")
+	block := fs.Int("block", 64, "block size in bytes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	o := experiment.Options{Out: out, CSV: *csv, Workloads: splitList(*workloads)}
+	switch *what {
+	case "cu":
+		return experiment.AblationCU(o, *block)
+	case "wbwi":
+		return experiment.AblationWBWI(o, *block)
+	case "sector":
+		return experiment.AblationSector(o, *block)
+	default:
+		return fmt.Errorf("unknown ablation %q (want cu, wbwi or sector)", *what)
+	}
+}
+
+func cmdFig5(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("fig5", flag.ContinueOnError)
+	quick, csv, workloads, _ := experimentFlags(fs)
+	blocks := fs.String("blocks", "", "comma-separated block sizes in bytes (default 4..2048)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	blockList, err := splitInts(*blocks)
+	if err != nil {
+		return err
+	}
+	o := experiment.Options{
+		Out: out, Quick: *quick, CSV: *csv,
+		Workloads: splitList(*workloads), Blocks: blockList,
+	}
+	return experiment.Fig5(o)
+}
+
+func cmdFig6(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("fig6", flag.ContinueOnError)
+	quick, csv, workloads, protocols := experimentFlags(fs)
+	block := fs.Int("block", 64, "block size in bytes (64 for Fig. 6a, 1024 for Fig. 6b)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	o := experiment.Options{
+		Out: out, Quick: *quick, CSV: *csv,
+		Workloads: splitList(*workloads), Protocols: splitList(*protocols),
+	}
+	return experiment.Fig6(o, *block)
+}
+
+// openTrace returns a reader for either a named workload or a trace file.
+func openTrace(workloadName, file string) (trace.Reader, error) {
+	switch {
+	case workloadName != "" && file != "":
+		return nil, fmt.Errorf("give either -workload or -trace, not both")
+	case workloadName != "":
+		w, err := workload.Get(workloadName)
+		if err != nil {
+			return nil, err
+		}
+		return w.Reader(), nil
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		dec, err := trace.NewDecoder(f)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		return &closingReader{Decoder: dec, c: f}, nil
+	default:
+		return nil, fmt.Errorf("need -workload NAME or -trace FILE")
+	}
+}
+
+// closingReader closes the underlying file when the stream is closed.
+type closingReader struct {
+	*trace.Decoder
+	c io.Closer
+}
+
+func (r *closingReader) Close() error { return r.c.Close() }
+
+func cmdClassify(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("classify", flag.ContinueOnError)
+	workloadName := fs.String("workload", "", "workload name (see 'list')")
+	file := fs.String("trace", "", "binary trace file (alternative to -workload)")
+	block := fs.Int("block", 64, "block size in bytes")
+	scheme := fs.String("scheme", "all", "classification scheme: ours, eggers, torrellas or all")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := mem.NewGeometry(*block)
+	if err != nil {
+		return err
+	}
+	r, err := openTrace(*workloadName, *file)
+	if err != nil {
+		return err
+	}
+	procs := r.NumProcs()
+	oc := core.NewClassifier(procs, g)
+	ec := core.NewEggers(procs, g)
+	tc := core.NewTorrellas(procs, g)
+	var consumers []trace.Consumer
+	switch *scheme {
+	case "ours":
+		consumers = []trace.Consumer{oc}
+	case "eggers":
+		consumers = []trace.Consumer{ec}
+	case "torrellas":
+		consumers = []trace.Consumer{tc}
+	case "all":
+		consumers = []trace.Consumer{oc, ec, tc}
+	default:
+		trace.CloseReader(r) //nolint:errcheck // error path cleanup
+		return fmt.Errorf("unknown scheme %q", *scheme)
+	}
+	if err := trace.Drive(r, consumers...); err != nil {
+		return err
+	}
+
+	tb := report.NewTable("scheme", "class", "misses", "rate%")
+	row := func(scheme, class string, n, refs uint64) {
+		tb.Rowf(scheme, class, n, pctf(core.Rate(n, refs)))
+	}
+	for _, c := range consumers {
+		switch c := c.(type) {
+		case *core.Classifier:
+			counts, refs := c.Finish(), c.DataRefs()
+			row("ours", "PC", counts.PC, refs)
+			row("ours", "CTS", counts.CTS, refs)
+			row("ours", "CFS", counts.CFS, refs)
+			row("ours", "PTS", counts.PTS, refs)
+			row("ours", "PFS", counts.PFS, refs)
+			row("ours", "essential", counts.Essential(), refs)
+			row("ours", "total", counts.Total(), refs)
+		case *core.Eggers:
+			s, refs := c.Finish(), c.DataRefs()
+			row("eggers", "COLD", s.Cold, refs)
+			row("eggers", "TSM", s.True, refs)
+			row("eggers", "FSM", s.False, refs)
+		case *core.Torrellas:
+			s, refs := c.Finish(), c.DataRefs()
+			row("torrellas", "COLD", s.Cold, refs)
+			row("torrellas", "TSM", s.True, refs)
+			row("torrellas", "FSM", s.False, refs)
+		}
+	}
+	tb.Fprint(out)
+	return nil
+}
+
+func pctf(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
+
+func cmdProtocols(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("protocols", flag.ContinueOnError)
+	workloadName := fs.String("workload", "", "workload name (see 'list')")
+	file := fs.String("trace", "", "binary trace file (alternative to -workload)")
+	block := fs.Int("block", 64, "block size in bytes")
+	protocols := fs.String("protocols", "", "comma-separated protocol subset (default all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := mem.NewGeometry(*block)
+	if err != nil {
+		return err
+	}
+	protos := splitList(*protocols)
+	if len(protos) == 0 {
+		protos = coherence.Protocols
+	}
+	r, err := openTrace(*workloadName, *file)
+	if err != nil {
+		return err
+	}
+	sims := make([]coherence.Simulator, len(protos))
+	consumers := make([]trace.Consumer, len(protos))
+	for i, name := range protos {
+		sim, err := coherence.New(name, r.NumProcs(), g)
+		if err != nil {
+			trace.CloseReader(r) //nolint:errcheck // error path cleanup
+			return err
+		}
+		sims[i] = sim
+		consumers[i] = sim
+	}
+	if err := trace.Drive(r, consumers...); err != nil {
+		return err
+	}
+	tb := report.NewTable("protocol", "misses", "miss%", "TRUE%", "COLD%", "FALSE%", "invalidations", "upgrades", "writethroughs")
+	for _, sim := range sims {
+		res := sim.Finish()
+		c := res.Counts
+		tb.Rowf(res.Protocol, res.Misses,
+			pctf(res.MissRate()),
+			pctf(core.Rate(c.PTS, res.DataRefs)),
+			pctf(core.Rate(c.Cold(), res.DataRefs)),
+			pctf(core.Rate(c.PFS, res.DataRefs)),
+			res.Invalidations, res.Upgrades, res.WriteThroughs)
+	}
+	tb.Fprint(out)
+	return nil
+}
+
+func cmdTracegen(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	workloadName := fs.String("workload", "", "workload name (see 'list')")
+	output := fs.String("o", "", "output file (required)")
+	format := fs.String("format", "binary", "output format: binary or text")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *workloadName == "" || *output == "" {
+		return fmt.Errorf("tracegen needs -workload and -o")
+	}
+	w, err := workload.Get(*workloadName)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*output)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	switch *format {
+	case "binary":
+		err = trace.WriteBinary(f, w.Reader())
+	case "text":
+		err = trace.WriteText(f, w.Reader())
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	info, err := os.Stat(*output)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s (%d bytes)\n", *output, info.Size())
+	return nil
+}
+
+func cmdTraceinfo(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("traceinfo", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("traceinfo needs exactly one trace file argument")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	dec, err := trace.NewDecoder(f)
+	if err != nil {
+		return err
+	}
+	s := trace.NewStats(dec.NumProcs(), true)
+	if err := trace.Drive(dec, s); err != nil {
+		return err
+	}
+	tb := report.NewTable("property", "value")
+	tb.Rowf("processors", dec.NumProcs())
+	tb.Rowf("loads", s.Loads)
+	tb.Rowf("stores", s.Stores)
+	tb.Rowf("acquires", s.Acquires)
+	tb.Rowf("releases", s.Releases)
+	tb.Rowf("data refs", s.DataRefs())
+	tb.Rowf("data set bytes", s.DataSetBytes())
+	tb.Rowf("modeled speedup", fmt.Sprintf("%.1f", s.Speedup()))
+	tb.Fprint(out)
+	return nil
+}

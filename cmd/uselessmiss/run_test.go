@@ -1,0 +1,275 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunDispatch(t *testing.T) {
+	var sb strings.Builder
+	if err := run(nil, &sb); err == nil {
+		t.Error("missing subcommand accepted")
+	}
+	if err := run([]string{"nope"}, &sb); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+}
+
+func TestList(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"list"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"JACOBI", "LU32", "MP3D10000", "WATER288"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("list missing %s", want)
+		}
+	}
+}
+
+func TestClassifyWorkload(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"classify", "-workload", "LU32", "-block", "64"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"ours", "eggers", "torrellas", "PTS", "essential", "TSM"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("classify missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestClassifySingleScheme(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"classify", "-workload", "LU32", "-scheme", "eggers"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "torrellas") {
+		t.Error("scheme filter ignored")
+	}
+}
+
+func TestClassifyErrors(t *testing.T) {
+	var sb strings.Builder
+	cases := [][]string{
+		{"classify"},                   // no source
+		{"classify", "-workload", "X"}, // unknown workload
+		{"classify", "-workload", "LU32", "-block", "3"},  // bad block
+		{"classify", "-workload", "LU32", "-scheme", "x"}, // bad scheme
+		{"classify", "-workload", "LU32", "-trace", "f"},  // both sources
+		{"classify", "-trace", "/no/such/file"},
+	}
+	for _, args := range cases {
+		if err := run(args, &sb); err == nil {
+			t.Errorf("%v: expected error", args)
+		}
+	}
+}
+
+func TestProtocolsWorkload(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"protocols", "-workload", "LU32", "-block", "64", "-protocols", "MIN,OTF"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "MIN") || !strings.Contains(out, "OTF") {
+		t.Errorf("protocols output:\n%s", out)
+	}
+	if strings.Contains(out, "MAX") {
+		t.Error("protocol filter ignored")
+	}
+}
+
+func TestProtocolsUnknownProtocol(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"protocols", "-workload", "LU32", "-protocols", "BOGUS"}, &sb)
+	if err == nil {
+		t.Error("unknown protocol accepted")
+	}
+}
+
+func TestTracegenAndTraceinfoAndFileClassify(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "lu32.trace")
+	var sb strings.Builder
+	if err := run([]string{"tracegen", "-workload", "LU32", "-o", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "wrote") {
+		t.Errorf("tracegen output: %s", sb.String())
+	}
+
+	sb.Reset()
+	if err := run([]string{"traceinfo", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"processors", "16", "loads", "stores", "speedup"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("traceinfo missing %q:\n%s", want, out)
+		}
+	}
+
+	// Classifying the file must agree with classifying the workload.
+	sb.Reset()
+	if err := run([]string{"classify", "-trace", path, "-block", "64", "-scheme", "ours"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	fromFile := sb.String()
+	sb.Reset()
+	if err := run([]string{"classify", "-workload", "LU32", "-block", "64", "-scheme", "ours"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if fromFile != sb.String() {
+		t.Errorf("file and workload classification differ:\n%s\nvs\n%s", fromFile, sb.String())
+	}
+
+	// And protocol simulation over the file works too.
+	sb.Reset()
+	if err := run([]string{"protocols", "-trace", path, "-protocols", "MIN"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "MIN") {
+		t.Error("protocols over trace file failed")
+	}
+}
+
+func TestTracegenTextFormat(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.txt")
+	var sb strings.Builder
+	if err := run([]string{"tracegen", "-workload", "LU32", "-o", path, "-format", "text"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"tracegen", "-workload", "LU32", "-o", path, "-format", "bogus"}, &sb); err == nil {
+		t.Error("bad format accepted")
+	}
+	if err := run([]string{"tracegen", "-workload", "LU32"}, &sb); err == nil {
+		t.Error("missing -o accepted")
+	}
+}
+
+func TestTraceinfoErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"traceinfo"}, &sb); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run([]string{"traceinfo", "/no/such/file"}, &sb); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestExperimentSubcommands(t *testing.T) {
+	for _, args := range [][]string{
+		{"table1", "-quick", "-workloads", "LU32"},
+		{"table2", "-quick", "-workloads", "LU32"},
+		{"fig5", "-workloads", "LU32", "-blocks", "8,64"},
+		{"fig6", "-workloads", "LU32", "-block", "64", "-protocols", "MIN,OTF"},
+		{"large", "-quick", "-workloads", "LU32", "-protocols", "MIN,OTF"},
+		{"traffic", "-workloads", "LU32", "-protocols", "MIN,WU,CU"},
+		{"finite", "-workloads", "LU32", "-block", "64", "-assoc", "2"},
+		{"ablate", "-what", "cu", "-workloads", "LU32"},
+		{"ablate", "-what", "wbwi", "-workloads", "LU32", "-block", "1024"},
+		{"compare", "-workloads", "LU32", "-block", "64"},
+		{"ablate", "-what", "sector", "-workloads", "LU32", "-block", "1024"},
+		{"penalty", "-workloads", "LU32", "-protocols", "MIN,OTF", "-miss-penalty", "50"},
+		{"hotspots", "-workloads", "LU32", "-block", "8"},
+		{"phases", "-workloads", "LU32", "-buckets", "4"},
+	} {
+		var sb strings.Builder
+		if err := run(args, &sb); err != nil {
+			t.Errorf("%v: %v", args, err)
+		}
+		if sb.Len() == 0 {
+			t.Errorf("%v: no output", args)
+		}
+	}
+}
+
+func TestSelfcheck(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"selfcheck", "-workload", "LU32", "-block", "64"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "all identities hold") || strings.Contains(out, "FAIL") {
+		t.Errorf("selfcheck output:\n%s", out)
+	}
+	// And against a trace file.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.trace")
+	if err := run([]string{"tracegen", "-workload", "LU32", "-o", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if err := run([]string{"selfcheck", "-trace", path, "-block", "8"}, &sb); err != nil {
+		t.Fatalf("%v\n%s", err, sb.String())
+	}
+	if err := run([]string{"selfcheck"}, &sb); err == nil {
+		t.Error("missing source accepted")
+	}
+	if err := run([]string{"selfcheck", "-workload", "LU32", "-block", "7"}, &sb); err == nil {
+		t.Error("bad block accepted")
+	}
+}
+
+func TestRegenQuick(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	if err := run([]string{"regen", "-quick", "-o", dir}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"table1.txt", "fig6a.txt", "phases.txt", "ablate_sector.txt"} {
+		if _, err := os.Stat(filepath.Join(dir, want)); err != nil {
+			t.Errorf("missing artifact %s: %v", want, err)
+		}
+	}
+	if !strings.Contains(sb.String(), "wrote") {
+		t.Error("no progress output")
+	}
+}
+
+func TestAblateUnknownWhat(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"ablate", "-what", "bogus"}, &sb); err == nil {
+		t.Error("unknown ablation accepted")
+	}
+}
+
+func TestProtocolsExtensionNames(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"protocols", "-workload", "LU32", "-protocols", "WU,CU"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "WU") || !strings.Contains(sb.String(), "CU") {
+		t.Errorf("extension protocols missing:\n%s", sb.String())
+	}
+}
+
+func TestFig5BadBlocksFlag(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"fig5", "-workloads", "LU32", "-blocks", "8,x"}, &sb); err == nil {
+		t.Error("bad -blocks accepted")
+	}
+}
+
+func TestSplitHelpers(t *testing.T) {
+	if got := splitList(""); got != nil {
+		t.Errorf("splitList(\"\") = %v", got)
+	}
+	got := splitList(" a, b ,c ")
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Errorf("splitList = %v", got)
+	}
+	ints, err := splitInts("4, 8")
+	if err != nil || len(ints) != 2 || ints[0] != 4 || ints[1] != 8 {
+		t.Errorf("splitInts = %v, %v", ints, err)
+	}
+}

@@ -1,0 +1,100 @@
+// Paperfigs replays the worked examples of the paper's Figures 1-4 through
+// the three classification schemes and prints each scheme's verdict,
+// reproducing the comparisons of §2 and §3.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	uselessmiss "repro"
+)
+
+type figure struct {
+	name  string
+	about string
+	trace *uselessmiss.Trace
+	block int
+}
+
+func figures() []figure {
+	// The paper's P1 is proc 0, P2 is proc 1; words 0 and 1 share one
+	// block at B=8.
+	return []figure{
+		{
+			name:  "Figure 1 (B=4)",
+			about: "block-size effect, one-word blocks: four essential misses",
+			block: 4,
+			trace: uselessmiss.NewTrace(2,
+				uselessmiss.S(0, 0), uselessmiss.L(1, 0),
+				uselessmiss.S(0, 1), uselessmiss.L(1, 1)),
+		},
+		{
+			name:  "Figure 1 (B=8)",
+			about: "block-size effect, two-word blocks: a CTS miss turns into PTS",
+			block: 8,
+			trace: uselessmiss.NewTrace(2,
+				uselessmiss.S(0, 0), uselessmiss.L(1, 0),
+				uselessmiss.S(0, 1), uselessmiss.L(1, 1)),
+		},
+		{
+			name:  "Figure 2 (delayed store)",
+			about: "interleaving effect: delaying P1's second store creates a PTS miss",
+			block: 8,
+			trace: uselessmiss.NewTrace(2,
+				uselessmiss.S(0, 0), uselessmiss.L(1, 0),
+				uselessmiss.S(0, 1), uselessmiss.L(1, 1)),
+		},
+		{
+			name:  "Figure 2 (early store)",
+			about: "the equivalent interleaving with both stores first: one essential miss less",
+			block: 8,
+			trace: uselessmiss.NewTrace(2,
+				uselessmiss.S(0, 0), uselessmiss.S(0, 1),
+				uselessmiss.L(1, 0), uselessmiss.L(1, 1)),
+		},
+		{
+			name:  "Figure 3",
+			about: "the T5 miss carries the value read at T6: ours PTS, earlier schemes FSM",
+			block: 8,
+			trace: uselessmiss.NewTrace(2,
+				uselessmiss.S(0, 1), uselessmiss.L(1, 0),
+				uselessmiss.L(0, 1), uselessmiss.L(0, 0),
+				uselessmiss.S(1, 0), uselessmiss.L(0, 1),
+				uselessmiss.L(0, 0)),
+		},
+		{
+			name:  "Figure 4",
+			about: "Torrellas counts word-grain cold misses and more true sharing than Eggers",
+			block: 8,
+			trace: uselessmiss.NewTrace(2,
+				uselessmiss.L(0, 1), uselessmiss.L(1, 0),
+				uselessmiss.S(1, 1), uselessmiss.L(0, 0),
+				uselessmiss.S(1, 0), uselessmiss.L(0, 1),
+				uselessmiss.L(0, 0)),
+		},
+	}
+}
+
+func main() {
+	for _, f := range figures() {
+		g := uselessmiss.MustGeometry(f.block)
+		ours, _, err := uselessmiss.Classify(f.trace.Reader(), g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eggers, _, err := uselessmiss.ClassifyEggers(f.trace.Reader(), g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		torr, _, err := uselessmiss.ClassifyTorrellas(f.trace.Reader(), g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s — %s\n", f.name, f.about)
+		fmt.Printf("  ours:      PC=%d CTS=%d CFS=%d PTS=%d PFS=%d (essential %d)\n",
+			ours.PC, ours.CTS, ours.CFS, ours.PTS, ours.PFS, ours.Essential())
+		fmt.Printf("  eggers:    CM=%d TSM=%d FSM=%d\n", eggers.Cold, eggers.True, eggers.False)
+		fmt.Printf("  torrellas: CM=%d TSM=%d FSM=%d\n\n", torr.Cold, torr.True, torr.False)
+	}
+}

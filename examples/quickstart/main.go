@@ -1,0 +1,56 @@
+// Quickstart: classify the misses of a tiny hand-written sharing pattern
+// and of a full synthetic benchmark trace.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	uselessmiss "repro"
+)
+
+func main() {
+	// Two processors false-sharing an 8-byte block: proc 0 owns word 0,
+	// proc 1 owns word 1, and they never read each other's values.
+	g := uselessmiss.MustGeometry(8)
+	tr := uselessmiss.NewTrace(2,
+		uselessmiss.S(0, 0), // proc 0 writes its word (cold miss)
+		uselessmiss.S(1, 1), // proc 1 writes the neighboring word (cold miss)
+		uselessmiss.S(0, 0), // proc 0 misses again: the block ping-pongs...
+		uselessmiss.S(1, 1), // ...but nobody ever reads the other's data
+		uselessmiss.S(0, 0),
+		uselessmiss.S(1, 1),
+	)
+	counts, refs, err := uselessmiss.Classify(tr.Reader(), g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hand-written ping-pong: %d refs, %d misses, %d essential, %d useless\n",
+		refs, counts.Total(), counts.Essential(), counts.Useless())
+
+	// The same question for a whole benchmark: how much of JACOBI's miss
+	// rate at a 1024-byte page is useless?
+	w, err := uselessmiss.Workload("JACOBI")
+	if err != nil {
+		log.Fatal(err)
+	}
+	page := uselessmiss.MustGeometry(1024)
+	counts, refs, err = uselessmiss.Classify(w.Reader(), page)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s at B=1024: miss rate %.2f%%, essential %.2f%%, useless %.2f%%\n",
+		w.Name,
+		uselessmiss.Rate(counts.Total(), refs),
+		uselessmiss.Rate(counts.Essential(), refs),
+		uselessmiss.Rate(counts.Useless(), refs))
+
+	// The write-back word-invalidate protocol (WBWI) eliminates most of
+	// the useless misses by delaying and combining invalidations.
+	res, err := uselessmiss.RunProtocol("WBWI", w.Reader(), page)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("WBWI at B=1024: miss rate %.2f%% (%d invalidation messages)\n",
+		res.MissRate(), res.Invalidations)
+}

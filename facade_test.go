@@ -1,0 +1,155 @@
+package uselessmiss
+
+// Wiring tests for the facade: every wrapper is exercised once so that a
+// renamed or re-plumbed internal API cannot silently break the public
+// surface.
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestFacadeClassifierWrappers(t *testing.T) {
+	g, err := NewGeometry(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTrace(2, S(0, 0), L(1, 0), S(0, 1), L(1, 1))
+
+	eggers, refs, err := ClassifyEggers(tr.Reader(), g)
+	if err != nil || refs != 4 {
+		t.Fatalf("ClassifyEggers: %v refs=%d", err, refs)
+	}
+	torr, _, err := ClassifyTorrellas(tr.Reader(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eggers.Total() == 0 || torr.Total() == 0 {
+		t.Error("empty sharing counts")
+	}
+	if Rate(1, 4) != 25 {
+		t.Error("Rate wrong")
+	}
+
+	matrix, _, err := Cross(tr.Reader(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matrix.Total() == 0 {
+		t.Error("empty cross matrix")
+	}
+	if Agreement(matrix.OursVsEggers()) <= 0 {
+		t.Error("Agreement wrong")
+	}
+	cc := NewCrossClassifier(2, g)
+	for _, r := range tr.Refs {
+		cc.Ref(r)
+	}
+	m2, _, _, _ := cc.Finish()
+	if m2 != matrix {
+		t.Error("incremental cross disagrees with Cross")
+	}
+}
+
+func TestFacadeProtocolWrappers(t *testing.T) {
+	g := MustGeometry(8)
+	if got := ExtensionProtocols(); len(got) != 2 {
+		t.Errorf("ExtensionProtocols = %v", got)
+	}
+	if _, err := NewCompetitiveUpdate(2, g, 3); err != nil {
+		t.Errorf("NewCompetitiveUpdate: %v", err)
+	}
+	if _, err := NewLimitedWBWI(2, g, 1); err != nil {
+		t.Errorf("NewLimitedWBWI: %v", err)
+	}
+	if _, err := NewSectored(2, g, 8); err != nil {
+		t.Errorf("NewSectored: %v", err)
+	}
+	if _, err := NewSectored(2, g, 3); err == nil {
+		t.Error("bad sector accepted")
+	}
+	if _, err := NewFiniteClassifier(2, g, CacheConfig{CapacityBytes: 64, Assoc: 1}); err != nil {
+		t.Errorf("NewFiniteClassifier: %v", err)
+	}
+	if PolicyLRU.String() != "LRU" || PolicyFIFO.String() != "FIFO" || PolicyRandom.String() != "Random" {
+		t.Error("policy constants wrong")
+	}
+}
+
+func TestFacadeTimingWrappers(t *testing.T) {
+	m := DefaultTimingModel()
+	if m.MissPenalty == 0 {
+		t.Error("default model has no miss penalty")
+	}
+	tr := NewTrace(1, L(0, 0), L(0, 0))
+	times, err := RunTimed("OTF", tr.Reader(), MustGeometry(8), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if times.Cycles != 2+m.MissPenalty {
+		t.Errorf("cycles = %d", times.Cycles)
+	}
+}
+
+func TestFacadeExperimentWrappers(t *testing.T) {
+	base := ExperimentOptions{Out: io.Discard, Quick: true, Workloads: []string{"LU32"}}
+	for name, fn := range map[string]func() error{
+		"Table1":      func() error { return Table1(base) },
+		"Table2":      func() error { return Table2(base) },
+		"Fig5":        func() error { o := base; o.Blocks = []int{64}; return Fig5(o) },
+		"Fig6":        func() error { o := base; o.Protocols = []string{"MIN"}; return Fig6(o, 64) },
+		"Large":       func() error { o := base; o.Protocols = []string{"MIN", "OTF"}; return Large(o) },
+		"Traffic":     func() error { o := base; o.Protocols = []string{"MIN", "WU"}; return Traffic(o) },
+		"FiniteSweep": func() error { return FiniteSweep(base, 64, 2) },
+		"Compare":     func() error { return Compare(base, 64) },
+		"Penalty":     func() error { o := base; o.Protocols = []string{"MIN"}; return Penalty(o, 64, DefaultTimingModel()) },
+		"Hotspots":    func() error { return Hotspots(base, 64) },
+	} {
+		if err := fn(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestFacadeRegions(t *testing.T) {
+	w, err := Workload("MP3D1000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Regions) == 0 {
+		t.Fatal("no regions")
+	}
+	var r Region = w.Regions[0]
+	if r.Name != "particles" || !r.Contains(r.Start) || r.Contains(r.End) {
+		t.Errorf("region semantics wrong: %+v", r)
+	}
+	if w.RegionOf(r.Start) != "particles" {
+		t.Error("RegionOf wrong")
+	}
+	if w.RegionOf(1<<40) != "other" {
+		t.Error("RegionOf fallback wrong")
+	}
+}
+
+func TestFacadeMiscWrappers(t *testing.T) {
+	g := MustGeometry(32)
+	if g.String() != "B=32" {
+		t.Errorf("Geometry.String = %q", g.String())
+	}
+	res, err := RunProtocol("MIN", NewTrace(1, L(0, 0)).Reader(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MissRate() != 100 {
+		t.Errorf("MissRate = %v", res.MissRate())
+	}
+	var buf bytes.Buffer
+	if err := WriteText(&buf, NewTrace(1, L(0, 0)).Reader()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "P0 LD 0") {
+		t.Errorf("WriteText output %q", buf.String())
+	}
+}

@@ -1,0 +1,174 @@
+package coherence
+
+import (
+	"math/bits"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// MAX is the worst-case propagation of invalidations consistent with
+// release consistency (§4): each store may be performed — independently per
+// receiving processor — at any time between its issue and the issuing
+// processor's next release, and the schedule is chosen to maximize misses.
+//
+// The simulator plays the adversary with a greedy that dominates every
+// legal schedule on infinite caches: every store grants one invalidation
+// "credit" per remote processor, alive until the sender's next release.
+// Just before a processor touches a block it holds, the adversary spends one
+// live credit against it, performing that invalidation first so the access
+// misses. Credits still alive at the sender's release are performed then
+// (release consistency requires it), invalidating whatever copies remain so
+// their owners' next accesses miss too. Invalidating can never reduce
+// future misses in an infinite cache, so an access misses under this greedy
+// whenever it could miss under any legal schedule.
+type MAX struct {
+	base
+	blocks map[mem.Block]*maxBlock
+	open   [][]mem.Block // per sender: blocks with credits issued since its last release
+}
+
+type maxBlock struct {
+	present uint64
+	owner   int8
+	// issued[s] counts stores by sender s to this block since s's last
+	// release; consumed[s] holds per-receiver counts of credits from s
+	// already spent. Allocated lazily: most blocks are never contested.
+	issued   []uint32
+	consumed [][]uint32
+}
+
+// NewMAX returns a worst-case-schedule simulator.
+func NewMAX(procs int, g mem.Geometry) *MAX {
+	return &MAX{
+		base:   newBase("MAX", procs, g),
+		blocks: make(map[mem.Block]*maxBlock),
+		open:   make([][]mem.Block, procs),
+	}
+}
+
+func (s *MAX) block(b mem.Block) *maxBlock {
+	mb := s.blocks[b]
+	if mb == nil {
+		mb = &maxBlock{owner: -1}
+		s.blocks[b] = mb
+	}
+	return mb
+}
+
+// Ref implements trace.Consumer.
+func (s *MAX) Ref(r trace.Ref) {
+	p := int(r.Proc)
+	switch r.Kind {
+	case trace.Load, trace.Store:
+		s.access(p, r.Addr, r.Kind == trace.Store)
+	case trace.Release:
+		s.releaseCredits(p)
+	}
+}
+
+func (s *MAX) access(p int, a mem.Addr, store bool) {
+	s.dataRefs++
+	blk := s.g.BlockOf(a)
+	mb := s.block(blk)
+	bit := uint64(1) << uint(p)
+
+	// Adversary move: if p holds a copy and some sender has a live
+	// credit against p on this block, perform that invalidation just
+	// before the access so the access misses.
+	if mb.present&bit != 0 && s.spendCredit(mb, p) {
+		mb.present &^= bit
+		s.invalidate(p, blk)
+	}
+
+	missed := mb.present&bit == 0
+	if missed {
+		s.miss(p, a)
+		mb.present |= bit
+	}
+	s.life.Access(p, a)
+
+	if store {
+		if !missed && mb.owner != int8(p) {
+			s.upgrades++
+		}
+		mb.owner = int8(p)
+		s.life.RecordStore(p, a)
+		// Issue one credit per remote processor.
+		if mb.issued == nil {
+			mb.issued = make([]uint32, s.procs)
+		}
+		if mb.issued[p] == 0 {
+			s.open[p] = append(s.open[p], blk)
+		}
+		mb.issued[p]++
+	}
+}
+
+// spendCredit consumes one live credit targeting processor q's copy, if any
+// sender has one, and reports whether it did.
+func (s *MAX) spendCredit(mb *maxBlock, q int) bool {
+	if mb.issued == nil {
+		return false
+	}
+	for sender := range mb.issued {
+		if sender == q || mb.issued[sender] == 0 {
+			continue
+		}
+		if s.consumedCount(mb, sender, q) >= mb.issued[sender] {
+			continue
+		}
+		s.consumed(mb, sender)[q]++
+		return true
+	}
+	return false
+}
+
+func (s *MAX) consumedCount(mb *maxBlock, sender, q int) uint32 {
+	if mb.consumed == nil || mb.consumed[sender] == nil {
+		return 0
+	}
+	return mb.consumed[sender][q]
+}
+
+func (s *MAX) consumed(mb *maxBlock, sender int) []uint32 {
+	if mb.consumed == nil {
+		mb.consumed = make([][]uint32, s.procs)
+	}
+	if mb.consumed[sender] == nil {
+		mb.consumed[sender] = make([]uint32, s.procs)
+	}
+	return mb.consumed[sender]
+}
+
+// releaseCredits is the deadline: all of sender p's open credits must be
+// performed now. Each remaining copy with an unspent credit from p is
+// invalidated; the credit books for p are then cleared.
+func (s *MAX) releaseCredits(p int) {
+	for _, blk := range s.open[p] {
+		mb := s.blocks[blk]
+		if mb.issued[p] == 0 {
+			continue
+		}
+		targets := mb.present &^ (1 << uint(p))
+		for targets != 0 {
+			q := bits.TrailingZeros64(targets)
+			qbit := uint64(1) << uint(q)
+			targets &^= qbit
+			if s.consumedCount(mb, p, q) >= mb.issued[p] {
+				continue // every credit already spent on q
+			}
+			mb.present &^= qbit
+			s.invalidate(q, blk)
+		}
+		mb.issued[p] = 0
+		if mb.consumed != nil && mb.consumed[p] != nil {
+			clear(mb.consumed[p])
+		}
+	}
+	s.open[p] = s.open[p][:0]
+}
+
+// Finish implements Simulator. Credits never released stay unperformed:
+// performing them could only invalidate copies nobody touches again.
+func (s *MAX) Finish() Result { return s.result() }

@@ -1,0 +1,87 @@
+package coherence
+
+import (
+	"math/bits"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// MIN is the paper's write-through protocol with per-word invalidation
+// (§2.2, §4): every store propagates the written word's address to all other
+// copies, where it is buffered (a dirty bit per word); a local access to a
+// word with a buffered invalidation invalidates the block copy and misses.
+// Write misses allocate. There is no ownership (stores write through), so
+// MIN's miss count equals the essential miss count of the trace and its
+// false-sharing component is zero by construction.
+type MIN struct {
+	base
+	blocks map[mem.Block]*minBlock
+}
+
+type minBlock struct {
+	present uint64   // procs with a copy
+	pend    []uint64 // per word: procs with a buffered invalidation
+}
+
+// NewMIN returns a MIN simulator.
+func NewMIN(procs int, g mem.Geometry) *MIN {
+	return &MIN{base: newBase("MIN", procs, g), blocks: make(map[mem.Block]*minBlock)}
+}
+
+func (s *MIN) block(b mem.Block) *minBlock {
+	mb := s.blocks[b]
+	if mb == nil {
+		mb = &minBlock{pend: make([]uint64, s.g.WordsPerBlock())}
+		s.blocks[b] = mb
+	}
+	return mb
+}
+
+// Ref implements trace.Consumer.
+func (s *MIN) Ref(r trace.Ref) {
+	if !r.Kind.IsData() {
+		return
+	}
+	s.dataRefs++
+	p := int(r.Proc)
+	blk := s.g.BlockOf(r.Addr)
+	mb := s.block(blk)
+	bit := uint64(1) << uint(p)
+	off := s.g.OffsetOf(r.Addr)
+
+	switch {
+	case mb.present&bit == 0: // cold-path miss: allocate (also on writes)
+		s.miss(p, r.Addr)
+		mb.present |= bit
+		clearPending(mb.pend, bit)
+	case mb.pend[off]&bit != 0: // buffered invalidation on this word
+		s.life.CloseInvalidate(p, blk)
+		s.miss(p, r.Addr) // refetch a fresh copy
+		clearPending(mb.pend, bit)
+	}
+	s.life.Access(p, r.Addr)
+
+	if r.Kind == trace.Store {
+		s.writeThroughs++
+		sharers := mb.present &^ bit
+		if sharers != 0 {
+			// One word-invalidation message per remote copy,
+			// buffered at each receiver.
+			s.invalidations += uint64(popcount(sharers))
+			mb.pend[off] |= sharers
+		}
+		s.life.RecordStore(p, r.Addr)
+	}
+}
+
+// Finish implements Simulator.
+func (s *MIN) Finish() Result { return s.result() }
+
+func clearPending(pend []uint64, bit uint64) {
+	for i := range pend {
+		pend[i] &^= bit
+	}
+}
+
+func popcount(m uint64) int { return bits.OnesCount64(m) }

@@ -1,0 +1,54 @@
+package coherence
+
+import (
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// OTF is the on-the-fly schedule: every store's invalidations are performed
+// immediately, before the next trace reference. Its miss rate is "the miss
+// rate usually derived when using trace-driven simulations" (§4), and its
+// miss decomposition is exactly the paper's Appendix A classification.
+type OTF struct {
+	base
+	present map[mem.Block]uint64
+}
+
+// NewOTF returns an on-the-fly simulator.
+func NewOTF(procs int, g mem.Geometry) *OTF {
+	return &OTF{base: newBase("OTF", procs, g), present: make(map[mem.Block]uint64)}
+}
+
+// Ref implements trace.Consumer. Synchronization references are free under
+// OTF: there is nothing to delay.
+func (s *OTF) Ref(r trace.Ref) {
+	if !r.Kind.IsData() {
+		return
+	}
+	s.dataRefs++
+	p := int(r.Proc)
+	blk := s.g.BlockOf(r.Addr)
+	bit := uint64(1) << uint(p)
+
+	missed := s.present[blk]&bit == 0
+	if missed {
+		s.miss(p, r.Addr)
+		s.present[blk] |= bit
+	}
+	s.life.Access(p, r.Addr)
+
+	if r.Kind == trace.Store {
+		others := s.present[blk] &^ bit
+		if others != 0 {
+			if !missed {
+				s.upgrades++ // ownership taken without a miss
+			}
+			forEachProc(others, func(q int) { s.invalidate(q, blk) })
+			s.present[blk] = bit
+		}
+		s.life.RecordStore(p, r.Addr)
+	}
+}
+
+// Finish implements Simulator.
+func (s *OTF) Finish() Result { return s.result() }

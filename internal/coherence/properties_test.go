@@ -1,0 +1,303 @@
+package coherence
+
+// Cross-protocol property tests on random traces:
+//
+//   - MIN's miss count equals the Appendix-A essential miss count, and MIN
+//     never produces a false-sharing miss (§2.2);
+//   - OTF's decomposition is identical to the Appendix-A classification;
+//   - MAX dominates OTF; OTF and WBWI dominate MIN;
+//   - every protocol's cold count is the same (cold misses are
+//     schedule-independent);
+//   - the internal miss counter always equals the classified total;
+//   - when every store is followed by a release and an acquire on every
+//     processor ("fully synchronized"), the delayed protocols degenerate to
+//     OTF's miss count.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// randomSyncTrace interleaves data references over a small contended range
+// with occasional acquire/release pairs, so that the delayed protocols'
+// drain points are exercised.
+func randomSyncTrace(rng *rand.Rand, procs, n, addrRange int) *trace.Trace {
+	tr := trace.New(procs)
+	for i := 0; i < n; i++ {
+		p := rng.Intn(procs)
+		switch rng.Intn(10) {
+		case 0:
+			tr.Append(trace.A(p, mem.Addr(addrRange)))
+		case 1:
+			tr.Append(trace.R(p, mem.Addr(addrRange)))
+		case 2, 3, 4:
+			tr.Append(trace.S(p, mem.Addr(rng.Intn(addrRange))))
+		default:
+			tr.Append(trace.L(p, mem.Addr(rng.Intn(addrRange))))
+		}
+	}
+	return tr
+}
+
+// saturate inserts, after every data reference, a release by its processor
+// and an acquire by every processor, making all delay windows empty.
+func saturate(tr *trace.Trace) *trace.Trace {
+	out := trace.New(tr.Procs)
+	for _, r := range tr.Refs {
+		out.Append(r)
+		if !r.Kind.IsData() {
+			continue
+		}
+		out.Append(trace.R(int(r.Proc), 1<<20))
+		for p := 0; p < tr.Procs; p++ {
+			out.Append(trace.A(p, 1<<20))
+		}
+	}
+	return out
+}
+
+func geometries() []mem.Geometry {
+	return []mem.Geometry{
+		mem.MustGeometry(4),
+		mem.MustGeometry(8),
+		mem.MustGeometry(32),
+		mem.MustGeometry(128),
+	}
+}
+
+func TestMINEqualsEssential(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomSyncTrace(rng, 6, 600, 48)
+		for _, g := range geometries() {
+			counts, _, err := core.Classify(tr.Reader(), g)
+			if err != nil {
+				return false
+			}
+			res, err := RunWith("MIN", tr.Reader(), g)
+			if err != nil {
+				return false
+			}
+			if res.Misses != counts.Essential() {
+				t.Logf("%v: MIN %d != essential %d", g, res.Misses, counts.Essential())
+				return false
+			}
+			if res.Counts.PFS != 0 {
+				t.Logf("%v: MIN produced PFS: %+v", g, res.Counts)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMINNoFalseSharingSmallTraces brute-forces thousands of short
+// contended traces; MIN must never classify a useless miss. This guards the
+// timestamped communication tracking in core.Lifetimes (a bit-per-word
+// scheme fails here by conflating pre- and post-cold definitions).
+func TestMINNoFalseSharingSmallTraces(t *testing.T) {
+	g := mem.MustGeometry(8)
+	for seed := int64(0); seed < 3000; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(10)
+		tr := trace.New(3)
+		for i := 0; i < n; i++ {
+			p := rng.Intn(3)
+			if rng.Intn(2) == 0 {
+				tr.Append(trace.S(p, mem.Addr(rng.Intn(4))))
+			} else {
+				tr.Append(trace.L(p, mem.Addr(rng.Intn(4))))
+			}
+		}
+		res, err := RunWith("MIN", tr.Reader(), g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Counts.PFS != 0 {
+			t.Fatalf("seed %d: MIN produced false sharing %+v\ntrace: %v", seed, res.Counts, tr.Refs)
+		}
+		counts, _, err := core.Classify(tr.Reader(), g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Misses != counts.Essential() {
+			t.Fatalf("seed %d: MIN %d != essential %d\ntrace: %v", seed, res.Misses, counts.Essential(), tr.Refs)
+		}
+	}
+}
+
+func TestOTFMatchesClassifier(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomSyncTrace(rng, 5, 500, 64)
+		for _, g := range geometries() {
+			counts, refs, err := core.Classify(tr.Reader(), g)
+			if err != nil {
+				return false
+			}
+			res, err := RunWith("OTF", tr.Reader(), g)
+			if err != nil {
+				return false
+			}
+			if res.Counts != counts || res.DataRefs != refs {
+				t.Logf("%v: OTF %+v != classifier %+v", g, res.Counts, counts)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDominanceOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomSyncTrace(rng, 6, 800, 40)
+		for _, g := range geometries() {
+			min, _ := RunWith("MIN", tr.Reader(), g)
+			otf, _ := RunWith("OTF", tr.Reader(), g)
+			max, _ := RunWith("MAX", tr.Reader(), g)
+			wbwi, _ := RunWith("WBWI", tr.Reader(), g)
+			if otf.Misses < min.Misses {
+				t.Logf("%v: OTF %d < MIN %d", g, otf.Misses, min.Misses)
+				return false
+			}
+			if max.Misses < otf.Misses {
+				t.Logf("%v: MAX %d < OTF %d", g, max.Misses, otf.Misses)
+				return false
+			}
+			if wbwi.Misses < min.Misses {
+				t.Logf("%v: WBWI %d < MIN %d", g, wbwi.Misses, min.Misses)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestColdCountsScheduleIndependent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomSyncTrace(rng, 5, 600, 48)
+		g := mem.MustGeometry(16)
+		var cold []uint64
+		for _, name := range Protocols {
+			res, err := RunWith(name, tr.Reader(), g)
+			if err != nil {
+				return false
+			}
+			cold = append(cold, res.Counts.Cold())
+		}
+		for _, c := range cold[1:] {
+			if c != cold[0] {
+				t.Logf("cold counts differ across protocols: %v (%v)", cold, Protocols)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMissCounterMatchesClassifiedTotal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomSyncTrace(rng, 6, 700, 32)
+		for _, name := range Protocols {
+			for _, g := range geometries() {
+				res, err := RunWith(name, tr.Reader(), g)
+				if err != nil {
+					return false
+				}
+				if res.Misses != res.Counts.Total() {
+					t.Logf("%s %v: counter %d != total %d", name, g, res.Misses, res.Counts.Total())
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSaturatedSyncDegeneratesToOTF(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := saturate(randomSyncTrace(rng, 4, 300, 32))
+		for _, g := range geometries() {
+			otf, err := RunWith("OTF", tr.Reader(), g)
+			if err != nil {
+				return false
+			}
+			for _, name := range []string{"RD", "SD", "SRD"} {
+				res, err := RunWith(name, tr.Reader(), g)
+				if err != nil {
+					return false
+				}
+				if res.Misses != otf.Misses {
+					t.Logf("%s %v: %d misses, OTF %d", name, g, res.Misses, otf.Misses)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProtocolsDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	tr := randomSyncTrace(rng, 8, 3000, 64)
+	g := mem.MustGeometry(32)
+	for _, name := range Protocols {
+		a, err := RunWith(name, tr.Reader(), g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := RunWith(name, tr.Reader(), g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Errorf("%s: two runs disagree:\n%+v\n%+v", name, a, b)
+		}
+	}
+}
+
+func TestSingleProcessorAllProtocolsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tr := randomSyncTrace(rng, 1, 400, 64)
+	g := mem.MustGeometry(16)
+	counts, _, err := core.Classify(tr.Reader(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range Protocols {
+		res, err := RunWith(name, tr.Reader(), g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Misses != counts.Total() || res.Counts.PFS != 0 || res.Counts.PTS != 0 {
+			t.Errorf("%s: single-proc run %+v, want all-cold %d", name, res.Counts, counts.Total())
+		}
+	}
+}

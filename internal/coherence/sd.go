@@ -1,0 +1,149 @@
+package coherence
+
+import (
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// SD is the send-delayed protocol (§4): a store by the block's owner
+// completes immediately (its invalidations are performed at once), while a
+// store to a non-owned block is buffered; all buffered stores are sent —
+// combined per block — at the processor's next release, acquiring ownership
+// then. Received invalidations are performed immediately in the cache.
+type SD struct {
+	base
+	blocks  map[mem.Block]*sdBlock
+	buffers []sdBuffer // per proc: blocks with buffered stores
+}
+
+type sdBlock struct {
+	present uint64
+	owner   int8
+}
+
+// sdBuffer is a per-processor store buffer holding one entry per block
+// (stores to the same block combine).
+type sdBuffer struct {
+	blocks []sdPending
+	member map[mem.Block]bool
+}
+
+// sdPending remembers one buffered-store block and a word address inside it
+// (used to reopen a lifetime if the flush has to refetch).
+type sdPending struct {
+	blk  mem.Block
+	addr mem.Addr
+}
+
+// NewSD returns a send-delayed simulator.
+func NewSD(procs int, g mem.Geometry) *SD {
+	s := &SD{
+		base:    newBase("SD", procs, g),
+		blocks:  make(map[mem.Block]*sdBlock),
+		buffers: make([]sdBuffer, procs),
+	}
+	for p := range s.buffers {
+		s.buffers[p].member = make(map[mem.Block]bool)
+	}
+	return s
+}
+
+func (s *SD) block(b mem.Block) *sdBlock {
+	sb := s.blocks[b]
+	if sb == nil {
+		sb = &sdBlock{owner: -1}
+		s.blocks[b] = sb
+	}
+	return sb
+}
+
+// Ref implements trace.Consumer.
+func (s *SD) Ref(r trace.Ref) {
+	p := int(r.Proc)
+	switch r.Kind {
+	case trace.Load:
+		s.load(p, r.Addr)
+	case trace.Store:
+		s.store(p, r.Addr)
+	case trace.Release:
+		s.release(p)
+	}
+}
+
+func (s *SD) load(p int, a mem.Addr) {
+	s.dataRefs++
+	sb := s.block(s.g.BlockOf(a))
+	bit := uint64(1) << uint(p)
+	if sb.present&bit == 0 {
+		s.miss(p, a)
+		sb.present |= bit
+	}
+	s.life.Access(p, a)
+}
+
+func (s *SD) store(p int, a mem.Addr) {
+	s.dataRefs++
+	blk := s.g.BlockOf(a)
+	sb := s.block(blk)
+	bit := uint64(1) << uint(p)
+
+	if sb.owner == int8(p) {
+		// The owner's store completes without delay: invalidate any
+		// copies that appeared since it took ownership.
+		s.invalidateSharers(sb, blk, bit)
+	} else {
+		if sb.present&bit == 0 {
+			s.miss(p, a) // the data is needed now; only the send is delayed
+			sb.present |= bit
+		}
+		buf := &s.buffers[p]
+		if !buf.member[blk] {
+			buf.member[blk] = true
+			buf.blocks = append(buf.blocks, sdPending{blk: blk, addr: a})
+		}
+	}
+	s.life.Access(p, a)
+	s.life.RecordStore(p, a)
+}
+
+// release flushes the processor's store buffer: each buffered block's
+// combined invalidation is sent (and performed immediately at the
+// receivers), and the processor takes ownership. A copy lost between the
+// buffered store and the release must be refetched: a miss.
+func (s *SD) release(p int) {
+	buf := &s.buffers[p]
+	bit := uint64(1) << uint(p)
+	for _, pend := range buf.blocks {
+		sb := s.blocks[pend.blk]
+		if sb.present&bit == 0 {
+			// Someone else took ownership in between and
+			// invalidated our copy; refetch to complete the store.
+			s.miss(p, pend.addr)
+			sb.present |= bit
+		} else if sb.owner != int8(p) {
+			s.upgrades++
+		}
+		sb.owner = int8(p)
+		s.invalidateSharers(sb, pend.blk, bit)
+		delete(buf.member, pend.blk)
+	}
+	buf.blocks = buf.blocks[:0]
+}
+
+func (s *SD) invalidateSharers(sb *sdBlock, blk mem.Block, bit uint64) {
+	sharers := sb.present &^ bit
+	if sharers == 0 {
+		return
+	}
+	forEachProc(sharers, func(q int) { s.invalidate(q, blk) })
+	sb.present &= bit
+}
+
+// Finish implements Simulator. Stores still buffered at the end of the
+// trace are flushed first, as if each processor ended with a release.
+func (s *SD) Finish() Result {
+	for p := range s.buffers {
+		s.release(p)
+	}
+	return s.result()
+}

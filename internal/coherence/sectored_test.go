@@ -1,0 +1,95 @@
+package coherence
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+func TestNewSectoredValidation(t *testing.T) {
+	g := mem.MustGeometry(64)
+	for _, bad := range []int{0, 2, 3, 48, 128} {
+		if _, err := NewSectored(4, g, bad); err == nil {
+			t.Errorf("sector size %d accepted for 64-byte blocks", bad)
+		}
+	}
+	sim, err := NewSectored(4, g, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Name() != "SEC-16" {
+		t.Errorf("name = %q", sim.Name())
+	}
+}
+
+// Word-sized sectors are exactly WBWI.
+func TestSectoredWordGrainEqualsWBWI(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	tr := randomSyncTrace(rng, 6, 3000, 48)
+	for _, g := range geometries() {
+		sec, err := NewSectored(6, g, mem.WordBytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := trace.Drive(tr.Reader(), sec); err != nil {
+			t.Fatal(err)
+		}
+		wbwi, err := RunWith("WBWI", tr.Reader(), g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := sec.Finish(); got.Misses != wbwi.Misses || got.Counts != wbwi.Counts {
+			t.Errorf("%v: SEC-4 %+v != WBWI %+v", g, got.Counts, wbwi.Counts)
+		}
+	}
+}
+
+// Sector behavior: a store dirties its whole sector but not the others.
+func TestSectoredGranularity(t *testing.T) {
+	g := mem.MustGeometry(32)         // 8 words
+	sim, err := NewSectored(2, g, 16) // 2 sectors of 4 words
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := []trace.Ref{
+		trace.L(1, 0), // P1 caches the block
+		trace.S(0, 1), // P0 dirties sector 0 (words 0-3) of P1's copy
+		trace.L(1, 4), // sector 1 untouched: hit
+		trace.L(1, 3), // sector 0, another word than the stored one: miss
+	}
+	for _, r := range refs {
+		sim.Ref(r)
+	}
+	res := sim.Finish()
+	if res.Misses != 3 {
+		t.Errorf("misses = %d, want 3", res.Misses)
+	}
+	// The refetch reads word 3, which nobody wrote: useless.
+	if res.Counts.PFS != 1 {
+		t.Errorf("expected the sector-grain false-sharing miss: %+v", res.Counts)
+	}
+}
+
+// Finer sectors can only remove misses (down to WBWI's word grain).
+func TestSectoredMonotoneInGrain(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	tr := randomSyncTrace(rng, 6, 4000, 64)
+	g := mem.MustGeometry(256)
+	prev := uint64(0)
+	for _, sector := range []int{4, 16, 64, 256} {
+		sim, err := NewSectored(6, g, sector)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := trace.Drive(tr.Reader(), sim); err != nil {
+			t.Fatal(err)
+		}
+		res := sim.Finish()
+		if res.Misses < prev {
+			t.Errorf("sector %d: misses %d < finer grain's %d", sector, res.Misses, prev)
+		}
+		prev = res.Misses
+	}
+}

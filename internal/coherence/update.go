@@ -1,0 +1,148 @@
+package coherence
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// The paper's conclusion (§8) observes that at large block sizes the
+// remaining misses are dominated by true sharing plus the cost of
+// ownership, and that "delayed write-broadcast or delayed protocols with
+// competitive updates, which can reduce the number of essential misses, may
+// become attractive". These two simulators implement that design point as
+// an extension: they are not among the paper's seven schedules, but they
+// complete its conclusion with numbers.
+
+// ExtensionProtocols lists the update-based schedules implemented beyond
+// the paper's seven (§8 outlook): "WU" (pure write-update) and "CU"
+// (competitive update with the default threshold).
+var ExtensionProtocols = []string{"WU", "CU"}
+
+// DefaultCompetitiveThreshold is the number of consecutive remote updates
+// after which a competitive-update copy self-invalidates.
+const DefaultCompetitiveThreshold = 4
+
+// WU is a write-update (write-broadcast) protocol: a store propagates the
+// new value to every copy instead of invalidating, so with infinite caches
+// the only misses left are cold misses — below even the essential miss rate
+// of the write-invalidate classification, at the price of one update
+// message per remote copy per store.
+type WU struct {
+	base
+	present map[mem.Block]uint64
+	updates uint64
+}
+
+// NewWU returns a write-update simulator.
+func NewWU(procs int, g mem.Geometry) *WU {
+	return &WU{base: newBase("WU", procs, g), present: make(map[mem.Block]uint64)}
+}
+
+// Ref implements trace.Consumer.
+func (s *WU) Ref(r trace.Ref) {
+	if !r.Kind.IsData() {
+		return
+	}
+	s.dataRefs++
+	p := int(r.Proc)
+	blk := s.g.BlockOf(r.Addr)
+	bit := uint64(1) << uint(p)
+
+	if s.present[blk]&bit == 0 {
+		s.miss(p, r.Addr)
+		s.present[blk] |= bit
+	}
+	s.life.Access(p, r.Addr)
+	if r.Kind == trace.Store {
+		s.updates += uint64(popcount(s.present[blk] &^ bit))
+		s.life.RecordStore(p, r.Addr)
+	}
+}
+
+// Finish implements Simulator.
+func (s *WU) Finish() Result {
+	res := s.result()
+	res.Updates = s.updates
+	return res
+}
+
+// CU is a competitive-update protocol: stores update remote copies like WU,
+// but each copy carries a countdown — a remote update decrements it, a
+// local access resets it, and at zero the copy self-invalidates, so copies
+// that stopped being used stop receiving updates. The threshold trades
+// update traffic against extra misses; the classic competitive argument
+// bounds either cost to a constant factor of the other.
+type CU struct {
+	base
+	threshold uint8
+	blocks    map[mem.Block]*cuBlock
+	updates   uint64
+}
+
+type cuBlock struct {
+	present uint64
+	count   []uint8 // per processor: remaining remote updates before self-invalidation
+}
+
+// NewCU returns a competitive-update simulator with the given threshold
+// (>=1); use DefaultCompetitiveThreshold for the standard setting.
+func NewCU(procs int, g mem.Geometry, threshold int) (*CU, error) {
+	if threshold < 1 || threshold > 255 {
+		return nil, fmt.Errorf("coherence: competitive threshold %d out of range [1,255]", threshold)
+	}
+	return &CU{
+		base:      newBase("CU", procs, g),
+		threshold: uint8(threshold),
+		blocks:    make(map[mem.Block]*cuBlock),
+	}, nil
+}
+
+func (s *CU) block(b mem.Block) *cuBlock {
+	cb := s.blocks[b]
+	if cb == nil {
+		cb = &cuBlock{count: make([]uint8, s.procs)}
+		s.blocks[b] = cb
+	}
+	return cb
+}
+
+// Ref implements trace.Consumer.
+func (s *CU) Ref(r trace.Ref) {
+	if !r.Kind.IsData() {
+		return
+	}
+	s.dataRefs++
+	p := int(r.Proc)
+	blk := s.g.BlockOf(r.Addr)
+	cb := s.block(blk)
+	bit := uint64(1) << uint(p)
+
+	if cb.present&bit == 0 {
+		s.miss(p, r.Addr)
+		cb.present |= bit
+	}
+	cb.count[p] = s.threshold // local use resets the countdown
+	s.life.Access(p, r.Addr)
+
+	if r.Kind == trace.Store {
+		sharers := cb.present &^ bit
+		s.updates += uint64(popcount(sharers))
+		forEachProc(sharers, func(q int) {
+			cb.count[q]--
+			if cb.count[q] == 0 {
+				cb.present &^= 1 << uint(q)
+				s.invalidate(q, blk)
+			}
+		})
+		s.life.RecordStore(p, r.Addr)
+	}
+}
+
+// Finish implements Simulator.
+func (s *CU) Finish() Result {
+	res := s.result()
+	res.Updates = s.updates
+	return res
+}

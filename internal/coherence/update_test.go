@@ -1,0 +1,148 @@
+package coherence
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// WU leaves only cold misses: updating instead of invalidating removes
+// every coherence miss with infinite caches.
+func TestWUOnlyColdMisses(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tr := randomSyncTrace(rng, 6, 2000, 48)
+	for _, g := range geometries() {
+		res, err := RunWith("WU", tr.Reader(), g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Misses != res.Counts.Cold() {
+			t.Errorf("%v: WU misses %d != cold %d", g, res.Misses, res.Counts.Cold())
+		}
+		min, err := RunWith("MIN", tr.Reader(), g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Misses > min.Misses {
+			t.Errorf("%v: WU %d > MIN %d — updates must cut essential misses", g, res.Misses, min.Misses)
+		}
+		if res.Updates == 0 {
+			t.Errorf("%v: no update traffic recorded", g)
+		}
+	}
+}
+
+// CU sits between WU (threshold -> infinity) and an invalidation protocol
+// (threshold = 1 behaves like invalidate-on-second-store).
+func TestCUBoundedByWUAndOTF(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tr := randomSyncTrace(rng, 6, 3000, 32)
+	g := mem.MustGeometry(32)
+	wu, err := RunWith("WU", tr.Reader(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := wu.Misses // threshold=infinity floor
+	for _, threshold := range []int{64, 8, 2, 1} {
+		sim, err := NewCU(6, g, threshold)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := trace.Drive(tr.Reader(), sim); err != nil {
+			t.Fatal(err)
+		}
+		res := sim.Finish()
+		if res.Misses < prev {
+			t.Errorf("threshold %d: misses %d fell below the looser setting %d",
+				threshold, res.Misses, prev)
+		}
+		prev = res.Misses
+	}
+}
+
+func TestCUSelfInvalidation(t *testing.T) {
+	g := mem.MustGeometry(8)
+	sim, err := NewCU(2, g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := []trace.Ref{
+		trace.L(1, 0), // P1 caches the block (countdown 2)
+		trace.S(0, 0), // update 1: countdown 1
+		trace.S(0, 0), // update 2: countdown 0 -> P1 self-invalidates
+		trace.L(1, 0), // P1 misses (PTS: it reads the new value)
+		trace.S(0, 0), // P1's countdown was reset by its access: update 1
+		trace.L(1, 0), // still a hit
+	}
+	for _, r := range refs {
+		sim.Ref(r)
+	}
+	res := sim.Finish()
+	// Misses: P1 cold, P0 cold (first store), P1 refetch.
+	if res.Misses != 3 {
+		t.Errorf("misses = %d, want 3", res.Misses)
+	}
+	if res.Counts.PTS != 1 {
+		t.Errorf("refetch should be essential: %+v", res.Counts)
+	}
+	if res.Updates != 3 {
+		t.Errorf("updates = %d, want 3", res.Updates)
+	}
+}
+
+func TestCUThresholdValidation(t *testing.T) {
+	g := mem.MustGeometry(8)
+	for _, bad := range []int{0, -1, 256} {
+		if _, err := NewCU(2, g, bad); err == nil {
+			t.Errorf("threshold %d accepted", bad)
+		}
+	}
+}
+
+func TestExtensionProtocolsRegistered(t *testing.T) {
+	for _, name := range ExtensionProtocols {
+		sim, err := New(name, 4, mem.MustGeometry(16))
+		if err != nil {
+			t.Fatalf("New(%s): %v", name, err)
+		}
+		if sim.Name() != name {
+			t.Errorf("Name = %q, want %q", sim.Name(), name)
+		}
+	}
+	// The paper's seven stay separate from the extensions.
+	for _, name := range Protocols {
+		if name == "WU" || name == "CU" {
+			t.Error("extension protocol leaked into the paper's list")
+		}
+	}
+}
+
+// The update protocols' miss decomposition stays consistent with the
+// internal counter, like every other simulator.
+func TestUpdateProtocolsDecompositionConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr := randomSyncTrace(rng, 5, 2000, 64)
+	for _, name := range ExtensionProtocols {
+		for _, g := range geometries() {
+			res, err := RunWith(name, tr.Reader(), g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Misses != res.Counts.Total() {
+				t.Errorf("%s %v: counter %d != classified %d", name, g, res.Misses, res.Counts.Total())
+			}
+			if res.Counts.Cold() == 0 && tr.DataRefs() > 0 {
+				t.Errorf("%s %v: no cold misses", name, g)
+			}
+		}
+	}
+	// Cold counts agree with the invalidation protocols.
+	g := mem.MustGeometry(16)
+	otf, _ := RunWith("OTF", tr.Reader(), g)
+	wu, _ := RunWith("WU", tr.Reader(), g)
+	if otf.Counts.Cold() != wu.Counts.Cold() {
+		t.Errorf("cold counts differ: OTF %d, WU %d", otf.Counts.Cold(), wu.Counts.Cold())
+	}
+}

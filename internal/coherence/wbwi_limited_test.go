@@ -1,0 +1,123 @@
+package coherence
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+func TestWBWILimitedValidation(t *testing.T) {
+	g := mem.MustGeometry(16)
+	if _, err := NewWBWILimited(2, g, 0); err == nil {
+		t.Error("zero-entry buffer accepted")
+	}
+	if _, err := NewWBWILimited(2, g, 1); err != nil {
+		t.Errorf("one-entry buffer rejected: %v", err)
+	}
+}
+
+// With a buffer at least as large as the block, the limited WBWI behaves
+// exactly like the unlimited one.
+func TestWBWILimitedLargeBufferMatchesUnlimited(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	tr := randomSyncTrace(rng, 6, 3000, 48)
+	for _, g := range geometries() {
+		limited, err := NewWBWILimited(6, g, g.WordsPerBlock())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := trace.Drive(tr.Reader(), limited); err != nil {
+			t.Fatal(err)
+		}
+		unlimited, err := RunWith("WBWI", tr.Reader(), g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := limited.Finish(); got.Misses != unlimited.Misses {
+			t.Errorf("%v: limited(full) %d misses != unlimited %d", g, got.Misses, unlimited.Misses)
+		}
+	}
+}
+
+// A one-word buffer overflows on the second distinct word: the copy is
+// invalidated at once and the next access misses, like OTF.
+func TestWBWILimitedOverflowInvalidates(t *testing.T) {
+	g := mem.MustGeometry(16) // 4 words
+	sim, err := NewWBWILimited(2, g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := []trace.Ref{
+		trace.L(1, 3), // P1 caches the block
+		trace.S(0, 0), // buffered word 0 (1 entry used)
+		trace.S(0, 1), // would need a 2nd entry: P1's copy invalidated
+		trace.L(1, 3), // P1 misses even though word 3 was never written
+	}
+	for _, r := range refs {
+		sim.Ref(r)
+	}
+	res := sim.Finish()
+	// Misses: P1 cold, P0 store cold, P1 refetch after overflow.
+	if res.Misses != 3 {
+		t.Errorf("misses = %d, want 3", res.Misses)
+	}
+	if res.Counts.PFS != 1 {
+		t.Errorf("the overflow refetch reads nothing new: %+v", res.Counts)
+	}
+
+	// The unlimited protocol keeps the copy and never misses again.
+	unlimited := NewWBWI(2, g)
+	for _, r := range refs {
+		unlimited.Ref(r)
+	}
+	if got := unlimited.Finish(); got.Misses != 2 {
+		t.Errorf("unlimited misses = %d, want 2", got.Misses)
+	}
+}
+
+// Repeated stores to the SAME word consume only one buffer entry: the
+// invalidation combines.
+func TestWBWILimitedSameWordCombines(t *testing.T) {
+	g := mem.MustGeometry(16)
+	sim, err := NewWBWILimited(2, g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := []trace.Ref{
+		trace.L(1, 3),
+		trace.S(0, 0),
+		trace.S(0, 0), // same word: no new entry, no overflow
+		trace.S(0, 0),
+		trace.L(1, 3), // still a hit (word 3 clean, buffer holds word 0)
+	}
+	for _, r := range refs {
+		sim.Ref(r)
+	}
+	if res := sim.Finish(); res.Misses != 2 {
+		t.Errorf("misses = %d, want 2 (same-word stores must combine)", res.Misses)
+	}
+}
+
+// Miss counts are monotone: smaller buffers can only add misses.
+func TestWBWILimitedMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	tr := randomSyncTrace(rng, 6, 4000, 32)
+	g := mem.MustGeometry(64)
+	prev := ^uint64(0)
+	for _, entries := range []int{1, 2, 4, 8, 16} {
+		sim, err := NewWBWILimited(6, g, entries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := trace.Drive(tr.Reader(), sim); err != nil {
+			t.Fatal(err)
+		}
+		res := sim.Finish()
+		if res.Misses > prev {
+			t.Errorf("buffer %d words: %d misses > smaller buffer's %d", entries, res.Misses, prev)
+		}
+		prev = res.Misses
+	}
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestCountsAggregates(t *testing.T) {
+	c := Counts{PC: 1, CTS: 2, CFS: 3, PTS: 4, PFS: 5}
+	if c.Cold() != 6 {
+		t.Errorf("Cold = %d, want 6", c.Cold())
+	}
+	if c.Essential() != 10 {
+		t.Errorf("Essential = %d, want 10", c.Essential())
+	}
+	if c.Useless() != 5 {
+		t.Errorf("Useless = %d, want 5", c.Useless())
+	}
+	if c.Total() != 15 {
+		t.Errorf("Total = %d, want 15", c.Total())
+	}
+}
+
+func TestCountsAdd(t *testing.T) {
+	a := Counts{PC: 1, CTS: 2, CFS: 3, PTS: 4, PFS: 5}
+	b := Counts{PC: 10, CTS: 20, CFS: 30, PTS: 40, PFS: 50}
+	want := Counts{PC: 11, CTS: 22, CFS: 33, PTS: 44, PFS: 55}
+	if got := a.Add(b); got != want {
+		t.Errorf("Add = %+v, want %+v", got, want)
+	}
+}
+
+func TestCountsSharing(t *testing.T) {
+	c := Counts{PC: 1, CTS: 2, CFS: 3, PTS: 4, PFS: 5}
+	want := SharingCounts{Cold: 6, True: 4, False: 5}
+	if got := c.Sharing(); got != want {
+		t.Errorf("Sharing = %+v, want %+v", got, want)
+	}
+	if got := want.Total(); got != 15 {
+		t.Errorf("SharingCounts.Total = %d, want 15", got)
+	}
+}
+
+func TestRate(t *testing.T) {
+	if got := Rate(5, 200); got != 2.5 {
+		t.Errorf("Rate(5,200) = %v, want 2.5", got)
+	}
+	if got := Rate(5, 0); got != 0 {
+		t.Errorf("Rate(5,0) = %v, want 0", got)
+	}
+	if got := Rate(0, 100); got != 0 {
+		t.Errorf("Rate(0,100) = %v, want 0", got)
+	}
+}
+
+func TestMasks(t *testing.T) {
+	if got := allMask(3); got != 0b111 {
+		t.Errorf("allMask(3) = %b", got)
+	}
+	if got := allMask(64); got != ^uint64(0) {
+		t.Errorf("allMask(64) = %x", got)
+	}
+	if got := othersMask(3, 1); got != 0b101 {
+		t.Errorf("othersMask(3,1) = %b", got)
+	}
+	if got := othersMask(1, 0); got != 0 {
+		t.Errorf("othersMask(1,0) = %b", got)
+	}
+}
+
+func TestNewLifetimesRejectsBadProcCounts(t *testing.T) {
+	for _, procs := range []int{0, -1, 65, 1000} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewLifetimes(%d) did not panic", procs)
+				}
+			}()
+			NewLifetimes(procs, b4)
+		}()
+	}
+}
+
+func TestClassifierConstructorsRejectBadProcCounts(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"eggers":    func() { NewEggers(0, b4) },
+		"torrellas": func() { NewTorrellas(65, b4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

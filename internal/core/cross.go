@@ -1,0 +1,153 @@
+package core
+
+import (
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// CrossClassifier runs the paper's classification and the two earlier
+// schemes in lockstep over the same on-the-fly miss events and counts every
+// miss once per *joint* verdict, quantifying exactly where the schemes
+// disagree. §3 argues the disagreements qualitatively (Eggers misses the
+// values communicated after the missing access; Torrellas counts word-grain
+// first touches as cold and, in their words, has unquantified "prefetching
+// effects"); the joint matrix puts numbers on each case — e.g. the misses
+// Torrellas calls FSM or CM that really do communicate needed values are
+// the cells (ours=TRUE, torrellas=FALSE|COLD).
+type CrossClassifier struct {
+	ours *Classifier
+	egg  *Eggers
+	torr *Torrellas
+	// pending[p] maps a block to the Eggers/Torrellas verdicts of p's
+	// outstanding miss; ours' verdict arrives when the lifetime closes.
+	pending []map[mem.Block]pendingVerdicts
+	matrix  CrossCounts
+}
+
+type pendingVerdicts struct {
+	eggers    SharingClass
+	torrellas SharingClass
+}
+
+// CrossCounts is the joint verdict matrix: Matrix[o][e][t] counts the
+// misses our scheme classifies o, Eggers' e, and Torrellas' t (all as
+// three-way SharingClass values).
+type CrossCounts struct {
+	Matrix [3][3][3]uint64
+}
+
+// Total returns the number of misses counted.
+func (c CrossCounts) Total() uint64 {
+	var n uint64
+	for _, e := range c.Matrix {
+		for _, t := range e {
+			for _, v := range t {
+				n += v
+			}
+		}
+	}
+	return n
+}
+
+// OursVsEggers collapses Torrellas' axis: [ours][eggers].
+func (c CrossCounts) OursVsEggers() [3][3]uint64 {
+	var out [3][3]uint64
+	for o := range c.Matrix {
+		for e := range c.Matrix[o] {
+			for _, v := range c.Matrix[o][e] {
+				out[o][e] += v
+			}
+		}
+	}
+	return out
+}
+
+// OursVsTorrellas collapses Eggers' axis: [ours][torrellas].
+func (c CrossCounts) OursVsTorrellas() [3][3]uint64 {
+	var out [3][3]uint64
+	for o := range c.Matrix {
+		for e := range c.Matrix[o] {
+			for t, v := range c.Matrix[o][e] {
+				out[o][t] += v
+			}
+		}
+	}
+	return out
+}
+
+// Agreement returns the fraction of misses on which the named scheme agrees
+// with ours (diagonal mass of the pairwise matrix).
+func Agreement(pair [3][3]uint64) float64 {
+	var agree, total uint64
+	for o := range pair {
+		for x, v := range pair[o] {
+			total += v
+			if o == x {
+				agree += v
+			}
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(agree) / float64(total)
+}
+
+// NewCrossClassifier returns a lockstep cross-classifier.
+func NewCrossClassifier(procs int, g mem.Geometry) *CrossClassifier {
+	c := &CrossClassifier{
+		ours:    NewClassifier(procs, g),
+		egg:     NewEggers(procs, g),
+		torr:    NewTorrellas(procs, g),
+		pending: make([]map[mem.Block]pendingVerdicts, procs),
+	}
+	for p := range c.pending {
+		c.pending[p] = make(map[mem.Block]pendingVerdicts)
+	}
+	c.egg.OnClassify = func(p int, b mem.Block, class SharingClass) {
+		pv := c.pending[p][b]
+		pv.eggers = class
+		c.pending[p][b] = pv
+	}
+	c.torr.OnClassify = func(p int, b mem.Block, class SharingClass) {
+		pv := c.pending[p][b]
+		pv.torrellas = class
+		c.pending[p][b] = pv
+	}
+	c.ours.Hook(func(p int, b mem.Block, class Class) {
+		pv := c.pending[p][b]
+		delete(c.pending[p], b)
+		c.matrix.Matrix[class.Sharing()][pv.eggers][pv.torrellas]++
+	})
+	return c
+}
+
+// Ref implements trace.Consumer. The earlier schemes classify at miss time
+// and ours at lifetime close, so the two hook orders interleave naturally:
+// for every miss, the Eggers/Torrellas verdicts are recorded before ours'
+// verdict for the same miss can possibly arrive.
+func (c *CrossClassifier) Ref(r trace.Ref) {
+	c.egg.Ref(r)
+	c.torr.Ref(r)
+	c.ours.Ref(r)
+}
+
+// DataRefs returns the number of data references seen.
+func (c *CrossClassifier) DataRefs() uint64 { return c.ours.DataRefs() }
+
+// Finish closes the remaining lifetimes and returns the joint matrix along
+// with each scheme's own totals.
+func (c *CrossClassifier) Finish() (CrossCounts, Counts, SharingCounts, SharingCounts) {
+	ours := c.ours.Finish()
+	return c.matrix, ours, c.egg.Finish(), c.torr.Finish()
+}
+
+// Cross runs the cross-classification over a whole trace stream.
+func Cross(r trace.Reader, g mem.Geometry) (CrossCounts, uint64, error) {
+	c := NewCrossClassifier(r.NumProcs(), g)
+	if err := trace.Drive(r, c); err != nil {
+		return CrossCounts{}, 0, err
+	}
+	m, _, _, _ := c.Finish()
+	return m, c.DataRefs(), nil
+}

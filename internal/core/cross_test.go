@@ -1,0 +1,158 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// The joint matrix must account for every miss exactly once, and its
+// marginals must equal each scheme's own counts.
+func TestCrossMatrixMarginals(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomSharingTrace(rng, 5, 600, 48)
+		for _, size := range []int{4, 8, 32, 128} {
+			g := mem.MustGeometry(size)
+			c := NewCrossClassifier(5, g)
+			for _, r := range tr.Refs {
+				c.Ref(r)
+			}
+			matrix, ours, eggers, torr := c.Finish()
+
+			if matrix.Total() != ours.Total() {
+				t.Logf("size %d: matrix total %d != miss total %d", size, matrix.Total(), ours.Total())
+				return false
+			}
+			ve := matrix.OursVsEggers()
+			vt := matrix.OursVsTorrellas()
+			// Ours' marginals.
+			oursWant := [3]uint64{ours.Cold(), ours.PTS, ours.PFS}
+			for o := 0; o < 3; o++ {
+				var rowE, rowT uint64
+				for x := 0; x < 3; x++ {
+					rowE += ve[o][x]
+					rowT += vt[o][x]
+				}
+				if rowE != oursWant[o] || rowT != oursWant[o] {
+					t.Logf("size %d: ours marginal %d: %d/%d want %d", size, o, rowE, rowT, oursWant[o])
+					return false
+				}
+			}
+			// Eggers' and Torrellas' marginals.
+			eggWant := [3]uint64{eggers.Cold, eggers.True, eggers.False}
+			torrWant := [3]uint64{torr.Cold, torr.True, torr.False}
+			for x := 0; x < 3; x++ {
+				var colE, colT uint64
+				for o := 0; o < 3; o++ {
+					colE += ve[o][x]
+					colT += vt[o][x]
+				}
+				if colE != eggWant[x] || colT != torrWant[x] {
+					t.Logf("size %d: scheme marginal %d: %d/%d want %d/%d",
+						size, x, colE, colT, eggWant[x], torrWant[x])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The structural theorems as matrix cells: cold definitions agree between
+// ours and Eggers (no off-diagonal mass in the cold row/column), and every
+// Eggers TSM is ours-PTS (the cell [COLD or FALSE][TRUE] is empty).
+func TestCrossTheoremCells(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomSharingTrace(rng, 4, 500, 32)
+		g := mem.MustGeometry(16)
+		matrix, _, err := Cross(tr.Reader(), g)
+		if err != nil {
+			return false
+		}
+		ve := matrix.OursVsEggers()
+		o, e := int(SharingCold), int(SharingCold)
+		// Cold is the same definition: a miss is cold for ours iff cold
+		// for Eggers.
+		if ve[o][int(SharingTrue)] != 0 || ve[o][int(SharingFalse)] != 0 {
+			return false
+		}
+		if ve[int(SharingTrue)][e] != 0 || ve[int(SharingFalse)][e] != 0 {
+			return false
+		}
+		// Eggers' TSM implies ours PTS.
+		if ve[int(SharingFalse)][int(SharingTrue)] != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Figure 3 as a joint verdict: the single PTS miss is FSM under both
+// earlier schemes — the exact cell the paper's §3.1 "prefetching effects"
+// remark is about.
+func TestCrossFigure3Cell(t *testing.T) {
+	tr := trace.New(2,
+		trace.S(0, 1), trace.L(1, 0), trace.L(0, 1), trace.L(0, 0),
+		trace.S(1, 0), trace.L(0, 1), trace.L(0, 0),
+	)
+	matrix, _, err := Cross(tr.Reader(), mem.MustGeometry(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := matrix.Matrix[SharingTrue][SharingFalse][SharingFalse]; got != 1 {
+		t.Errorf("TRUE/FSM/FSM cell = %d, want 1 (the Fig. 3 T5 miss)", got)
+	}
+	if matrix.Total() != 3 {
+		t.Errorf("total = %d, want 3", matrix.Total())
+	}
+}
+
+func TestAgreement(t *testing.T) {
+	var pair [3][3]uint64
+	pair[0][0] = 6
+	pair[1][1] = 3
+	pair[1][2] = 1
+	if got := Agreement(pair); got != 0.9 {
+		t.Errorf("Agreement = %v, want 0.9", got)
+	}
+	if got := Agreement([3][3]uint64{}); got != 1 {
+		t.Errorf("empty Agreement = %v, want 1", got)
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	cases := map[Class]string{
+		ClassPC: "PC", ClassCTS: "CTS", ClassCFS: "CFS",
+		ClassPTS: "PTS", ClassPFS: "PFS", ClassRepl: "REPL",
+		Class(99): "Class(99)",
+	}
+	for c, want := range cases {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), want)
+		}
+	}
+	shar := map[SharingClass]string{
+		SharingCold: "COLD", SharingTrue: "TRUE", SharingFalse: "FALSE",
+		SharingClass(9): "SharingClass(9)",
+	}
+	for s, want := range shar {
+		if s.String() != want {
+			t.Errorf("SharingClass %d = %q, want %q", s, s.String(), want)
+		}
+	}
+	if ClassPC.Sharing() != SharingCold || ClassCTS.Sharing() != SharingCold ||
+		ClassPTS.Sharing() != SharingTrue || ClassPFS.Sharing() != SharingFalse {
+		t.Error("Class.Sharing mapping wrong")
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// Eggers implements the classification of Eggers and Jeremiassen (§3.2):
+// the first reference to a block by a processor is a cold miss; every later
+// miss is an invalidation miss, classified as true sharing iff the word
+// accessed *on the miss* was modified since — and including — the store
+// whose invalidation removed the processor's copy, and as false sharing
+// otherwise.
+//
+// The paper shows this scheme exaggerates false sharing because it ignores
+// new values accessed later in the lifetime (Fig. 4, Table 1). Its cold
+// count is identical to the paper's classification by construction.
+type Eggers struct {
+	geom     mem.Geometry
+	procs    int
+	blocks   map[mem.Block]*eggersBlock
+	counts   SharingCounts
+	dataRefs uint64
+
+	// OnClassify, if set, is called at every miss with its verdict
+	// (Eggers' scheme decides at miss time).
+	OnClassify func(p int, b mem.Block, class SharingClass)
+}
+
+type eggersBlock struct {
+	present uint64 // procs with a valid copy
+	touched uint64 // procs that have referenced the block (cold detection)
+	// modSince[w] holds, for every processor q that currently has no
+	// valid copy, whether word w was modified since (and including) the
+	// store that invalidated q's copy.
+	modSince []uint64
+}
+
+// NewEggers returns an Eggers classifier.
+func NewEggers(procs int, g mem.Geometry) *Eggers {
+	if procs <= 0 || procs > MaxProcs {
+		panic("core: processor count out of range")
+	}
+	return &Eggers{
+		geom:   g,
+		procs:  procs,
+		blocks: make(map[mem.Block]*eggersBlock),
+	}
+}
+
+// Ref implements trace.Consumer.
+func (e *Eggers) Ref(r trace.Ref) {
+	switch r.Kind {
+	case trace.Load:
+		e.access(int(r.Proc), r.Addr, false)
+	case trace.Store:
+		e.access(int(r.Proc), r.Addr, true)
+	}
+}
+
+func (e *Eggers) access(p int, a mem.Addr, store bool) {
+	e.dataRefs++
+	b := e.geom.BlockOf(a)
+	eb := e.blocks[b]
+	if eb == nil {
+		eb = &eggersBlock{modSince: make([]uint64, e.geom.WordsPerBlock())}
+		e.blocks[b] = eb
+	}
+	bit := uint64(1) << uint(p)
+	off := e.geom.OffsetOf(a)
+
+	if eb.present&bit == 0 { // miss
+		var class SharingClass
+		switch {
+		case eb.touched&bit == 0:
+			class = SharingCold
+			e.counts.Cold++
+		case eb.modSince[off]&bit != 0:
+			class = SharingTrue
+			e.counts.True++
+		default:
+			class = SharingFalse
+			e.counts.False++
+		}
+		if e.OnClassify != nil {
+			e.OnClassify(p, b, class)
+		}
+		eb.present |= bit
+		// The new copy is current: nothing is "modified since the
+		// invalidation" anymore for p.
+		for i := range eb.modSince {
+			eb.modSince[i] &^= bit
+		}
+	}
+	eb.touched |= bit
+
+	if !store {
+		return
+	}
+	// The store invalidates every other copy; for each other processor
+	// the set of words modified since its invalidation restarts at (and
+	// includes) this word. Processors already without a copy accumulate
+	// this word too.
+	others := othersMask(e.procs, p)
+	invalidated := eb.present & others
+	if invalidated != 0 {
+		for i := range eb.modSince {
+			eb.modSince[i] &^= invalidated
+		}
+	}
+	eb.present = bit
+	eb.modSince[off] |= others
+}
+
+// DataRefs returns the number of data references classified.
+func (e *Eggers) DataRefs() uint64 { return e.dataRefs }
+
+// Finish returns the totals. Unlike the paper's scheme, Eggers'
+// classification is decided at miss time, so there is nothing to flush.
+func (e *Eggers) Finish() SharingCounts { return e.counts }
+
+// ClassifyEggers runs Eggers' classification over a trace stream.
+func ClassifyEggers(r trace.Reader, g mem.Geometry) (SharingCounts, uint64, error) {
+	c := NewEggers(r.NumProcs(), g)
+	if err := trace.Drive(r, c); err != nil {
+		return SharingCounts{}, 0, err
+	}
+	return c.Finish(), c.DataRefs(), nil
+}

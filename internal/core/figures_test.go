@@ -1,0 +1,213 @@
+package core
+
+// Gold tests encoding the paper's worked examples (Figs. 1-4). Each figure
+// is a short two-processor reference sequence whose classification the paper
+// gives explicitly; these tests pin our three classifiers to those verdicts.
+//
+// The paper labels processors P1 and P2; here they are procs 0 and 1.
+// Words 0 and 1 share one block when the block size is 8 bytes (2 words).
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+var (
+	b4 = mem.MustGeometry(4) // one-word blocks ("B=1 word" in Fig. 1)
+	b8 = mem.MustGeometry(8) // two-word blocks
+)
+
+func classifyAll(t *testing.T, tr *trace.Trace, g mem.Geometry) (Counts, SharingCounts, SharingCounts) {
+	t.Helper()
+	ours, _, err := Classify(tr.Reader(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eggers, _, err := ClassifyEggers(tr.Reader(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torr, _, err := ClassifyTorrellas(tr.Reader(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ours, eggers, torr
+}
+
+// Figure 1: effect of the block size on the number of PTS misses.
+//
+//	T0: P1 Store 0     B=1 word: PC    B=2 words: PC
+//	T1: P2 Load 0                CTS              CTS
+//	T2: P1 Store 1               PC               -   (upgrade, INV to P2)
+//	T3: P2 Load 1                CTS              PTS
+//
+// Going from one-word to two-word blocks, essential misses drop 4 -> 3,
+// cold misses drop 4 -> 2, and PTS misses rise 0 -> 1.
+func TestFigure1(t *testing.T) {
+	tr := trace.New(2,
+		trace.S(0, 0),
+		trace.L(1, 0),
+		trace.S(0, 1),
+		trace.L(1, 1),
+	)
+	ours1, _, _ := classifyAll(t, tr, b4)
+	if want := (Counts{PC: 2, CTS: 2}); ours1 != want {
+		t.Errorf("B=4: got %+v, want %+v", ours1, want)
+	}
+	ours2, _, _ := classifyAll(t, tr, b8)
+	if want := (Counts{PC: 1, CTS: 1, PTS: 1}); ours2 != want {
+		t.Errorf("B=8: got %+v, want %+v", ours2, want)
+	}
+	if ours1.Essential() != 4 || ours2.Essential() != 3 {
+		t.Errorf("essential misses: B=4 %d (want 4), B=8 %d (want 3)",
+			ours1.Essential(), ours2.Essential())
+	}
+	if ours1.Cold() != 4 || ours2.Cold() != 2 {
+		t.Errorf("cold misses: B=4 %d (want 4), B=8 %d (want 2)",
+			ours1.Cold(), ours2.Cold())
+	}
+}
+
+// Figure 2: effect of trace interleaving on the number of essential misses.
+// Two legal interleavings of the same accesses; delaying P1's second store
+// past P2's first load creates an extra PTS miss.
+func TestFigure2(t *testing.T) {
+	early := trace.New(2, // P1's stores back to back
+		trace.S(0, 0),
+		trace.S(0, 1),
+		trace.L(1, 0),
+		trace.L(1, 1),
+	)
+	late := trace.New(2, // second store delayed after P2's load
+		trace.S(0, 0),
+		trace.L(1, 0),
+		trace.S(0, 1),
+		trace.L(1, 1),
+	)
+	oursEarly, _, _ := classifyAll(t, early, b8)
+	oursLate, _, _ := classifyAll(t, late, b8)
+	if want := (Counts{PC: 1, CTS: 1}); oursEarly != want {
+		t.Errorf("early interleaving: got %+v, want %+v", oursEarly, want)
+	}
+	if want := (Counts{PC: 1, CTS: 1, PTS: 1}); oursLate != want {
+		t.Errorf("late interleaving: got %+v, want %+v", oursLate, want)
+	}
+	if oursLate.Essential() != oursEarly.Essential()+1 {
+		t.Errorf("delaying the store should create exactly one extra essential miss: %d vs %d",
+			oursLate.Essential(), oursEarly.Essential())
+	}
+}
+
+// Figure 3: basic shortcomings of the earlier schemes. P1's miss at T5
+// brings the value defined at T4 and accessed at T6, yet both earlier
+// schemes call it a false sharing miss; ours calls it PTS.
+//
+//	            P1        P2      Torrellas  Eggers  Ours
+//	T0:   Store 1                 CM         CM      PC
+//	T1:             Load 0        CM         CM      CFS
+//	T2:   Load 1                  -          -       -
+//	T3:   Load 0                  -          -       -
+//	T4:   INV       Store 0       -          -       -
+//	T5:   Load 1                  FSM        FSM     PTS
+//	T6:   Load 0                  -          -       -
+//
+// P1 defines word 1 itself at T0 and re-reads it at T2, so Torrellas sees
+// word 1 as touched and word-valid at T5 (FSM rather than cold); P2's cold
+// miss at T1 lands on a modified block whose new value P2 never reads (CFS).
+func TestFigure3(t *testing.T) {
+	tr := trace.New(2,
+		trace.S(0, 1), // T0
+		trace.L(1, 0), // T1
+		trace.L(0, 1), // T2
+		trace.L(0, 0), // T3
+		trace.S(1, 0), // T4: invalidates proc 0
+		trace.L(0, 1), // T5
+		trace.L(0, 0), // T6
+	)
+	ours, eggers, torr := classifyAll(t, tr, b8)
+	if want := (Counts{PC: 1, CFS: 1, PTS: 1}); ours != want {
+		t.Errorf("ours: got %+v, want %+v", ours, want)
+	}
+	if want := (SharingCounts{Cold: 2, False: 1}); eggers != want {
+		t.Errorf("eggers: got %+v, want %+v", eggers, want)
+	}
+	if want := (SharingCounts{Cold: 2, False: 1}); torr != want {
+		t.Errorf("torrellas: got %+v, want %+v", torr, want)
+	}
+}
+
+// Figure 4: differences between Eggers' and Torrellas' classifications.
+// Torrellas counts more true sharing than Eggers and counts invalidation
+// misses at first-touched words as cold.
+//
+//	            P1        P2      Torrellas  Eggers  Ours
+//	T0:   Load 1                  CM         CM      PC
+//	T1:             Load 0        CM         CM      PC
+//	T2:   INV       Store 1       -          -       -
+//	T3:   Load 0                  CM         FSM     PFS
+//	T4:   INV       Store 0       -          -       -
+//	T5:   Load 1                  TSM        FSM     PTS
+//	T6:   Load 0                  -          -       -
+//
+// Note on T3 under our scheme: during the lifetime opened at T3 (closed by
+// the invalidation at T4) P1 only touches word 0, which no other processor
+// has modified, so the T3 miss communicates nothing and is useless (PFS) by
+// the paper's §2 definition.
+func TestFigure4(t *testing.T) {
+	tr := trace.New(2,
+		trace.L(0, 1), // T0
+		trace.L(1, 0), // T1
+		trace.S(1, 1), // T2: invalidates proc 0
+		trace.L(0, 0), // T3
+		trace.S(1, 0), // T4: invalidates proc 0
+		trace.L(0, 1), // T5
+		trace.L(0, 0), // T6
+	)
+	ours, eggers, torr := classifyAll(t, tr, b8)
+	if want := (Counts{PC: 2, PFS: 1, PTS: 1}); ours != want {
+		t.Errorf("ours: got %+v, want %+v", ours, want)
+	}
+	if want := (SharingCounts{Cold: 2, False: 2}); eggers != want {
+		t.Errorf("eggers: got %+v, want %+v", eggers, want)
+	}
+	if want := (SharingCounts{Cold: 3, True: 1}); torr != want {
+		t.Errorf("torrellas: got %+v, want %+v", torr, want)
+	}
+}
+
+// The write-action subtlety of §2: "an access can be a load or a store".
+// A store to a word another processor modified makes the miss essential.
+func TestStoreTriggersEssentialMiss(t *testing.T) {
+	tr := trace.New(2,
+		trace.S(0, 0), // P1 cold (PC)
+		trace.S(1, 0), // P2 cold; stores to the word P1 defined -> CTS
+		trace.S(0, 0), // P1 misses again; stores to the word P2 defined -> PTS
+	)
+	ours, _, _ := classifyAll(t, tr, b4)
+	if want := (Counts{PC: 1, CTS: 1, PTS: 1}); ours != want {
+		t.Errorf("got %+v, want %+v", ours, want)
+	}
+}
+
+// After an essential miss communicates the block's modified values, a
+// second invalidation-free access to another previously-modified word must
+// not create a second essential lifetime (the C flags were cleared).
+func TestCommunicationFlagsClearedOnEssentialMiss(t *testing.T) {
+	tr := trace.New(2,
+		trace.S(0, 0), // P1 defines words 0 and 1
+		trace.S(0, 1),
+		trace.L(1, 0), // P2 cold miss, accesses word 0 -> CTS, clears C for word 1 too
+		trace.L(1, 1), // hit; word 1 was communicated by the CTS miss
+		trace.S(0, 0), // invalidates P2 (P2's lifetime classified CTS)
+		trace.L(1, 1), // P2 misses; word 1's C flag must not still be set
+	)
+	ours, _, _ := classifyAll(t, tr, b8)
+	// P2's second miss touches word 1 whose value it already received at
+	// the CTS miss; only word 0 is newly defined, and P2 never reads it,
+	// so the miss is useless.
+	if want := (Counts{PC: 1, CTS: 1, PFS: 1}); ours != want {
+		t.Errorf("got %+v, want %+v", ours, want)
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// PhaseSeries decomposes a classification along the trace's computation
+// phases (the Phase markers the workload generators emit at barriers and
+// pipeline steps), yielding a time series of miss counts: how the cold ramp
+// drains, when sharing misses dominate, how LU's rate climbs as its active
+// columns shrink. A miss is attributed to the phase in which its lifetime
+// closes — under the on-the-fly schedule that is at most one invalidation
+// later than the miss itself.
+type PhaseSeries struct {
+	classifier *Classifier
+	points     []PhasePoint
+	prevCounts Counts
+	prevRefs   uint64
+}
+
+// PhasePoint is the classification delta of one phase.
+type PhasePoint struct {
+	Counts   Counts
+	DataRefs uint64
+}
+
+// MissRate returns the phase's total miss rate in percent.
+func (p PhasePoint) MissRate() float64 { return Rate(p.Counts.Total(), p.DataRefs) }
+
+// NewPhaseSeries returns a phase-resolved classifier.
+func NewPhaseSeries(procs int, g mem.Geometry) *PhaseSeries {
+	return &PhaseSeries{classifier: NewClassifier(procs, g)}
+}
+
+// Ref implements trace.Consumer.
+func (s *PhaseSeries) Ref(r trace.Ref) {
+	if r.Kind == trace.Phase {
+		s.cut(s.classifier.Snapshot())
+		return
+	}
+	s.classifier.Ref(r)
+}
+
+func (s *PhaseSeries) cut(now Counts) {
+	refs := s.classifier.DataRefs()
+	s.points = append(s.points, PhasePoint{
+		Counts:   sub(now, s.prevCounts),
+		DataRefs: refs - s.prevRefs,
+	})
+	s.prevCounts, s.prevRefs = now, refs
+}
+
+func sub(a, b Counts) Counts {
+	return Counts{
+		PC:   a.PC - b.PC,
+		CTS:  a.CTS - b.CTS,
+		CFS:  a.CFS - b.CFS,
+		PTS:  a.PTS - b.PTS,
+		PFS:  a.PFS - b.PFS,
+		Repl: a.Repl - b.Repl,
+	}
+}
+
+// Finish returns the per-phase series and, separately, the tail: the work
+// after the last phase marker together with the verdicts of the lifetimes
+// still open at the end of the trace (every surviving copy's miss is
+// classified then, so lumping the tail into the last phase would inflate
+// its rate misleadingly).
+func (s *PhaseSeries) Finish() (series []PhasePoint, tail PhasePoint) {
+	final := s.classifier.Finish()
+	tail = PhasePoint{
+		Counts:   sub(final, s.prevCounts),
+		DataRefs: s.classifier.DataRefs() - s.prevRefs,
+	}
+	return s.points, tail
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+func TestPhaseSeriesSumsToTotal(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	tr := trace.New(4)
+	for i := 0; i < 1200; i++ {
+		p := rng.Intn(4)
+		if rng.Intn(3) == 0 {
+			tr.Append(trace.S(p, mem.Addr(rng.Intn(64))))
+		} else {
+			tr.Append(trace.L(p, mem.Addr(rng.Intn(64))))
+		}
+		if i%100 == 99 {
+			tr.Append(trace.P())
+		}
+	}
+	g := mem.MustGeometry(16)
+	series := NewPhaseSeries(4, g)
+	for _, r := range tr.Refs {
+		series.Ref(r)
+	}
+	points, tail := series.Finish()
+	if len(points) != 12 {
+		t.Fatalf("got %d phases, want 12", len(points))
+	}
+	var agg Counts
+	var refs uint64
+	for _, p := range points {
+		agg = agg.Add(p.Counts)
+		refs += p.DataRefs
+	}
+	agg = agg.Add(tail.Counts)
+	refs += tail.DataRefs
+
+	whole, wholeRefs, err := Classify(tr.Reader(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg != whole || refs != wholeRefs {
+		t.Errorf("series sums %+v/%d, whole-trace %+v/%d", agg, refs, whole, wholeRefs)
+	}
+}
+
+func TestPhaseSeriesColdFrontLoaded(t *testing.T) {
+	// Two identical phases: all cold misses must close by the end; the
+	// first phase's CLASSIFIED verdicts may lag (closures happen on
+	// invalidation), but no new cold verdicts may appear once every
+	// (proc, block) pair has been re-invalidated.
+	tr := trace.New(2)
+	for phase := 0; phase < 3; phase++ {
+		for i := 0; i < 32; i++ {
+			tr.Append(trace.S(0, mem.Addr(i)), trace.S(1, mem.Addr(i)))
+		}
+		tr.Append(trace.P())
+	}
+	series := NewPhaseSeries(2, mem.MustGeometry(8))
+	for _, r := range tr.Refs {
+		series.Ref(r)
+	}
+	points, tail := series.Finish()
+	cold := func(p PhasePoint) uint64 { return p.Counts.Cold() }
+	if cold(points[2]) != 0 {
+		t.Errorf("cold misses classified in the last phase: %+v", points[2])
+	}
+	total := cold(points[0]) + cold(points[1]) + cold(points[2]) + tail.Counts.Cold()
+	if total != 32 { // 16 blocks x 2 processors
+		t.Errorf("total cold = %d, want 32", total)
+	}
+}
+
+func TestPhasePointMissRate(t *testing.T) {
+	p := PhasePoint{Counts: Counts{PC: 5}, DataRefs: 200}
+	if p.MissRate() != 2.5 {
+		t.Errorf("MissRate = %v", p.MissRate())
+	}
+}
+
+func TestPhaseSeriesNoMarkers(t *testing.T) {
+	series := NewPhaseSeries(1, mem.MustGeometry(8))
+	series.Ref(trace.L(0, 0))
+	points, tail := series.Finish()
+	if len(points) != 0 {
+		t.Errorf("no markers should yield no phases, got %d", len(points))
+	}
+	if tail.Counts.Total() != 1 || tail.DataRefs != 1 {
+		t.Errorf("tail = %+v", tail)
+	}
+}

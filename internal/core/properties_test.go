@@ -1,0 +1,242 @@
+package core
+
+// Property-based tests over random traces. These check the structural
+// theorems the paper proves or relies on:
+//
+//   - all three classifications see the same miss events, so their totals
+//     agree with each other and with a plain on-the-fly miss count;
+//   - ours and Eggers define cold misses identically;
+//   - every Eggers true-sharing miss is a PTS miss under our scheme (§3.2:
+//     Eggers can only underestimate true sharing);
+//   - essential misses, cold misses and CTS+PTS are non-increasing when the
+//     block size doubles (§2.1);
+//   - classification is deterministic.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// randomSharingTrace builds traces with heavy fine-grained sharing: a small
+// address range ensures blocks are contended by all processors.
+func randomSharingTrace(rng *rand.Rand, procs, n, addrRange int) *trace.Trace {
+	tr := trace.New(procs)
+	for i := 0; i < n; i++ {
+		r := trace.Ref{
+			Proc: uint16(rng.Intn(procs)),
+			Addr: mem.Addr(rng.Intn(addrRange)),
+		}
+		if rng.Intn(3) == 0 {
+			r.Kind = trace.Store
+		} else {
+			r.Kind = trace.Load
+		}
+		tr.Append(r)
+	}
+	return tr
+}
+
+// otfMisses is an independent, minimal on-the-fly write-invalidate miss
+// counter used as an oracle: infinite caches, a store removes all other
+// copies, any access without a copy misses.
+func otfMisses(tr *trace.Trace, g mem.Geometry) uint64 {
+	present := make(map[mem.Block]uint64)
+	var misses uint64
+	for _, r := range tr.Refs {
+		if !r.Kind.IsData() {
+			continue
+		}
+		b := g.BlockOf(r.Addr)
+		bit := uint64(1) << r.Proc
+		if present[b]&bit == 0 {
+			misses++
+			present[b] |= bit
+		}
+		if r.Kind == trace.Store {
+			present[b] = bit
+		}
+	}
+	return misses
+}
+
+func quickCfg() *quick.Config {
+	return &quick.Config{MaxCount: 60}
+}
+
+func TestTotalsMatchOTFOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomSharingTrace(rng, 4, 400, 64)
+		for _, size := range []int{4, 8, 32, 128} {
+			g := mem.MustGeometry(size)
+			want := otfMisses(tr, g)
+			ours, _, _ := Classify(tr.Reader(), g)
+			eggers, _, _ := ClassifyEggers(tr.Reader(), g)
+			torr, _, _ := ClassifyTorrellas(tr.Reader(), g)
+			if ours.Total() != want || eggers.Total() != want || torr.Total() != want {
+				t.Logf("size %d: oracle %d, ours %d, eggers %d, torrellas %d",
+					size, want, ours.Total(), eggers.Total(), torr.Total())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestColdCountsAgreeWithEggers(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomSharingTrace(rng, 6, 500, 48)
+		for _, size := range []int{4, 16, 64} {
+			g := mem.MustGeometry(size)
+			ours, _, _ := Classify(tr.Reader(), g)
+			eggers, _, _ := ClassifyEggers(tr.Reader(), g)
+			if ours.Cold() != eggers.Cold {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEggersTrueSharingIsSubsetOfPTS(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomSharingTrace(rng, 5, 600, 32)
+		for _, size := range []int{4, 8, 32} {
+			g := mem.MustGeometry(size)
+			ours, _, _ := Classify(tr.Reader(), g)
+			eggers, _, _ := ClassifyEggers(tr.Reader(), g)
+			if eggers.True > ours.PTS {
+				t.Logf("size %d: eggers TSM %d > ours PTS %d", size, eggers.True, ours.PTS)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEssentialMonotoneInBlockSize(t *testing.T) {
+	sizes := []int{4, 8, 16, 32, 64, 128}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomSharingTrace(rng, 4, 500, 96)
+		prevEssential := ^uint64(0)
+		prevCold := ^uint64(0)
+		prevTrue := ^uint64(0) // CTS + PTS
+		for _, size := range sizes {
+			ours, _, _ := Classify(tr.Reader(), mem.MustGeometry(size))
+			if e := ours.Essential(); e > prevEssential {
+				t.Logf("essential grew at %d: %d > %d", size, e, prevEssential)
+				return false
+			} else {
+				prevEssential = e
+			}
+			if c := ours.Cold(); c > prevCold {
+				t.Logf("cold grew at %d: %d > %d", size, c, prevCold)
+				return false
+			} else {
+				prevCold = c
+			}
+			if ts := ours.CTS + ours.PTS; ts > prevTrue {
+				t.Logf("CTS+PTS grew at %d: %d > %d", size, ts, prevTrue)
+				return false
+			} else {
+				prevTrue = ts
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClassificationDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := randomSharingTrace(rng, 8, 2000, 128)
+	g := mem.MustGeometry(32)
+	a, _, _ := Classify(tr.Reader(), g)
+	b, _, _ := Classify(tr.Reader(), g)
+	if a != b {
+		t.Errorf("two runs disagree: %+v vs %+v", a, b)
+	}
+}
+
+func TestSingleProcessorHasOnlyPureColdMisses(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomSharingTrace(rng, 1, 300, 64)
+		for _, size := range []int{4, 32} {
+			ours, _, _ := Classify(tr.Reader(), mem.MustGeometry(size))
+			if ours.CTS != 0 || ours.CFS != 0 || ours.PTS != 0 || ours.PFS != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadOnlySharingHasNoSharingMisses(t *testing.T) {
+	// Loads only: every processor's misses are pure cold.
+	tr := trace.New(4)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		tr.Append(trace.L(rng.Intn(4), mem.Addr(rng.Intn(64))))
+	}
+	ours, _, _ := Classify(tr.Reader(), mem.MustGeometry(16))
+	if ours.Total() != ours.PC {
+		t.Errorf("read-only trace has non-cold misses: %+v", ours)
+	}
+	eggers, _, _ := ClassifyEggers(tr.Reader(), mem.MustGeometry(16))
+	if eggers.Total() != eggers.Cold {
+		t.Errorf("eggers: read-only trace has non-cold misses: %+v", eggers)
+	}
+}
+
+func TestDataRefsCounted(t *testing.T) {
+	tr := trace.New(2,
+		trace.L(0, 1), trace.S(1, 2), trace.A(0, 9), trace.R(0, 9), trace.P(),
+	)
+	_, refs, err := Classify(tr.Reader(), b4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refs != 2 {
+		t.Errorf("DataRefs = %d, want 2 (sync and phase refs excluded)", refs)
+	}
+}
+
+func TestWordGrainHasNoFalseSharing(t *testing.T) {
+	// With one-word blocks every miss communicates exactly the referenced
+	// word, so a non-essential (PFS) miss can still occur only when a
+	// processor re-misses on a word whose new value it then... never
+	// accesses — impossible, because the missing access touches the word
+	// itself. Any invalidation implies another processor stored the word,
+	// so the missing access always reads a newly defined value.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomSharingTrace(rng, 4, 400, 32)
+		ours, _, _ := Classify(tr.Reader(), b4)
+		return ours.PFS == 0 && ours.CFS == 0
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,199 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/report"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Ablations for the design choices DESIGN.md calls out: the competitive
+// -update threshold (how many remote updates a copy tolerates before
+// self-invalidating) and the finite invalidation buffer of the word
+// -invalidate protocols.
+
+// CompetitiveThresholds is the default sweep for AblationCU.
+var CompetitiveThresholds = []int{1, 2, 4, 8, 16, 32}
+
+// AblationCU sweeps the competitive-update threshold and reports the
+// miss/update-traffic trade-off against the WU (threshold = infinity) and
+// MIN (pure invalidate, word grain) endpoints. Larger thresholds approach
+// WU's cold-only miss rate at the price of more update messages.
+func AblationCU(o Options, blockBytes int) error {
+	g, err := mem.NewGeometry(blockBytes)
+	if err != nil {
+		return err
+	}
+	names := o.workloads(workload.SmallSet())
+
+	fmt.Fprintf(o.Out, "Competitive-update threshold ablation (B=%d bytes)\n\n", blockBytes)
+	tb := report.NewTable("workload", "protocol", "miss%", "updates/ref", "traffic B/ref")
+	for _, name := range names {
+		w, err := workload.Get(name)
+		if err != nil {
+			return err
+		}
+		// Build the sims: MIN and WU endpoints plus the CU sweep, and
+		// run them all over a single trace generation.
+		sims := []coherence.Simulator{
+			coherence.NewMIN(w.Procs, g),
+			coherence.NewWU(w.Procs, g),
+		}
+		labels := []string{"MIN", "WU"}
+		for _, threshold := range CompetitiveThresholds {
+			cu, err := coherence.NewCU(w.Procs, g, threshold)
+			if err != nil {
+				return err
+			}
+			sims = append(sims, cu)
+			labels = append(labels, fmt.Sprintf("CU-%d", threshold))
+		}
+		consumers := make([]trace.Consumer, len(sims))
+		for i, s := range sims {
+			consumers[i] = s
+		}
+		if err := trace.Drive(w.Reader(), consumers...); err != nil {
+			return err
+		}
+		for i, sim := range sims {
+			res := sim.Finish()
+			refs := float64(res.DataRefs)
+			tb.Rowf(name, labels[i],
+				pct(res.MissRate()),
+				fmt.Sprintf("%.3f", float64(res.Updates)/refs),
+				fmt.Sprintf("%.2f", float64(TrafficOf(res, g))/refs))
+		}
+	}
+	if o.CSV {
+		return tb.CSV(o.Out)
+	}
+	tb.Fprint(o.Out)
+	return nil
+}
+
+// SectorSizes is the default coherence-grain sweep for AblationSector, in
+// bytes; sizes above the block size are skipped.
+var SectorSizes = []int{4, 16, 64, 256, 1024}
+
+// AblationSector sweeps the coherence grain of a sectored protocol at a
+// fixed (large) fetch block size: the §7 outlook — multiple block sizes, or
+// word-grain coherence — as numbers. Word-sized sectors are exactly WBWI;
+// block-sized sectors degenerate to full-block invalidation. The question
+// it answers: how fine must the coherence grain be before the page-sized
+// fetch block stops paying for false sharing?
+func AblationSector(o Options, blockBytes int) error {
+	g, err := mem.NewGeometry(blockBytes)
+	if err != nil {
+		return err
+	}
+	names := o.workloads(workload.SmallSet())
+
+	fmt.Fprintf(o.Out, "Coherence-grain ablation (fetch block B=%d bytes)\n\n", blockBytes)
+	tb := report.NewTable("workload", "sector", "miss%", "TRUE%", "FALSE%")
+	for _, name := range names {
+		w, err := workload.Get(name)
+		if err != nil {
+			return err
+		}
+		var sims []coherence.Simulator
+		for _, sector := range SectorSizes {
+			if sector > blockBytes {
+				continue
+			}
+			sim, err := coherence.NewSectored(w.Procs, g, sector)
+			if err != nil {
+				return err
+			}
+			sims = append(sims, sim)
+		}
+		consumers := make([]trace.Consumer, len(sims))
+		for i, s := range sims {
+			consumers[i] = s
+		}
+		if err := trace.Drive(w.Reader(), consumers...); err != nil {
+			return err
+		}
+		for _, sim := range sims {
+			res := sim.Finish()
+			tb.Rowf(name, sim.Name(),
+				pct(res.MissRate()),
+				pct(core.Rate(res.Counts.PTS, res.DataRefs)),
+				pct(core.Rate(res.Counts.PFS, res.DataRefs)))
+		}
+	}
+	if o.CSV {
+		return tb.CSV(o.Out)
+	}
+	tb.Fprint(o.Out)
+	return nil
+}
+
+// BufferSizes is the default sweep for AblationWBWI, in buffered words per
+// copy; 0 stands for unlimited (a dirty bit per word, the paper's WBWI).
+var BufferSizes = []int{1, 2, 4, 8, 16, 0}
+
+// AblationWBWI sweeps the size of WBWI's per-copy invalidation buffer,
+// interpolating between on-the-fly invalidation (tiny buffers overflow on
+// nearly every remote store) and the paper's WBWI (a dirty bit per word).
+// It quantifies the §7 hardware-cost remark: how many dirty bits per block
+// are actually needed before WBWI reaches its unlimited-buffer miss rate.
+func AblationWBWI(o Options, blockBytes int) error {
+	g, err := mem.NewGeometry(blockBytes)
+	if err != nil {
+		return err
+	}
+	names := o.workloads(workload.SmallSet())
+
+	fmt.Fprintf(o.Out, "WBWI invalidation-buffer ablation (B=%d bytes, %d words per block)\n\n",
+		blockBytes, g.WordsPerBlock())
+	tb := report.NewTable("workload", "buffer", "miss%", "vs unlimited")
+	for _, name := range names {
+		w, err := workload.Get(name)
+		if err != nil {
+			return err
+		}
+		var sims []coherence.Simulator
+		var labels []string
+		for _, entries := range BufferSizes {
+			if entries == 0 {
+				sims = append(sims, coherence.NewWBWI(w.Procs, g))
+				labels = append(labels, "unlimited")
+				continue
+			}
+			sim, err := coherence.NewWBWILimited(w.Procs, g, entries)
+			if err != nil {
+				return err
+			}
+			sims = append(sims, sim)
+			labels = append(labels, fmt.Sprintf("%d words", entries))
+		}
+		consumers := make([]trace.Consumer, len(sims))
+		for i, s := range sims {
+			consumers[i] = s
+		}
+		if err := trace.Drive(w.Reader(), consumers...); err != nil {
+			return err
+		}
+		results := make([]coherence.Result, len(sims))
+		for i, sim := range sims {
+			results[i] = sim.Finish()
+		}
+		unlimited := results[len(results)-1].MissRate()
+		for i, res := range results {
+			rel := "n/a"
+			if unlimited > 0 {
+				rel = fmt.Sprintf("%+.0f%%", 100*(res.MissRate()-unlimited)/unlimited)
+			}
+			tb.Rowf(name, labels[i], pct(res.MissRate()), rel)
+		}
+	}
+	if o.CSV {
+		return tb.CSV(o.Out)
+	}
+	tb.Fprint(o.Out)
+	return nil
+}

@@ -1,0 +1,72 @@
+// Package experiment regenerates the paper's tables and figures: Table 1
+// (classification comparison), Table 2 (benchmark characteristics), Fig. 5
+// (miss decomposition vs. block size), Fig. 6 (invalidation schedules at
+// cache and page block sizes), and the §7 large-data-set study. Each driver
+// replays the synthetic benchmark traces of package workload through the
+// classifiers of package core and the protocol simulators of package
+// coherence, and renders the same rows and series the paper reports.
+package experiment
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Options configures the experiment drivers. The zero value is not usable:
+// use Default.
+type Options struct {
+	// Out receives the rendered report.
+	Out io.Writer
+	// CSV emits machine-readable CSV instead of aligned tables (charts
+	// are suppressed).
+	CSV bool
+	// Quick substitutes the small data sets in the heavy experiments
+	// (Table 1 and the §7 study), trading fidelity for seconds-scale
+	// runtime.
+	Quick bool
+	// Workloads overrides each experiment's default workload list.
+	Workloads []string
+	// Protocols overrides the protocol list for Fig. 6 and the §7 study.
+	Protocols []string
+	// Blocks overrides the block-size sweep for Fig. 5.
+	Blocks []int
+}
+
+// Default returns Options writing to out.
+func Default(out io.Writer) Options { return Options{Out: out} }
+
+// Fig5Blocks is the paper's block-size sweep.
+var Fig5Blocks = []int{4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048}
+
+func (o Options) workloads(def []string) []string {
+	if len(o.Workloads) > 0 {
+		return o.Workloads
+	}
+	return def
+}
+
+func (o Options) blocks(def []int) []int {
+	if len(o.Blocks) > 0 {
+		return o.Blocks
+	}
+	return def
+}
+
+// classifyAll drives the three classifiers over one generation of the
+// workload trace in a single pass.
+func classifyAll(w *workload.Workload, g mem.Geometry) (ours core.Counts, eggers, torrellas core.SharingCounts, refs uint64, err error) {
+	oc := core.NewClassifier(w.Procs, g)
+	ec := core.NewEggers(w.Procs, g)
+	tc := core.NewTorrellas(w.Procs, g)
+	if err = trace.Drive(w.Reader(), oc, ec, tc); err != nil {
+		return
+	}
+	return oc.Finish(), ec.Finish(), tc.Finish(), oc.DataRefs(), nil
+}
+
+func pct(v float64) string { return fmt.Sprintf("%.2f", v) }

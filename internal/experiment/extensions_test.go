@@ -1,0 +1,197 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/timing"
+)
+
+func TestTrafficQuick(t *testing.T) {
+	var sb strings.Builder
+	o := Options{Out: &sb, Workloads: []string{"LU32"}}
+	if err := Traffic(o); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"traffic", "WU", "CU", "MIN", "B/ref"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("traffic output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTrafficProtocolFilter(t *testing.T) {
+	var sb strings.Builder
+	o := Options{Out: &sb, Workloads: []string{"LU32"}, Protocols: []string{"MIN", "WU"}}
+	if err := Traffic(o); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "MAX") {
+		t.Error("protocol filter ignored")
+	}
+}
+
+func TestAblationCU(t *testing.T) {
+	var sb strings.Builder
+	o := Options{Out: &sb, Workloads: []string{"LU32"}}
+	if err := AblationCU(o, 64); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Competitive-update", "CU-1", "CU-32", "WU", "MIN", "updates/ref"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablation output missing %q:\n%s", want, out)
+		}
+	}
+	if err := AblationCU(Options{Out: &sb}, 7); err == nil {
+		t.Error("bad block accepted")
+	}
+}
+
+func TestAblationWBWI(t *testing.T) {
+	var sb strings.Builder
+	o := Options{Out: &sb, Workloads: []string{"LU32"}}
+	if err := AblationWBWI(o, 1024); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"invalidation-buffer", "1 words", "unlimited", "vs unlimited", "+0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablation output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAblationSector(t *testing.T) {
+	var sb strings.Builder
+	o := Options{Out: &sb, Workloads: []string{"LU32"}}
+	if err := AblationSector(o, 256); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Coherence-grain", "SEC-4", "SEC-256"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sector ablation missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "SEC-1024") {
+		t.Error("sector larger than the block was not skipped")
+	}
+}
+
+func TestFiniteSweep(t *testing.T) {
+	var sb strings.Builder
+	o := Options{Out: &sb, Workloads: []string{"LU32"}}
+	if err := FiniteSweep(o, 64, 4); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Finite caches", "infinite", "2KB", "repl%", "essential frac"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("finite output missing %q:\n%s", want, out)
+		}
+	}
+	if err := FiniteSweep(Options{Out: &sb}, 64, 0); err == nil {
+		t.Error("bad associativity accepted")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	var sb strings.Builder
+	o := Options{Out: &sb, Workloads: []string{"LU32"}}
+	if err := Compare(o, 64); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Joint classification", "ours \\ eggers", "ours \\ torrellas", "agreement", "Torrellas calls FSM or CM"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("compare output missing %q:\n%s", want, out)
+		}
+	}
+	if err := Compare(Options{Out: &sb}, 3); err == nil {
+		t.Error("bad block accepted")
+	}
+}
+
+func TestHotspots(t *testing.T) {
+	var sb strings.Builder
+	o := Options{Out: &sb, Workloads: []string{"LU32"}}
+	if err := Hotspots(o, 8); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Miss attribution", "matrix", "barrier", "share of PFS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("hotspots output missing %q:\n%s", want, out)
+		}
+	}
+	// The paper's claim: LU's small-block false sharing is entirely the
+	// barrier's counter/flag adjacency.
+	if !strings.Contains(out, "100%") {
+		t.Errorf("LU 8-byte false sharing should be all barrier:\n%s", out)
+	}
+	if err := Hotspots(Options{Out: &sb}, 3); err == nil {
+		t.Error("bad block accepted")
+	}
+}
+
+func TestPenalty(t *testing.T) {
+	var sb strings.Builder
+	o := Options{Out: &sb, Workloads: []string{"LU32"}, Protocols: []string{"MIN", "OTF"}}
+	if err := Penalty(o, 64, timing.DefaultModel()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Execution-time model", "cycles/ref", "vs MIN", "stall share", "+0.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("penalty output missing %q:\n%s", want, out)
+		}
+	}
+	if err := Penalty(Options{Out: &sb}, 5, timing.DefaultModel()); err == nil {
+		t.Error("bad block accepted")
+	}
+}
+
+func TestPhases(t *testing.T) {
+	var sb strings.Builder
+	o := Options{Out: &sb, Workloads: []string{"LU32"}}
+	if err := Phases(o, 64, 5); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"computation phases", "LU32", "(end)", "miss%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("phases output missing %q:\n%s", want, out)
+		}
+	}
+	if err := Phases(Options{Out: &sb}, 64, 0); err == nil {
+		t.Error("zero buckets accepted")
+	}
+	if err := Phases(Options{Out: &sb}, 5, 3); err == nil {
+		t.Error("bad block accepted")
+	}
+}
+
+func TestExtensionsCSVMode(t *testing.T) {
+	for name, fn := range map[string]func(Options) error{
+		"traffic": Traffic,
+		"cu":      func(o Options) error { return AblationCU(o, 64) },
+		"wbwi":    func(o Options) error { return AblationWBWI(o, 64) },
+		"finite":  func(o Options) error { return FiniteSweep(o, 64, 2) },
+		"compare": func(o Options) error { return Compare(o, 64) },
+		"sector":  func(o Options) error { return AblationSector(o, 64) },
+		"penalty": func(o Options) error { return Penalty(o, 64, timing.DefaultModel()) },
+		"hotspot": func(o Options) error { return Hotspots(o, 64) },
+		"phases":  func(o Options) error { return Phases(o, 64, 4) },
+	} {
+		var sb strings.Builder
+		o := Options{Out: &sb, CSV: true, Workloads: []string{"LU32"}}
+		if err := fn(o); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if !strings.Contains(sb.String(), ",") {
+			t.Errorf("%s: no CSV emitted", name)
+		}
+	}
+}

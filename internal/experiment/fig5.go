@@ -1,0 +1,67 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/report"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Fig5 regenerates the paper's Fig. 5: the decomposition of the miss rate
+// into pure cold (PC), cold-and-true-sharing (CTS), cold-and-false-sharing
+// (CFS), pure true sharing (PTS) and pure false sharing (PFS) misses as a
+// function of the block size, for each small-data-set benchmark.
+func Fig5(o Options) error {
+	names := o.workloads(workload.SmallSet())
+	blocks := o.blocks(Fig5Blocks)
+
+	fmt.Fprintln(o.Out, "Figure 5: miss classification vs. block size (% of data references)")
+	for _, name := range names {
+		w, err := workload.Get(name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(o.Out, "\n%s — %s\n", w.Name, w.Description)
+		tb := report.NewTable("B(bytes)", "PC", "CTS", "CFS", "PTS", "PFS", "essential", "total")
+		chart := &report.BarChart{Unit: "%"}
+		for _, b := range blocks {
+			g, err := mem.NewGeometry(b)
+			if err != nil {
+				return err
+			}
+			c := core.NewClassifier(w.Procs, g)
+			if err := trace.Drive(w.Reader(), c); err != nil {
+				return err
+			}
+			counts := c.Finish()
+			refs := c.DataRefs()
+			tb.Rowf(b,
+				pct(core.Rate(counts.PC, refs)),
+				pct(core.Rate(counts.CTS, refs)),
+				pct(core.Rate(counts.CFS, refs)),
+				pct(core.Rate(counts.PTS, refs)),
+				pct(core.Rate(counts.PFS, refs)),
+				pct(core.Rate(counts.Essential(), refs)),
+				pct(core.Rate(counts.Total(), refs)),
+			)
+			chart.Bar(fmt.Sprintf("B=%d", b),
+				report.Segment{Label: "COLD", Value: core.Rate(counts.Cold(), refs)},
+				report.Segment{Label: "TRUE", Value: core.Rate(counts.PTS, refs)},
+				report.Segment{Label: "FALSE", Value: core.Rate(counts.PFS, refs)},
+			)
+		}
+		if o.CSV {
+			if err := tb.CSV(o.Out); err != nil {
+				return err
+			}
+			continue
+		}
+		tb.Fprint(o.Out)
+		fmt.Fprintln(o.Out)
+		chart.Fprint(o.Out)
+	}
+	return nil
+}

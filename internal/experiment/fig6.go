@@ -1,0 +1,98 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/coherence"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/report"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Fig6 regenerates one panel of the paper's Fig. 6: the effect of the
+// invalidation schedule on the miss rate at the given block size (64 bytes
+// for cache-based systems in Fig. 6a, 1024 bytes for virtual shared memory
+// in Fig. 6b). For each benchmark every protocol runs over the same trace
+// in a single pass; OTF, RD, SD and SRD are decomposed into TRUE/COLD/FALSE
+// like the paper's stacked bars, while MIN (no false sharing by
+// construction), WBWI and MAX are shown as totals.
+func Fig6(o Options, blockBytes int) error {
+	g, err := mem.NewGeometry(blockBytes)
+	if err != nil {
+		return err
+	}
+	names := o.workloads(workload.SmallSet())
+	protos := o.Protocols
+	if len(protos) == 0 {
+		protos = coherence.Protocols
+	}
+
+	fmt.Fprintf(o.Out, "Figure 6 (B=%d bytes): effect of invalidation scheduling on the miss rate\n", blockBytes)
+	for _, name := range names {
+		w, err := workload.Get(name)
+		if err != nil {
+			return err
+		}
+		results, err := runProtocols(w, g, protos)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(o.Out, "\n%s\n", w.Name)
+		tb := report.NewTable("protocol", "miss%", "TRUE%", "COLD%", "FALSE%", "invalidations", "upgrades")
+		chart := &report.BarChart{Unit: "%"}
+		for _, res := range results {
+			c := res.Counts
+			tb.Rowf(res.Protocol,
+				pct(res.MissRate()),
+				pct(core.Rate(c.PTS, res.DataRefs)),
+				pct(core.Rate(c.Cold(), res.DataRefs)),
+				pct(core.Rate(c.PFS, res.DataRefs)),
+				res.Invalidations, res.Upgrades)
+			switch res.Protocol {
+			case "MIN", "WBWI", "MAX": // totals only, like the paper
+				chart.Bar(res.Protocol,
+					report.Segment{Label: "TOTAL", Value: res.MissRate()})
+			default:
+				chart.Bar(res.Protocol,
+					report.Segment{Label: "TRUE", Value: core.Rate(c.PTS, res.DataRefs)},
+					report.Segment{Label: "COLD", Value: core.Rate(c.Cold(), res.DataRefs)},
+					report.Segment{Label: "FALSE", Value: core.Rate(c.PFS, res.DataRefs)})
+			}
+		}
+		if o.CSV {
+			if err := tb.CSV(o.Out); err != nil {
+				return err
+			}
+			continue
+		}
+		tb.Fprint(o.Out)
+		fmt.Fprintln(o.Out)
+		chart.Fprint(o.Out)
+	}
+	return nil
+}
+
+// runProtocols replays one generation of the workload trace through all the
+// named protocols simultaneously.
+func runProtocols(w *workload.Workload, g mem.Geometry, protos []string) ([]coherence.Result, error) {
+	sims := make([]coherence.Simulator, len(protos))
+	consumers := make([]trace.Consumer, len(protos))
+	for i, name := range protos {
+		sim, err := coherence.New(name, w.Procs, g)
+		if err != nil {
+			return nil, err
+		}
+		sims[i] = sim
+		consumers[i] = sim
+	}
+	if err := trace.Drive(w.Reader(), consumers...); err != nil {
+		return nil, err
+	}
+	results := make([]coherence.Result, len(sims))
+	for i, sim := range sims {
+		results[i] = sim.Finish()
+	}
+	return results, nil
+}

@@ -1,0 +1,74 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/coherence"
+	"repro/internal/mem"
+	"repro/internal/report"
+	"repro/internal/timing"
+	"repro/internal/workload"
+)
+
+// Penalty models each invalidation schedule's execution time under a blocking
+// memory system, turning the miss-rate differences of Fig. 6 into the
+// bottom-line metric the paper's introduction motivates: processor blocking
+// ("the penalty of the request"). The report shows parallel cycles per
+// reference, the slowdown versus the essential schedule (MIN), and the
+// fraction of processor time lost to miss stalls.
+func Penalty(o Options, blockBytes int, m timing.Model) error {
+	g, err := mem.NewGeometry(blockBytes)
+	if err != nil {
+		return err
+	}
+	names := o.workloads(workload.SmallSet())
+	protos := o.Protocols
+	if len(protos) == 0 {
+		protos = coherence.Protocols
+	}
+
+	fmt.Fprintf(o.Out, "Execution-time model (B=%d bytes, %d-cycle miss penalty)\n\n",
+		blockBytes, m.MissPenalty)
+	tb := report.NewTable("workload", "protocol", "cycles/ref", "vs MIN", "miss%", "stall share")
+	for _, name := range names {
+		w, err := workload.Get(name)
+		if err != nil {
+			return err
+		}
+		var minCycles uint64
+		results := make([]timing.Times, 0, len(protos))
+		for _, proto := range protos {
+			times, err := timing.Run(proto, w.Reader(), g, m)
+			if err != nil {
+				return err
+			}
+			if proto == "MIN" {
+				minCycles = times.Cycles
+			}
+			results = append(results, times)
+		}
+		for _, times := range results {
+			vs := "n/a"
+			if minCycles > 0 {
+				vs = fmt.Sprintf("%+.1f%%", 100*(float64(times.Cycles)/float64(minCycles)-1))
+			}
+			stallShare := 0.0
+			if times.BusyCycles > 0 {
+				stallShare = float64(times.StallCycles) / float64(times.BusyCycles)
+			}
+			tb.Rowf(name, times.Protocol,
+				fmt.Sprintf("%.2f", times.CyclesPerRef()),
+				vs,
+				pct(times.Result.MissRate()),
+				fmt.Sprintf("%.0f%%", 100*stallShare))
+		}
+	}
+	if o.CSV {
+		return tb.CSV(o.Out)
+	}
+	tb.Fprint(o.Out)
+	fmt.Fprintln(o.Out)
+	fmt.Fprintln(o.Out, "Useless misses translate directly into stall time: the gap between a")
+	fmt.Fprintln(o.Out, "schedule and MIN is the execution time the eliminated misses would cost.")
+	return nil
+}

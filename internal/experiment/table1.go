@@ -1,0 +1,83 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+// table1Paper holds the counts the paper's Table 1 reports, for side-by-side
+// comparison: misses by classification scheme for the large data sets at
+// 32- and 1024-byte blocks.
+var table1Paper = map[string]map[int][3][3]uint64{
+	// [scheme: ours, eggers, torrellas] x [true, cold, false]
+	"LU200": {
+		32:   {{5769, 110955, 11839}, {2845, 110955, 14763}, {597, 113812, 14154}},
+		1024: {{7941, 5545, 79882}, {2558, 5545, 85265}, {183, 9827, 83358}},
+	},
+	"MP3D10000": {
+		32:   {{188120, 46242, 31206}, {178206, 46242, 41120}, {177272, 52264, 36032}},
+		1024: {{82125, 4058, 266245}, {67447, 4058, 280923}, {112562, 26011, 213855}},
+	},
+}
+
+// Table1 regenerates the paper's Table 1: the number of true-sharing, cold
+// and false-sharing misses under the three classifications, for the large
+// data sets at block sizes of 32 and 1024 bytes. With Quick, the small data
+// sets are used instead (and no paper reference column is available).
+func Table1(o Options) error {
+	defaults := []string{"LU200", "MP3D10000"}
+	if o.Quick {
+		defaults = []string{"LU32", "MP3D1000"}
+	}
+	names := o.workloads(defaults)
+	blocks := o.blocks([]int{32, 1024})
+
+	fmt.Fprintln(o.Out, "Table 1: miss counts under the three classifications")
+	fmt.Fprintln(o.Out)
+	tb := report.NewTable("workload", "B", "class", "scheme", "misses", "paper")
+	for _, name := range names {
+		w, err := workload.Get(name)
+		if err != nil {
+			return err
+		}
+		for _, b := range blocks {
+			g, err := mem.NewGeometry(b)
+			if err != nil {
+				return err
+			}
+			ours, eggers, torr, _, err := classifyAll(w, g)
+			if err != nil {
+				return err
+			}
+			schemes := [3]struct {
+				name string
+				c    [3]uint64 // true, cold, false
+			}{
+				{"ours", [3]uint64{ours.PTS, ours.Cold(), ours.PFS}},
+				{"eggers", [3]uint64{eggers.True, eggers.Cold, eggers.False}},
+				{"torrellas", [3]uint64{torr.True, torr.Cold, torr.False}},
+			}
+			classes := [3]string{"TS", "COLD", "FS"}
+			for ci, class := range classes {
+				for si, s := range schemes {
+					paper := ""
+					if ref, ok := table1Paper[name][b]; ok {
+						paper = fmt.Sprint(ref[si][ci])
+					}
+					tb.Rowf(name, b, class, s.name, s.c[ci], paper)
+				}
+			}
+		}
+	}
+	if o.CSV {
+		return tb.CSV(o.Out)
+	}
+	tb.Fprint(o.Out)
+	fmt.Fprintln(o.Out)
+	fmt.Fprintln(o.Out, "Eggers' scheme can only under-count true sharing relative to ours;")
+	fmt.Fprintln(o.Out, "Torrellas' counts many sharing misses as cold (word-grain first touch).")
+	return nil
+}

@@ -1,0 +1,82 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/coherence"
+	"repro/internal/mem"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+// Message-size model for the traffic study, in bytes. Addresses are 32-bit
+// like the paper's machines; a data word is 4 bytes; a block fetch moves
+// the block plus its address.
+const (
+	invalidationMsgBytes = 8  // address + header
+	wordMsgBytes         = 12 // address + one word + header (write-through, update)
+)
+
+// fetchBytes is the traffic of one block fetch.
+func fetchBytes(g mem.Geometry) uint64 { return uint64(g.BlockBytes()) + 8 }
+
+// TrafficOf converts a protocol result into total traffic in bytes under
+// the message-size model: block fetches for every miss, invalidation
+// messages, write-throughs and updates.
+func TrafficOf(res coherence.Result, g mem.Geometry) uint64 {
+	return res.Misses*fetchBytes(g) +
+		res.Invalidations*invalidationMsgBytes +
+		(res.WriteThroughs+res.Updates)*wordMsgBytes
+}
+
+// Traffic regenerates the §8 traffic remark with numbers: per workload,
+// block size and schedule (including the WU/CU extensions), the miss rate
+// and the memory traffic per data reference. The paper's observations to
+// check: protocols with reduced miss rates also reduce miss traffic, the
+// traffic is very high for large blocks, and update-based protocols trade
+// fetch traffic for update traffic.
+func Traffic(o Options) error {
+	names := o.workloads(workload.SmallSet())
+	protos := o.Protocols
+	if len(protos) == 0 {
+		protos = append(append([]string{}, coherence.Protocols...), coherence.ExtensionProtocols...)
+	}
+
+	fmt.Fprintln(o.Out, "Memory traffic by invalidation schedule (bytes per data reference)")
+	fmt.Fprintln(o.Out)
+	tb := report.NewTable("workload", "B", "protocol", "miss%", "fetch B/ref", "msg B/ref", "total B/ref")
+	for _, name := range names {
+		w, err := workload.Get(name)
+		if err != nil {
+			return err
+		}
+		for _, b := range []int{64, 1024} {
+			g, err := mem.NewGeometry(b)
+			if err != nil {
+				return err
+			}
+			results, err := runProtocols(w, g, protos)
+			if err != nil {
+				return err
+			}
+			for _, res := range results {
+				refs := float64(res.DataRefs)
+				fetch := float64(res.Misses*fetchBytes(g)) / refs
+				msgs := float64(TrafficOf(res, g)-res.Misses*fetchBytes(g)) / refs
+				tb.Rowf(name, b, res.Protocol,
+					pct(res.MissRate()),
+					fmt.Sprintf("%.2f", fetch),
+					fmt.Sprintf("%.2f", msgs),
+					fmt.Sprintf("%.2f", fetch+msgs))
+			}
+		}
+	}
+	if o.CSV {
+		return tb.CSV(o.Out)
+	}
+	tb.Fprint(o.Out)
+	fmt.Fprintln(o.Out)
+	fmt.Fprintln(o.Out, "Paper §8: reduced miss rates reduce miss traffic, but page-sized blocks")
+	fmt.Fprintln(o.Out, "move so much data per miss that update-based protocols become attractive.")
+	return nil
+}

@@ -1,0 +1,186 @@
+// Package finite implements the paper's §8 extension of the classification
+// to finite caches: per-processor set-associative caches whose evictions
+// introduce replacement misses. "A replacement miss is an essential miss
+// since the value is needed to execute the program. Coherence misses can
+// then be classified into PFS and PTS misses according to the algorithm in
+// this paper."
+package finite
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/mem"
+)
+
+// Policy selects a victim within a cache set.
+type Policy uint8
+
+const (
+	// LRU evicts the least recently used way.
+	LRU Policy = iota
+	// FIFO evicts the oldest-filled way, ignoring hits.
+	FIFO
+	// Random evicts a deterministically pseudo-random way.
+	Random
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "LRU"
+	case FIFO:
+		return "FIFO"
+	case Random:
+		return "Random"
+	default:
+		return fmt.Sprintf("Policy(%d)", uint8(p))
+	}
+}
+
+// Cache is one processor's set-associative cache holding block identities
+// (contents are irrelevant for miss classification).
+type Cache struct {
+	geom   mem.Geometry
+	policy Policy
+	assoc  int
+	sets   []cacheSet
+	mask   uint64 // set index mask
+	rng    uint64 // Random policy state
+}
+
+type cacheSet struct {
+	// ways holds block+1 per way (0 = empty), ordered most- to
+	// least-recently used for LRU, newest to oldest for FIFO.
+	ways []uint64
+}
+
+// NewCache returns a cache of the given total capacity and associativity.
+// The capacity must be a power-of-two multiple of assoc*blockBytes.
+func NewCache(capacityBytes, assoc int, g mem.Geometry, policy Policy) (*Cache, error) {
+	if assoc < 1 {
+		return nil, fmt.Errorf("finite: associativity %d < 1", assoc)
+	}
+	setBytes := assoc * g.BlockBytes()
+	if capacityBytes < setBytes || capacityBytes%setBytes != 0 {
+		return nil, fmt.Errorf("finite: capacity %d not a multiple of %d (assoc %d x block %d)",
+			capacityBytes, setBytes, assoc, g.BlockBytes())
+	}
+	nsets := capacityBytes / setBytes
+	if nsets&(nsets-1) != 0 {
+		return nil, fmt.Errorf("finite: %d sets is not a power of two", nsets)
+	}
+	sets := make([]cacheSet, nsets)
+	backing := make([]uint64, nsets*assoc)
+	for i := range sets {
+		sets[i].ways = backing[i*assoc : (i+1)*assoc : (i+1)*assoc]
+	}
+	return &Cache{
+		geom:   g,
+		policy: policy,
+		assoc:  assoc,
+		sets:   sets,
+		mask:   uint64(nsets - 1),
+		rng:    0x2545f4914f6cdd1d,
+	}, nil
+}
+
+// CapacityBytes returns the cache capacity.
+func (c *Cache) CapacityBytes() int { return len(c.sets) * c.assoc * c.geom.BlockBytes() }
+
+func (c *Cache) set(b mem.Block) *cacheSet { return &c.sets[uint64(b)&c.mask] }
+
+// Lookup reports whether b is cached, updating recency on a hit.
+func (c *Cache) Lookup(b mem.Block) bool {
+	s := c.set(b)
+	tag := uint64(b) + 1
+	for i, w := range s.ways {
+		if w != tag {
+			continue
+		}
+		if c.policy == LRU && i > 0 {
+			copy(s.ways[1:i+1], s.ways[:i])
+			s.ways[0] = tag
+		}
+		return true
+	}
+	return false
+}
+
+// Contains reports whether b is cached without touching recency.
+func (c *Cache) Contains(b mem.Block) bool {
+	s := c.set(b)
+	tag := uint64(b) + 1
+	for _, w := range s.ways {
+		if w == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert fills b into its set, evicting the policy's victim if the set is
+// full. It returns the evicted block, if any. Inserting a block that is
+// already present panics: callers must Lookup first.
+func (c *Cache) Insert(b mem.Block) (evicted mem.Block, wasEvicted bool) {
+	s := c.set(b)
+	tag := uint64(b) + 1
+	victim := -1
+	for i, w := range s.ways {
+		if w == tag {
+			panic("finite: Insert of a cached block")
+		}
+		if w == 0 && victim < 0 {
+			victim = i
+		}
+	}
+	if victim < 0 {
+		switch c.policy {
+		case Random:
+			c.rng ^= c.rng << 13
+			c.rng ^= c.rng >> 7
+			c.rng ^= c.rng << 17
+			victim = int(c.rng % uint64(c.assoc))
+		default: // LRU and FIFO both evict the last slot
+			victim = c.assoc - 1
+		}
+		evicted = mem.Block(s.ways[victim] - 1)
+		wasEvicted = true
+	}
+	// Move the victim slot to the front (newest) position.
+	copy(s.ways[1:victim+1], s.ways[:victim])
+	s.ways[0] = tag
+	return evicted, wasEvicted
+}
+
+// Invalidate removes b if present and reports whether it was cached.
+func (c *Cache) Invalidate(b mem.Block) bool {
+	s := c.set(b)
+	tag := uint64(b) + 1
+	for i, w := range s.ways {
+		if w != tag {
+			continue
+		}
+		copy(s.ways[i:], s.ways[i+1:])
+		s.ways[len(s.ways)-1] = 0
+		return true
+	}
+	return false
+}
+
+// Blocks returns the number of blocks currently cached.
+func (c *Cache) Blocks() int {
+	n := 0
+	for _, s := range c.sets {
+		for _, w := range s.ways {
+			if w != 0 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// setsLog2 is used in tests to validate indexing.
+func (c *Cache) setsLog2() int { return bits.TrailingZeros64(c.mask + 1) }

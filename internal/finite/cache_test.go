@@ -1,0 +1,197 @@
+package finite
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+var g32 = mem.MustGeometry(32)
+
+func TestNewCacheValidation(t *testing.T) {
+	cases := []struct {
+		capacity, assoc int
+		ok              bool
+	}{
+		{1024, 4, true},
+		{32, 1, true},
+		{128, 4, true},
+		{0, 1, false},     // too small
+		{1024, 0, false},  // bad assoc
+		{1000, 4, false},  // not a multiple
+		{96 * 4, 4, true}, // 3 sets? 384/128 = 3 sets -> not power of two
+	}
+	for _, c := range cases {
+		cache, err := NewCache(c.capacity, c.assoc, g32, LRU)
+		got := err == nil
+		want := c.ok
+		// The 3-set case must fail the power-of-two check.
+		if c.capacity == 96*4 {
+			want = false
+		}
+		if got != want {
+			t.Errorf("NewCache(%d,%d): err=%v, want ok=%v", c.capacity, c.assoc, err, want)
+		}
+		if err == nil && cache.CapacityBytes() != c.capacity {
+			t.Errorf("capacity = %d, want %d", cache.CapacityBytes(), c.capacity)
+		}
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if LRU.String() != "LRU" || FIFO.String() != "FIFO" || Random.String() != "Random" {
+		t.Error("policy names wrong")
+	}
+	if Policy(9).String() != "Policy(9)" {
+		t.Error("unknown policy name wrong")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 2 sets x 2 ways of 32-byte blocks = 128 bytes. Even blocks map to
+	// set 0, odd to set 1.
+	c, err := NewCache(128, 2, g32, LRU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.setsLog2() != 1 {
+		t.Fatalf("sets = %d, want 2", 1<<c.setsLog2())
+	}
+	mustInsert := func(b mem.Block) (mem.Block, bool) {
+		t.Helper()
+		if c.Lookup(b) {
+			t.Fatalf("block %d unexpectedly cached", b)
+		}
+		return c.Insert(b)
+	}
+	mustInsert(0)     // set 0
+	mustInsert(2)     // set 0
+	if !c.Lookup(0) { // touch 0: now 0 is MRU, 2 is LRU
+		t.Fatal("0 missing")
+	}
+	evicted, ok := mustInsert(4) // set 0 full: evicts 2 (LRU)
+	if !ok || evicted != 2 {
+		t.Errorf("evicted %v/%v, want block 2", evicted, ok)
+	}
+	if !c.Contains(0) || !c.Contains(4) || c.Contains(2) {
+		t.Error("post-eviction contents wrong")
+	}
+	if c.Blocks() != 2 {
+		t.Errorf("Blocks = %d", c.Blocks())
+	}
+}
+
+func TestFIFOEvictionIgnoresHits(t *testing.T) {
+	c, err := NewCache(64, 2, g32, FIFO) // 1 set, 2 ways
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Insert(10)
+	c.Insert(20)
+	c.Lookup(10) // a hit must not refresh FIFO order
+	evicted, ok := c.Insert(30)
+	if !ok || evicted != 10 {
+		t.Errorf("FIFO evicted %v/%v, want the oldest block 10", evicted, ok)
+	}
+}
+
+func TestRandomEvictionDeterministic(t *testing.T) {
+	run := func() []mem.Block {
+		c, err := NewCache(128, 4, g32, Random) // 1 set? 128/(4*32)=1 set
+		if err != nil {
+			t.Fatal(err)
+		}
+		var evictions []mem.Block
+		for b := mem.Block(0); b < 64; b++ {
+			if c.Lookup(b) {
+				continue
+			}
+			if e, ok := c.Insert(b); ok {
+				evictions = append(evictions, e)
+			}
+		}
+		return evictions
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("no evictions")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Random policy is not deterministic")
+		}
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c, err := NewCache(128, 2, g32, LRU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Insert(0)
+	c.Insert(2)
+	if !c.Invalidate(0) {
+		t.Error("Invalidate missed a cached block")
+	}
+	if c.Invalidate(0) {
+		t.Error("Invalidate hit an uncached block")
+	}
+	if c.Contains(0) || !c.Contains(2) {
+		t.Error("contents after invalidate wrong")
+	}
+	// The freed way is reused without eviction.
+	if _, ok := c.Insert(4); ok {
+		t.Error("insert into freed way evicted")
+	}
+}
+
+func TestInsertCachedPanics(t *testing.T) {
+	c, err := NewCache(128, 2, g32, LRU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Insert(0)
+	defer func() {
+		if recover() == nil {
+			t.Error("double insert did not panic")
+		}
+	}()
+	c.Insert(0)
+}
+
+// A cache never holds more blocks than its capacity, and lookups after
+// insert always hit until eviction or invalidation.
+func TestCacheInvariants(t *testing.T) {
+	f := func(ops []uint16) bool {
+		c, err := NewCache(256, 2, g32, LRU)
+		if err != nil {
+			return false
+		}
+		maxBlocks := 256 / 32
+		for _, op := range ops {
+			b := mem.Block(op % 64)
+			switch op % 3 {
+			case 0, 1:
+				if !c.Lookup(b) {
+					c.Insert(b)
+				}
+				if !c.Contains(b) {
+					return false
+				}
+			case 2:
+				c.Invalidate(b)
+				if c.Contains(b) {
+					return false
+				}
+			}
+			if c.Blocks() > maxBlocks {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

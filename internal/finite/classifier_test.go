@@ -1,0 +1,184 @@
+package finite
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+func classifyFinite(t *testing.T, tr *trace.Trace, g mem.Geometry, cfg Config) core.Counts {
+	t.Helper()
+	counts, _, err := Classify(tr.Reader(), g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return counts
+}
+
+func TestReplacementMissDetected(t *testing.T) {
+	g := mem.MustGeometry(32)
+	// One processor, a cache of exactly one 32-byte block: touching a
+	// second block evicts the first, and returning to it is a
+	// replacement miss.
+	tr := trace.New(1,
+		trace.L(0, 0), // cold (block 0)
+		trace.L(0, 8), // cold (block 1), evicts block 0
+		trace.L(0, 0), // replacement miss, evicts block 1
+		trace.L(0, 8), // replacement miss
+	)
+	counts := classifyFinite(t, tr, g, Config{CapacityBytes: 32, Assoc: 1})
+	want := core.Counts{PC: 2, Repl: 2}
+	if counts != want {
+		t.Errorf("got %+v, want %+v", counts, want)
+	}
+	if counts.Essential() != 4 || counts.Total() != 4 {
+		t.Errorf("replacement misses must be essential: %+v", counts)
+	}
+}
+
+func TestInvalidationAfterEvictionIsCoherenceMiss(t *testing.T) {
+	g := mem.MustGeometry(8)
+	// P0's copy of block 0 is evicted, then P1 modifies word 0. P0's
+	// re-miss reads the new value: a PTS miss, not a replacement miss
+	// (an infinite cache would miss here too).
+	tr := trace.New(2,
+		trace.L(0, 0),  // P0 cold (block 0)
+		trace.L(0, 16), // P0 cold (block 8, same set), evicts block 0
+		trace.S(1, 0),  // P1 cold store; P0 holds nothing to invalidate
+		trace.L(0, 0),  // P0 misses; new value -> PTS
+	)
+	counts := classifyFinite(t, tr, g, Config{CapacityBytes: 8, Assoc: 1})
+	if counts.Repl != 0 {
+		t.Errorf("eviction+invalidation misclassified as replacement: %+v", counts)
+	}
+	if counts.PTS != 1 {
+		t.Errorf("expected one PTS miss: %+v", counts)
+	}
+}
+
+func TestEvictionWithoutModificationIsReplacement(t *testing.T) {
+	g := mem.MustGeometry(8)
+	tr := trace.New(2,
+		trace.L(0, 0),
+		trace.L(1, 0),  // P1 shares the block
+		trace.L(0, 16), // evicts P0's copy (same set, one-way cache)
+		trace.L(0, 0),  // P0 replacement miss (value unchanged)
+	)
+	counts := classifyFinite(t, tr, g, Config{CapacityBytes: 8, Assoc: 1})
+	if counts.Repl != 1 {
+		t.Errorf("expected one replacement miss: %+v", counts)
+	}
+}
+
+// With a cache large enough to hold the whole footprint, the finite
+// classification must degenerate to the infinite-cache classification.
+func TestLargeCacheMatchesInfinite(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := trace.New(4)
+		for i := 0; i < 500; i++ {
+			p := rng.Intn(4)
+			a := mem.Addr(rng.Intn(64))
+			if rng.Intn(3) == 0 {
+				tr.Append(trace.S(p, a))
+			} else {
+				tr.Append(trace.L(p, a))
+			}
+		}
+		for _, b := range []int{8, 32} {
+			g := mem.MustGeometry(b)
+			finite, _, err := Classify(tr.Reader(), g, Config{CapacityBytes: 1 << 16, Assoc: 4})
+			if err != nil {
+				return false
+			}
+			infinite, _, err := core.Classify(tr.Reader(), g)
+			if err != nil {
+				return false
+			}
+			if finite != infinite {
+				t.Logf("B=%d: finite %+v != infinite %+v", b, finite, infinite)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Shrinking the cache can only move misses toward more essential misses:
+// total misses grow, and the §8 expectation holds — the essential fraction
+// increases as the cache shrinks.
+func TestSmallerCachesRaiseEssentialFraction(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tr := trace.New(4)
+	for i := 0; i < 20000; i++ {
+		p := rng.Intn(4)
+		a := mem.Addr(rng.Intn(2048))
+		if rng.Intn(4) == 0 {
+			tr.Append(trace.S(p, a))
+		} else {
+			tr.Append(trace.L(p, a))
+		}
+	}
+	g := mem.MustGeometry(32)
+	var prevTotal uint64
+	var prevFraction float64
+	for i, capacity := range []int{1 << 14, 1 << 12, 1 << 10, 1 << 8} {
+		counts, _, err := Classify(tr.Reader(), g, Config{CapacityBytes: capacity, Assoc: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fraction := float64(counts.Essential()) / float64(counts.Total())
+		if i > 0 {
+			if counts.Total() < prevTotal {
+				t.Errorf("capacity %d: total misses fell from %d to %d",
+					capacity, prevTotal, counts.Total())
+			}
+			if fraction+1e-9 < prevFraction {
+				t.Errorf("capacity %d: essential fraction fell from %.3f to %.3f",
+					capacity, prevFraction, fraction)
+			}
+		}
+		prevTotal, prevFraction = counts.Total(), fraction
+	}
+}
+
+func TestClassifierRejectsBadConfig(t *testing.T) {
+	g := mem.MustGeometry(32)
+	if _, err := NewClassifier(2, g, Config{CapacityBytes: 48, Assoc: 1}); err == nil {
+		t.Error("bad capacity accepted")
+	}
+	if _, _, err := Classify(trace.New(1).Reader(), g, Config{CapacityBytes: 0, Assoc: 1}); err == nil {
+		t.Error("zero capacity accepted")
+	}
+}
+
+func TestPoliciesAllWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := trace.New(2)
+	for i := 0; i < 5000; i++ {
+		tr.Append(trace.L(rng.Intn(2), mem.Addr(rng.Intn(512))))
+	}
+	g := mem.MustGeometry(32)
+	for _, policy := range []Policy{LRU, FIFO, Random} {
+		counts, refs, err := Classify(tr.Reader(), g, Config{CapacityBytes: 512, Assoc: 2, Policy: policy})
+		if err != nil {
+			t.Fatalf("%v: %v", policy, err)
+		}
+		if refs != 5000 {
+			t.Errorf("%v: refs = %d", policy, refs)
+		}
+		if counts.Repl == 0 {
+			t.Errorf("%v: tiny cache produced no replacement misses: %+v", policy, counts)
+		}
+		if counts.PFS != 0 || counts.PTS != 0 {
+			t.Errorf("%v: read-only trace produced sharing misses: %+v", policy, counts)
+		}
+	}
+}

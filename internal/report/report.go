@@ -1,0 +1,188 @@
+// Package report renders the library's experiment results as aligned text
+// tables, CSV, and stacked ASCII bar charts, so that the paper's tables and
+// figures can be regenerated in a terminal.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	headers []string
+	rows    [][]string
+}
+
+// NewTable returns a table with the given column headers.
+func NewTable(headers ...string) *Table {
+	return &Table{headers: headers}
+}
+
+// Row appends a row; missing cells render empty, extra cells are kept.
+func (t *Table) Row(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// Rowf appends a row of formatted cells: each argument is rendered with %v.
+func (t *Table) Rowf(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprint(c)
+	}
+	t.rows = append(t.rows, row)
+}
+
+func (t *Table) widths() []int {
+	w := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		w[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			for i >= len(w) {
+				w = append(w, 0)
+			}
+			if len(cell) > w[i] {
+				w[i] = len(cell)
+			}
+		}
+	}
+	return w
+}
+
+// Fprint writes the table, first column left-aligned and the rest
+// right-aligned (the usual shape for a label column plus numbers).
+func (t *Table) Fprint(out io.Writer) {
+	w := t.widths()
+	line := func(cells []string) {
+		parts := make([]string, len(w))
+		for i := range w {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			if i == 0 {
+				parts[i] = fmt.Sprintf("%-*s", w[i], cell)
+			} else {
+				parts[i] = fmt.Sprintf("%*s", w[i], cell)
+			}
+		}
+		fmt.Fprintln(out, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.headers)
+	rule := make([]string, len(w))
+	for i := range w {
+		rule[i] = strings.Repeat("-", w[i])
+	}
+	line(rule)
+	for _, row := range t.rows {
+		line(row)
+	}
+}
+
+// CSV writes the table as CSV.
+func (t *Table) CSV(out io.Writer) error {
+	cw := csv.NewWriter(out)
+	if err := cw.Write(t.headers); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Segment is one stacked component of a bar.
+type Segment struct {
+	Label string
+	Value float64
+}
+
+// BarChart renders horizontal stacked bars, one per entry, in the style of
+// the paper's Fig. 6: each bar decomposes a miss rate into components.
+type BarChart struct {
+	Title string
+	Unit  string
+	Width int // bar width in characters; default 50
+	bars  []barEntry
+}
+
+type barEntry struct {
+	label    string
+	segments []Segment
+}
+
+// Bar appends a stacked bar.
+func (c *BarChart) Bar(label string, segments ...Segment) {
+	c.bars = append(c.bars, barEntry{label: label, segments: segments})
+}
+
+// segmentRunes distinguish stacked components: cold '#', true '=', false '.'
+// by convention of the callers; unknown labels cycle through the set.
+var segmentRunes = []rune{'#', '=', '.', '%', '+', '~'}
+
+// Fprint renders the chart. Bars are scaled to the largest total.
+func (c *BarChart) Fprint(out io.Writer) {
+	width := c.Width
+	if width <= 0 {
+		width = 50
+	}
+	var max float64
+	labelW := 0
+	for _, b := range c.bars {
+		var total float64
+		for _, s := range b.segments {
+			total += s.Value
+		}
+		if total > max {
+			max = total
+		}
+		if len(b.label) > labelW {
+			labelW = len(b.label)
+		}
+	}
+	if c.Title != "" {
+		fmt.Fprintln(out, c.Title)
+	}
+	if max == 0 {
+		max = 1
+	}
+	legend := map[string]rune{}
+	for _, b := range c.bars {
+		var sb strings.Builder
+		var total float64
+		for _, s := range b.segments {
+			total += s.Value
+			r, ok := legend[s.Label]
+			if !ok {
+				r = segmentRunes[len(legend)%len(segmentRunes)]
+				legend[s.Label] = r
+			}
+			n := int(s.Value/max*float64(width) + 0.5)
+			for i := 0; i < n; i++ {
+				sb.WriteRune(r)
+			}
+		}
+		fmt.Fprintf(out, "  %-*s |%-*s| %6.2f%s\n", labelW, b.label, width, sb.String(), total, c.Unit)
+	}
+	// Legend in first-use order.
+	var parts []string
+	seen := map[string]bool{}
+	for _, b := range c.bars {
+		for _, s := range b.segments {
+			if !seen[s.Label] {
+				seen[s.Label] = true
+				parts = append(parts, fmt.Sprintf("%c %s", legend[s.Label], s.Label))
+			}
+		}
+	}
+	if len(parts) > 0 {
+		fmt.Fprintf(out, "  legend: %s\n", strings.Join(parts, "   "))
+	}
+}

@@ -1,0 +1,97 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.Row("short", "1")
+	tb.Row("a-much-longer-name", "12345")
+	var sb strings.Builder
+	tb.Fprint(&sb)
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected 4 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Errorf("header line %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("rule line %q", lines[1])
+	}
+	// Value column right-aligned: "1" ends at same column as "12345".
+	if len(lines[2]) != len(lines[3]) {
+		t.Errorf("misaligned rows:\n%q\n%q", lines[2], lines[3])
+	}
+}
+
+func TestTableRowf(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.Rowf("x", 3.5)
+	var sb strings.Builder
+	tb.Fprint(&sb)
+	if !strings.Contains(sb.String(), "3.5") {
+		t.Errorf("Rowf did not format: %s", sb.String())
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := NewTable("a")
+	tb.Row("1", "extra")
+	tb.Row()
+	var sb strings.Builder
+	tb.Fprint(&sb) // must not panic
+	if !strings.Contains(sb.String(), "extra") {
+		t.Error("extra cell dropped")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.Row("x", "1")
+	tb.Row("y, z", "2") // needs quoting
+	var sb strings.Builder
+	if err := tb.CSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\nx,1\n\"y, z\",2\n"
+	if sb.String() != want {
+		t.Errorf("CSV = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	c := &BarChart{Title: "test", Unit: "%", Width: 20}
+	c.Bar("full", Segment{"cold", 1}, Segment{"true", 1})
+	c.Bar("half", Segment{"cold", 1})
+	var sb strings.Builder
+	c.Fprint(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "test") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "legend: # cold   = true") {
+		t.Errorf("legend wrong:\n%s", out)
+	}
+	// "full" is the max: 10 chars of '#' and 10 of '='.
+	if !strings.Contains(out, strings.Repeat("#", 10)+strings.Repeat("=", 10)) {
+		t.Errorf("full bar wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "2.00%") || !strings.Contains(out, "1.00%") {
+		t.Errorf("totals wrong:\n%s", out)
+	}
+}
+
+func TestBarChartEmptyAndZero(t *testing.T) {
+	c := &BarChart{}
+	var sb strings.Builder
+	c.Fprint(&sb) // no bars: must not panic
+	c.Bar("zero", Segment{"cold", 0})
+	c.Fprint(&sb)
+	if !strings.Contains(sb.String(), "0.00") {
+		t.Error("zero bar missing")
+	}
+}

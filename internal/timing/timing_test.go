@@ -1,0 +1,121 @@
+package timing
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+var g8 = mem.MustGeometry(8)
+
+func TestRunChargesMisses(t *testing.T) {
+	// One processor, three references to one block: one miss + two hits.
+	tr := trace.New(1, trace.L(0, 0), trace.L(0, 0), trace.L(0, 1))
+	m := Model{RefCycles: 1, MissPenalty: 10}
+	times, err := Run("OTF", tr.Reader(), g8, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if times.Cycles != 3+10 {
+		t.Errorf("cycles = %d, want 13", times.Cycles)
+	}
+	if times.StallCycles != 10 {
+		t.Errorf("stall = %d, want 10", times.StallCycles)
+	}
+	if times.CyclesPerRef() != 13.0/3 {
+		t.Errorf("cycles/ref = %v", times.CyclesPerRef())
+	}
+}
+
+func TestRunBarrierAligns(t *testing.T) {
+	// Proc 0 does 3 refs, proc 1 does 1 ref, then a barrier, then both do
+	// 1 more ref: parallel time = 3 (barrier) + 1 = 4 plus penalties.
+	tr := trace.New(2,
+		trace.L(0, 0), trace.L(0, 0), trace.L(0, 0),
+		trace.L(1, 8),
+		trace.P(),
+		trace.L(0, 0), trace.L(1, 8),
+	)
+	m := Model{RefCycles: 1} // no penalties: pure reference counting
+	times, err := Run("OTF", tr.Reader(), g8, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if times.Cycles != 4 {
+		t.Errorf("cycles = %d, want 4 (barrier alignment)", times.Cycles)
+	}
+	// Utilization: busy after alignment = 4+4 over 2*4.
+	if u := times.Utilization(); u != 1.0 {
+		t.Errorf("utilization = %v, want 1.0 (aligned clocks count as busy)", u)
+	}
+}
+
+func TestRunSyncCost(t *testing.T) {
+	tr := trace.New(1, trace.A(0, 5), trace.R(0, 5))
+	m := Model{RefCycles: 1, SyncCycles: 7}
+	times, err := Run("RD", tr.Reader(), g8, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if times.Cycles != 14 {
+		t.Errorf("cycles = %d, want 14", times.Cycles)
+	}
+}
+
+func TestRunUpgradePenalty(t *testing.T) {
+	// P0 cold store (miss), P1 load (miss), P0 store to shared copy:
+	// an upgrade.
+	tr := trace.New(2, trace.S(0, 0), trace.L(1, 0), trace.S(0, 0))
+	base := Model{RefCycles: 1}
+	noUp, err := Run("OTF", tr.Reader(), g8, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.UpgradePenalty = 5
+	withUp, err := Run("OTF", tr.Reader(), g8, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withUp.BusyCycles != noUp.BusyCycles+5 {
+		t.Errorf("upgrade penalty not charged: %d vs %d", withUp.BusyCycles, noUp.BusyCycles)
+	}
+}
+
+func TestRunUnknownProtocol(t *testing.T) {
+	if _, err := Run("XYZ", trace.New(1).Reader(), g8, DefaultModel()); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+}
+
+// Fewer misses must never model as more execution time under equal loads:
+// MIN's time is at most OTF's on every workload-like trace.
+func TestFewerMissesFasterExecution(t *testing.T) {
+	tr := trace.New(2)
+	// A false-sharing ping-pong where MIN removes all the useless misses.
+	for i := 0; i < 200; i++ {
+		tr.Append(trace.S(0, 0), trace.S(1, 1))
+	}
+	m := DefaultModel()
+	min, err := Run("MIN", tr.Reader(), g8, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	otf, err := Run("OTF", tr.Reader(), g8, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min.Cycles >= otf.Cycles {
+		t.Errorf("MIN %d cycles should beat OTF %d", min.Cycles, otf.Cycles)
+	}
+	if min.Result.Misses >= otf.Result.Misses {
+		t.Errorf("miss counts inverted: %d vs %d", min.Result.Misses, otf.Result.Misses)
+	}
+}
+
+func TestTimesZeroValues(t *testing.T) {
+	var zero Times
+	if zero.Utilization() != 0 || zero.CyclesPerRef() != 0 {
+		t.Error("zero Times should report zeros")
+	}
+}

@@ -1,0 +1,143 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/mem"
+)
+
+// Binary trace format:
+//
+//	magic "UMTR" | version byte (1) | uvarint numProcs |
+//	records: kind byte | uvarint proc | uvarint addr
+//
+// The stream ends at EOF; there is no length field so traces can be written
+// incrementally by generators.
+
+var binaryMagic = [4]byte{'U', 'M', 'T', 'R'}
+
+const binaryVersion = 1
+
+// Encoder writes references to an underlying writer in the binary format.
+type Encoder struct {
+	w   *bufio.Writer
+	buf []byte
+}
+
+// NewEncoder writes the binary header for a trace of procs processors and
+// returns an Encoder.
+func NewEncoder(w io.Writer, procs int) (*Encoder, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return nil, err
+	}
+	if err := bw.WriteByte(binaryVersion); err != nil {
+		return nil, err
+	}
+	var hdr []byte
+	hdr = binary.AppendUvarint(hdr, uint64(procs))
+	if _, err := bw.Write(hdr); err != nil {
+		return nil, err
+	}
+	return &Encoder{w: bw, buf: make([]byte, 0, 2*binary.MaxVarintLen64+1)}, nil
+}
+
+// Encode writes one reference.
+func (e *Encoder) Encode(r Ref) error {
+	e.buf = e.buf[:0]
+	e.buf = append(e.buf, byte(r.Kind))
+	e.buf = binary.AppendUvarint(e.buf, uint64(r.Proc))
+	e.buf = binary.AppendUvarint(e.buf, uint64(r.Addr))
+	_, err := e.w.Write(e.buf)
+	return err
+}
+
+// Flush flushes buffered output to the underlying writer.
+func (e *Encoder) Flush() error { return e.w.Flush() }
+
+// WriteBinary encodes all references from r to w and closes r.
+func WriteBinary(w io.Writer, r Reader) error {
+	enc, err := NewEncoder(w, r.NumProcs())
+	if err != nil {
+		return err
+	}
+	defer CloseReader(r) //nolint:errcheck // best-effort close after drain
+	for {
+		ref, err := r.Next()
+		if err == io.EOF {
+			return enc.Flush()
+		}
+		if err != nil {
+			return err
+		}
+		if err := enc.Encode(ref); err != nil {
+			return err
+		}
+	}
+}
+
+// Decoder reads references in the binary format. It implements Reader.
+type Decoder struct {
+	r     *bufio.Reader
+	procs int
+}
+
+// NewDecoder validates the binary header and returns a streaming Decoder.
+func NewDecoder(r io.Reader) (*Decoder, error) {
+	br := bufio.NewReader(r)
+	var magic [5]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if [4]byte(magic[:4]) != binaryMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic[:4])
+	}
+	if magic[4] != binaryVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", magic[4])
+	}
+	procs, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading processor count: %w", err)
+	}
+	if procs == 0 || procs > 1<<16 {
+		return nil, fmt.Errorf("trace: implausible processor count %d", procs)
+	}
+	return &Decoder{r: br, procs: int(procs)}, nil
+}
+
+// NumProcs implements Reader.
+func (d *Decoder) NumProcs() int { return d.procs }
+
+// Next implements Reader.
+func (d *Decoder) Next() (Ref, error) {
+	kind, err := d.r.ReadByte()
+	if err != nil {
+		return Ref{}, err // io.EOF at a record boundary is clean EOF
+	}
+	k := Kind(kind)
+	if !k.Valid() {
+		return Ref{}, fmt.Errorf("trace: invalid kind byte %d", kind)
+	}
+	proc, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		return Ref{}, truncated(err)
+	}
+	if proc >= uint64(d.procs) {
+		return Ref{}, fmt.Errorf("trace: proc %d out of range [0,%d)", proc, d.procs)
+	}
+	addr, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		return Ref{}, truncated(err)
+	}
+	return Ref{Kind: k, Proc: uint16(proc), Addr: mem.Addr(addr)}, nil
+}
+
+func truncated(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}

@@ -1,0 +1,207 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	tr := New(16,
+		L(0, 0), S(15, 1<<40), A(7, 12345), R(7, 12345), P(), L(3, 77),
+	)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr.Reader()); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewDecoder(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Procs != 16 {
+		t.Errorf("procs = %d, want 16", got.Procs)
+	}
+	if !reflect.DeepEqual(got.Refs, tr.Refs) {
+		t.Errorf("round trip mismatch:\n got %v\nwant %v", got.Refs, tr.Refs)
+	}
+}
+
+func TestBinaryRoundTripQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomTrace(rng, 8, 500)
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, tr.Reader()); err != nil {
+			return false
+		}
+		dec, err := NewDecoder(&buf)
+		if err != nil {
+			return false
+		}
+		got, err := Collect(dec)
+		if err != nil {
+			return false
+		}
+		return got.Procs == tr.Procs && reflect.DeepEqual(got.Refs, tr.Refs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinaryEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, New(4).Reader()); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewDecoder(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.NumProcs() != 4 {
+		t.Errorf("procs = %d", dec.NumProcs())
+	}
+	if _, err := dec.Next(); err != io.EOF {
+		t.Errorf("Next on empty trace = %v, want EOF", err)
+	}
+}
+
+func TestDecoderRejectsBadInput(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad magic":   []byte("NOPE\x01\x04"),
+		"bad version": []byte("UMTR\x09\x04"),
+		"zero procs":  []byte("UMTR\x01\x00"),
+	}
+	for name, data := range cases {
+		if _, err := NewDecoder(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: decoder accepted bad input", name)
+		}
+	}
+}
+
+func TestDecoderRejectsBadRecords(t *testing.T) {
+	// Valid header for 2 procs, then a record with kind=200.
+	data := append([]byte("UMTR\x01\x02"), 200, 0, 0)
+	dec, err := NewDecoder(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dec.Next(); err == nil {
+		t.Error("invalid kind accepted")
+	}
+
+	// Out-of-range proc.
+	data = append([]byte("UMTR\x01\x02"), byte(Load), 5, 0)
+	dec, err = NewDecoder(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dec.Next(); err == nil {
+		t.Error("out-of-range proc accepted")
+	}
+
+	// Truncated record: kind byte then EOF.
+	data = append([]byte("UMTR\x01\x02"), byte(Load))
+	dec, err = NewDecoder(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dec.Next(); err != io.ErrUnexpectedEOF {
+		t.Errorf("truncated record error = %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	tr := New(16,
+		L(0, 0), S(15, 99), A(7, 12345), R(7, 12345), P(), L(3, 77),
+	)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, tr.Reader()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Procs != 16 || !reflect.DeepEqual(got.Refs, tr.Refs) {
+		t.Errorf("round trip mismatch:\n got %v\nwant %v", got.Refs, tr.Refs)
+	}
+}
+
+func TestParseTextHandWritten(t *testing.T) {
+	input := `
+# A hand-written trace.
+procs 2
+
+P0 ST 0
+P1 LD 0x10
+PH
+P1 ACQ 64
+P1 REL 64
+`
+	got, err := ParseText(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Ref{S(0, 0), L(1, 16), P(), A(1, 64), R(1, 64)}
+	if !reflect.DeepEqual(got.Refs, want) {
+		t.Errorf("got %v, want %v", got.Refs, want)
+	}
+}
+
+func TestParseTextErrors(t *testing.T) {
+	cases := map[string]string{
+		"no header":      "P0 LD 0\n",
+		"empty":          "",
+		"bad proc count": "procs zero\n",
+		"neg procs":      "procs -1\n",
+		"bad proc":       "procs 2\nP9 LD 0\n",
+		"no P prefix":    "procs 2\nQ0 LD 0\n",
+		"bad kind":       "procs 2\nP0 XX 0\n",
+		"bad addr":       "procs 2\nP0 LD zap\n",
+		"short line":     "procs 2\nP0 LD\n",
+		"phase operand":  "procs 2\nPH 3\n",
+	}
+	for name, input := range cases {
+		if _, err := ParseText(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: accepted %q", name, input)
+		}
+	}
+}
+
+func TestTextBinaryAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tr := randomTrace(rng, 6, 300)
+
+	var tbuf, bbuf bytes.Buffer
+	if err := WriteText(&tbuf, tr.Reader()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinary(&bbuf, tr.Reader()); err != nil {
+		t.Fatal(err)
+	}
+	fromText, err := ParseText(&tbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewDecoder(&bbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromBin, err := Collect(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromText.Refs, fromBin.Refs) {
+		t.Error("text and binary codecs disagree")
+	}
+}

@@ -1,0 +1,166 @@
+package trace
+
+import (
+	"io"
+
+	"repro/internal/mem"
+)
+
+// Stream-manipulation utilities: composable Reader wrappers for slicing,
+// filtering and rewriting traces. All wrappers close their source when
+// closed and propagate NumProcs.
+
+// filterReader applies pred to an underlying stream.
+type filterReader struct {
+	src  Reader
+	pred func(Ref) bool
+}
+
+// Filter returns a Reader passing through only the references for which
+// pred returns true.
+func Filter(src Reader, pred func(Ref) bool) Reader {
+	return &filterReader{src: src, pred: pred}
+}
+
+// ByProc keeps only references (and phase markers) of the given processor.
+func ByProc(src Reader, proc int) Reader {
+	return Filter(src, func(r Ref) bool {
+		return r.Kind == Phase || int(r.Proc) == proc
+	})
+}
+
+// ByKind keeps only references of the given kinds (phase markers are
+// dropped unless listed).
+func ByKind(src Reader, kinds ...Kind) Reader {
+	var keep [numKinds]bool
+	for _, k := range kinds {
+		if k.Valid() {
+			keep[k] = true
+		}
+	}
+	return Filter(src, func(r Ref) bool { return r.Kind.Valid() && keep[r.Kind] })
+}
+
+// ByAddrRange keeps data references touching [start, end) plus all
+// synchronization and phase references.
+func ByAddrRange(src Reader, start, end mem.Addr) Reader {
+	return Filter(src, func(r Ref) bool {
+		if !r.Kind.IsData() {
+			return true
+		}
+		return r.Addr >= start && r.Addr < end
+	})
+}
+
+func (f *filterReader) NumProcs() int { return f.src.NumProcs() }
+
+func (f *filterReader) Next() (Ref, error) {
+	for {
+		r, err := f.src.Next()
+		if err != nil {
+			return Ref{}, err
+		}
+		if f.pred(r) {
+			return r, nil
+		}
+	}
+}
+
+func (f *filterReader) Close() error { return CloseReader(f.src) }
+
+// sliceReaderRange yields references with index in [start, end).
+type sliceRange struct {
+	src        Reader
+	pos        int
+	start, end int
+}
+
+// Slice returns a Reader over the references with index in [start, end) of
+// the source stream. A negative end means "to the end of the stream".
+func Slice(src Reader, start, end int) Reader {
+	return &sliceRange{src: src, start: start, end: end}
+}
+
+func (s *sliceRange) NumProcs() int { return s.src.NumProcs() }
+
+func (s *sliceRange) Next() (Ref, error) {
+	for {
+		if s.end >= 0 && s.pos >= s.end {
+			return Ref{}, io.EOF
+		}
+		r, err := s.src.Next()
+		if err != nil {
+			return Ref{}, err
+		}
+		s.pos++
+		if s.pos > s.start {
+			return r, nil
+		}
+	}
+}
+
+func (s *sliceRange) Close() error { return CloseReader(s.src) }
+
+// remapReader rewrites data addresses.
+type remapReader struct {
+	src Reader
+	fn  func(mem.Addr) mem.Addr
+}
+
+// Remap rewrites the address of every data reference with fn (sync
+// variables and phase markers pass through unchanged). Useful for layout
+// experiments: padding, structure splitting, false-sharing repair.
+func Remap(src Reader, fn func(mem.Addr) mem.Addr) Reader {
+	return &remapReader{src: src, fn: fn}
+}
+
+func (m *remapReader) NumProcs() int { return m.src.NumProcs() }
+
+func (m *remapReader) Next() (Ref, error) {
+	r, err := m.src.Next()
+	if err != nil {
+		return Ref{}, err
+	}
+	if r.Kind.IsData() {
+		r.Addr = m.fn(r.Addr)
+	}
+	return r, nil
+}
+
+func (m *remapReader) Close() error { return CloseReader(m.src) }
+
+// Concat returns a Reader yielding all of a's references followed by all of
+// b's. Both must have the same processor count.
+func Concat(a, b Reader) Reader {
+	return &concatReader{a: a, b: b}
+}
+
+type concatReader struct {
+	a, b  Reader
+	onTwo bool
+}
+
+func (c *concatReader) NumProcs() int { return c.a.NumProcs() }
+
+func (c *concatReader) Next() (Ref, error) {
+	if !c.onTwo {
+		r, err := c.a.Next()
+		if err == nil {
+			return r, nil
+		}
+		if err != io.EOF {
+			return Ref{}, err
+		}
+		c.onTwo = true
+	}
+	return c.b.Next()
+}
+
+func (c *concatReader) Close() error {
+	errA := CloseReader(c.a)
+	errB := CloseReader(c.b)
+	if errA != nil {
+		return errA
+	}
+	return errB
+}

@@ -1,0 +1,169 @@
+package trace
+
+import (
+	"io"
+	"reflect"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func drain(t *testing.T, r Reader) []Ref {
+	t.Helper()
+	tr, err := Collect(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr.Refs
+}
+
+func filterFixture() *Trace {
+	return New(3,
+		L(0, 1), S(1, 2), A(2, 9), R(2, 9), P(),
+		L(2, 3), S(0, 4), L(1, 5),
+	)
+}
+
+func TestFilterPredicate(t *testing.T) {
+	got := drain(t, Filter(filterFixture().Reader(), func(r Ref) bool {
+		return r.Kind == Store
+	}))
+	want := []Ref{S(1, 2), S(0, 4)}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestByProc(t *testing.T) {
+	got := drain(t, ByProc(filterFixture().Reader(), 2))
+	want := []Ref{A(2, 9), R(2, 9), P(), L(2, 3)}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestByKind(t *testing.T) {
+	got := drain(t, ByKind(filterFixture().Reader(), Load))
+	want := []Ref{L(0, 1), L(2, 3), L(1, 5)}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+	// Invalid kinds in the filter list are ignored.
+	if got := drain(t, ByKind(filterFixture().Reader(), Kind(99))); len(got) != 0 {
+		t.Errorf("invalid kind matched: %v", got)
+	}
+}
+
+func TestByAddrRange(t *testing.T) {
+	got := drain(t, ByAddrRange(filterFixture().Reader(), 2, 5))
+	// Data refs in [2,5) plus all sync/phase refs.
+	want := []Ref{S(1, 2), A(2, 9), R(2, 9), P(), L(2, 3), S(0, 4)}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestSlice(t *testing.T) {
+	got := drain(t, Slice(filterFixture().Reader(), 2, 5))
+	want := []Ref{A(2, 9), R(2, 9), P()}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+	// Negative end: to the end of the stream.
+	got = drain(t, Slice(filterFixture().Reader(), 6, -1))
+	want = []Ref{S(0, 4), L(1, 5)}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("open slice: got %v, want %v", got, want)
+	}
+	// Empty slice.
+	if got := drain(t, Slice(filterFixture().Reader(), 3, 3)); len(got) != 0 {
+		t.Errorf("empty slice yielded %v", got)
+	}
+}
+
+func TestRemap(t *testing.T) {
+	got := drain(t, Remap(filterFixture().Reader(), func(a mem.Addr) mem.Addr {
+		return a + 100
+	}))
+	// Data addresses shift; sync addresses stay.
+	if got[0] != L(0, 101) || got[2] != A(2, 9) || got[4] != P() {
+		t.Errorf("remap wrong: %v", got)
+	}
+}
+
+// Remapping every other word apart (padding) removes false sharing: the
+// classic false-sharing repair, done on the trace.
+func TestRemapRepairsFalseSharing(t *testing.T) {
+	tr := New(2)
+	for i := 0; i < 50; i++ {
+		tr.Append(S(0, 0), S(1, 1))
+	}
+	g := mem.MustGeometry(8)
+	classify := func(r Reader) uint64 {
+		c := 0
+		_ = c
+		present := map[mem.Block]uint64{}
+		var misses uint64
+		for {
+			ref, err := r.Next()
+			if err != nil {
+				return misses
+			}
+			b := g.BlockOf(ref.Addr)
+			bit := uint64(1) << ref.Proc
+			if present[b]&bit == 0 {
+				misses++
+			}
+			present[b] = bit
+		}
+	}
+	before := classify(tr.Reader())
+	after := classify(Remap(tr.Reader(), func(a mem.Addr) mem.Addr { return a * 2 }))
+	if after >= before {
+		t.Errorf("padding did not reduce misses: %d -> %d", before, after)
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := New(2, L(0, 1))
+	b := New(2, S(1, 2), P())
+	got := drain(t, Concat(a.Reader(), b.Reader()))
+	want := []Ref{L(0, 1), S(1, 2), P()}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestWrappersPropagateCloseAndProcs(t *testing.T) {
+	gen := func() Reader {
+		return Generate(3, func(e *Emitter) {
+			for i := 0; ; i++ {
+				e.Load(i%3, mem.Addr(i))
+			}
+		})
+	}
+	for name, wrap := range map[string]func(Reader) Reader{
+		"filter": func(r Reader) Reader { return Filter(r, func(Ref) bool { return true }) },
+		"slice":  func(r Reader) Reader { return Slice(r, 0, -1) },
+		"remap":  func(r Reader) Reader { return Remap(r, func(a mem.Addr) mem.Addr { return a }) },
+		"concat": func(r Reader) Reader { return Concat(New(3).Reader(), r) },
+	} {
+		r := wrap(gen())
+		if r.NumProcs() != 3 {
+			t.Errorf("%s: NumProcs = %d", name, r.NumProcs())
+		}
+		if _, err := r.Next(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := CloseReader(r); err != nil {
+			t.Errorf("%s: close: %v", name, err)
+		}
+	}
+}
+
+func TestFilterEOFPropagates(t *testing.T) {
+	r := Filter(New(1).Reader(), func(Ref) bool { return true })
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("err = %v, want EOF", err)
+	}
+}

@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"repro/internal/mem"
+)
+
+// Stats accumulates the per-trace characteristics reported in the paper's
+// Table 2: read/write/synchronization counts, the data-set footprint, and a
+// speedup estimate from a critical-path execution model.
+//
+// The speedup model charges one cycle per reference (the paper's "perfect
+// memory system, single-cycle latencies") and uses the Phase annotations
+// emitted by the workload generators: within a phase processors run in
+// parallel, so the phase costs the maximum per-processor reference count;
+// phases are separated by synchronization, so phase times add up.
+type Stats struct {
+	procs     int
+	Loads     uint64
+	Stores    uint64
+	Acquires  uint64
+	Releases  uint64
+	PerProc   []uint64 // all references per processor
+	critical  uint64   // sum over phases of max per-proc work
+	phaseWork []uint64 // work per proc in the current phase
+	words     map[mem.Addr]struct{}
+}
+
+// NewStats returns a Stats consumer. If trackFootprint is set, every
+// distinct word address is recorded so DataSetBytes can be computed; this
+// costs memory proportional to the footprint.
+func NewStats(procs int, trackFootprint bool) *Stats {
+	s := &Stats{
+		procs:     procs,
+		PerProc:   make([]uint64, procs),
+		phaseWork: make([]uint64, procs),
+	}
+	if trackFootprint {
+		s.words = make(map[mem.Addr]struct{})
+	}
+	return s
+}
+
+// Ref implements Consumer.
+func (s *Stats) Ref(r Ref) {
+	switch r.Kind {
+	case Load:
+		s.Loads++
+	case Store:
+		s.Stores++
+	case Acquire:
+		s.Acquires++
+	case Release:
+		s.Releases++
+	case Phase:
+		s.endPhase()
+		return
+	}
+	s.PerProc[r.Proc]++
+	s.phaseWork[r.Proc]++
+	if s.words != nil && r.Kind.IsData() {
+		s.words[r.Addr] = struct{}{}
+	}
+}
+
+func (s *Stats) endPhase() {
+	var max uint64
+	for p := range s.phaseWork {
+		if s.phaseWork[p] > max {
+			max = s.phaseWork[p]
+		}
+		s.phaseWork[p] = 0
+	}
+	s.critical += max
+}
+
+// DataRefs returns the number of data references observed.
+func (s *Stats) DataRefs() uint64 { return s.Loads + s.Stores }
+
+// SyncRefs returns the number of acquire/release references observed.
+func (s *Stats) SyncRefs() uint64 { return s.Acquires + s.Releases }
+
+// TotalRefs returns all references (the serial execution time of the model).
+func (s *Stats) TotalRefs() uint64 { return s.DataRefs() + s.SyncRefs() }
+
+// DataSetBytes returns the footprint in bytes, or 0 when footprint tracking
+// was disabled.
+func (s *Stats) DataSetBytes() uint64 {
+	return uint64(len(s.words)) * mem.WordBytes
+}
+
+// Speedup returns the modeled speedup: serial reference count over the
+// parallel critical path. Work emitted after the last Phase marker is
+// accounted as a final phase.
+func (s *Stats) Speedup() float64 {
+	critical := s.critical
+	var tail uint64
+	for _, w := range s.phaseWork {
+		if w > tail {
+			tail = w
+		}
+	}
+	critical += tail
+	if critical == 0 {
+		return 0
+	}
+	return float64(s.TotalRefs()) / float64(critical)
+}

@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Reader is a pull-based stream of trace references. Next returns io.EOF
+// when the stream ends. Readers that hold resources also implement io.Closer;
+// use CloseReader to release them.
+type Reader interface {
+	// NumProcs returns the number of processors in the trace. All Proc
+	// fields are smaller than this.
+	NumProcs() int
+	// Next returns the next reference, or io.EOF at end of stream.
+	Next() (Ref, error)
+}
+
+// CloseReader closes r if it implements io.Closer.
+func CloseReader(r Reader) error {
+	if c, ok := r.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+// Trace is an in-memory trace.
+type Trace struct {
+	Procs int
+	Refs  []Ref
+}
+
+// New returns an empty in-memory trace for the given processor count.
+func New(procs int, refs ...Ref) *Trace {
+	return &Trace{Procs: procs, Refs: refs}
+}
+
+// Append adds references to the trace.
+func (t *Trace) Append(refs ...Ref) { t.Refs = append(t.Refs, refs...) }
+
+// Len returns the number of references.
+func (t *Trace) Len() int { return len(t.Refs) }
+
+// DataRefs returns the number of data (load/store) references: the
+// denominator of every miss rate in the paper.
+func (t *Trace) DataRefs() uint64 {
+	var n uint64
+	for _, r := range t.Refs {
+		if r.Kind.IsData() {
+			n++
+		}
+	}
+	return n
+}
+
+// Reader returns a Reader over the trace. Multiple concurrent readers over
+// the same trace are independent.
+func (t *Trace) Reader() Reader {
+	return &sliceReader{procs: t.Procs, refs: t.Refs}
+}
+
+// Validate checks that every reference has a valid kind and an in-range
+// processor id.
+func (t *Trace) Validate() error {
+	if t.Procs <= 0 {
+		return fmt.Errorf("trace: non-positive processor count %d", t.Procs)
+	}
+	for i, r := range t.Refs {
+		if !r.Kind.Valid() {
+			return fmt.Errorf("trace: ref %d: invalid kind %d", i, r.Kind)
+		}
+		if r.Kind != Phase && int(r.Proc) >= t.Procs {
+			return fmt.Errorf("trace: ref %d: proc %d out of range [0,%d)", i, r.Proc, t.Procs)
+		}
+	}
+	return nil
+}
+
+type sliceReader struct {
+	procs int
+	refs  []Ref
+	pos   int
+}
+
+func (r *sliceReader) NumProcs() int { return r.procs }
+
+func (r *sliceReader) Next() (Ref, error) {
+	if r.pos >= len(r.refs) {
+		return Ref{}, io.EOF
+	}
+	ref := r.refs[r.pos]
+	r.pos++
+	return ref, nil
+}
+
+// Collect drains a Reader into an in-memory Trace and closes it.
+func Collect(r Reader) (*Trace, error) {
+	t := New(r.NumProcs())
+	defer CloseReader(r) //nolint:errcheck // best-effort close after drain
+	for {
+		ref, err := r.Next()
+		if err == io.EOF {
+			return t, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		t.Refs = append(t.Refs, ref)
+	}
+}
+
+// Consumer receives each reference of a trace in order. Implemented by the
+// classifiers, the protocol simulators and the statistics collector.
+type Consumer interface {
+	Ref(Ref)
+}
+
+// Drive feeds every reference from r to each consumer, in order, in a single
+// pass, then closes r. It allows one (possibly expensive to regenerate)
+// stream to feed several simulators at once.
+func Drive(r Reader, consumers ...Consumer) error {
+	defer CloseReader(r) //nolint:errcheck // best-effort close after drain
+	for {
+		ref, err := r.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		for _, c := range consumers {
+			c.Ref(ref)
+		}
+	}
+}
+
+// ErrStopped is returned by readers whose generator was closed early.
+var ErrStopped = errors.New("trace: generator stopped")

@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// anlBarrier models the ANL macro package's barrier (§5, §6): a counter and
+// a flag in consecutive memory words, protected by a lock. Every arriving
+// processor locks the barrier, increments the counter and unlocks; the last
+// arrival resets the counter and toggles the flag; the others spin on the
+// flag. The counter/flag adjacency is deliberately preserved — the paper
+// attributes part of the false sharing at 8-byte blocks in every benchmark
+// to exactly this layout.
+type anlBarrier struct {
+	lock  mem.Addr // synchronization variable (acquire/release only)
+	count mem.Addr // data word, incremented by every arrival
+	flag  mem.Addr // data word, adjacent to count, toggled by the last arrival
+}
+
+// newANLBarrier lays the barrier out at the current allocation point: the
+// counter and flag occupy two consecutive words sharing one 8-byte block
+// (the layout §6 blames for barrier-induced false sharing), with the lock
+// word after them.
+func newANLBarrier(l *mem.Layout) anlBarrier {
+	l.Align(8)
+	return anlBarrier{
+		count: l.AllocWords(1),
+		flag:  l.AllocWords(1),
+		lock:  l.AllocWords(1),
+	}
+}
+
+// wait emits one full barrier episode for procs processors and marks the
+// end of the phase. Arrival order is processor index order; processors
+// already inside the barrier spin on the flag between arrivals (so each
+// arrival's counter store costs a spinner a useless miss when counter and
+// flag share a block — the §6 barrier effect); the last arrival toggles the
+// flag and everyone re-reads it.
+func (b anlBarrier) wait(e *trace.Emitter, procs int) {
+	for p := 0; p < procs; p++ {
+		e.Acquire(p, b.lock)
+		e.Load(p, b.count)
+		e.Store(p, b.count)
+		e.Release(p, b.lock)
+		if p > 0 {
+			e.Load(p-1, b.flag) // one spinner re-checks the stale flag
+		}
+	}
+	last := procs - 1
+	e.Load(last, b.count)
+	e.Store(last, b.count) // reset
+	e.Store(last, b.flag)  // toggle: releases the spinners
+	for p := 0; p < procs; p++ {
+		if p == last {
+			continue
+		}
+		// Leaving the barrier is an acquire under release
+		// consistency: delayed protocols drain their invalidation
+		// buffers here, and the re-read observes the toggle.
+		e.Acquire(p, b.flag)
+		e.Load(p, b.flag)
+	}
+	e.Phase()
+}
+
+// lockSet is an array of spin locks, one word each, allocated back to back
+// (as the ANL macros allocate them). The lock words are touched only by
+// acquire/release references: the paper counts lock operations separately
+// from data reads and writes, and its data miss rates exclude them.
+type lockSet struct {
+	base mem.Addr
+	n    int
+}
+
+func newLockSet(l *mem.Layout, n int) lockSet {
+	return lockSet{base: l.AllocWords(n), n: n}
+}
+
+// acquire emits the acquire on lock i by processor p.
+func (s lockSet) acquire(e *trace.Emitter, p, i int) {
+	e.Acquire(p, s.base+mem.Addr(i%s.n))
+}
+
+// release emits the matching release.
+func (s lockSet) release(e *trace.Emitter, p, i int) {
+	e.Release(p, s.base+mem.Addr(i%s.n))
+}

@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// Jacobi models the paper's own JACOBI benchmark (§5, §6): two grid arrays
+// of double-precision numbers updated in turn; a component of one grid is
+// computed from the four neighbors of the same component in the other grid,
+// so the destination grid is write-only within an iteration and the source
+// grid read-only (§5). A barrier (with the ANL counter/flag layout)
+// follows each update; the convergence test reduces per-processor residuals
+// through a shared array and a flag, and the grids switch roles. The
+// processors form a sqrt(P) x sqrt(P) arrangement, each owning a square
+// subgrid.
+//
+// With row-major storage a subgrid row occupies rowElems/sqrt(P) elements
+// (128 bytes for the paper's 64x64 grid on 16 processors). When the block
+// size reaches 256 bytes a block covers two processors' partitions: because
+// the writers make progress concurrently (the interleave grain is a few
+// elements, like a real instruction-interleaved trace), their stores
+// ping-pong the shared destination blocks between them, and the resulting
+// write-allocate lifetimes read nothing another processor wrote — false
+// sharing jumps abruptly, the paper's signature JACOBI feature. Each
+// element is an 8-byte double (two words), which halves the true-sharing
+// component from 4- to 8-byte blocks, the other Fig. 5 feature.
+func Jacobi(dim, iters, procs int) *Workload {
+	side := intSqrt(procs)
+	if side*side != procs || dim%side != 0 {
+		panic(fmt.Sprintf("workload: JACOBI needs a square processor count dividing dim (got procs=%d dim=%d)", procs, dim))
+	}
+	sub := dim / side // subgrid edge length
+	const chunk = 4   // elements per interleave unit
+	layout := mem.NewLayout(0)
+	grids := [2]mem.Addr{
+		layout.AllocWords(dim * dim * 2),
+		layout.AllocWords(dim * dim * 2),
+	}
+	residuals := layout.AllocWords(procs) // per-processor residual, reduced by proc 0
+	convFlag := layout.AllocWords(1)
+	bar := newANLBarrier(layout)
+
+	elem := func(g, i, j int) mem.Addr { return grids[g] + mem.Addr((i*dim+j)*2) }
+	loadD := func(e *trace.Emitter, p int, a mem.Addr) { e.Load(p, a); e.Load(p, a+1) }
+	storeD := func(e *trace.Emitter, p int, a mem.Addr) { e.Store(p, a); e.Store(p, a+1) }
+
+	neighbors := [4][2]int{{-1, 0}, {1, 0}, {0, -1}, {0, 1}}
+	update := func(e *trace.Emitter, p, src, dst, i, j int) {
+		// Two stencil passes over the source (the second models the
+		// residual computation re-reading the inputs), then the pure
+		// write of the destination component.
+		for pass := 0; pass < 2; pass++ {
+			for _, d := range neighbors {
+				ni, nj := i+d[0], j+d[1]
+				if ni < 0 || ni >= dim || nj < 0 || nj >= dim {
+					continue
+				}
+				loadD(e, p, elem(src, ni, nj))
+			}
+		}
+		loadD(e, p, elem(src, i, j)) // old value, for the residual
+		storeD(e, p, elem(dst, i, j))
+	}
+
+	gen := func(e *trace.Emitter) {
+		for it := 0; it < iters; it++ {
+			src, dst := it%2, 1-it%2
+
+			// Update phase; one unit covers `chunk` elements so
+			// that concurrent writers interleave finely.
+			units := make([]unit, procs)
+			perProc := sub * sub / chunk
+			for p := 0; p < procs; p++ {
+				p := p
+				rowBase, colBase := (p/side)*sub, (p%side)*sub
+				units[p] = counter(perProc, func(k int) {
+					first := k * chunk
+					for n := 0; n < chunk; n++ {
+						i := rowBase + (first+n)/sub
+						j := colBase + (first+n)%sub
+						update(e, p, src, dst, i, j)
+					}
+				})
+			}
+			roundRobin(units)
+
+			// Each processor posts its residual; processor 0
+			// reduces them and publishes the convergence decision.
+			for p := 0; p < procs; p++ {
+				e.Store(p, residuals+mem.Addr(p))
+			}
+			bar.wait(e, procs)
+			for p := 0; p < procs; p++ {
+				e.Load(0, residuals+mem.Addr(p))
+			}
+			e.Store(0, convFlag)
+			for p := 1; p < procs; p++ {
+				// Reading the published decision is an acquire.
+				e.Acquire(p, convFlag)
+				e.Load(p, convFlag)
+			}
+			bar.wait(e, procs)
+		}
+	}
+
+	return &Workload{
+		Name: "JACOBI",
+		Description: fmt.Sprintf("Jacobi iteration on two %dx%d double grids, %d iterations, %dx%d subgrid per processor",
+			dim, dim, iters, sub, sub),
+		Procs:     procs,
+		DataBytes: layout.Bytes(),
+		Regions: []Region{
+			{Name: "grid0", Start: grids[0], End: grids[0] + mem.Addr(dim*dim*2)},
+			{Name: "grid1", Start: grids[1], End: grids[1] + mem.Addr(dim*dim*2)},
+			{Name: "residuals", Start: residuals, End: residuals + mem.Addr(procs)},
+			{Name: "convflag", Start: convFlag, End: convFlag + 1},
+			{Name: "barrier", Start: bar.count, End: bar.flag + 1},
+		},
+		gen: gen,
+	}
+}
+
+func intSqrt(n int) int {
+	for s := 1; ; s++ {
+		if s*s >= n {
+			return s
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// LU models the Stanford LU decomposition benchmark (§5, §6): a dense
+// column-major matrix of doubles whose columns are statically assigned to
+// processors in a finely interleaved fashion (column j belongs to processor
+// j mod P). At step k the owner normalizes column k and "produces" it by
+// setting the column's ready flag; every processor then waits for the flag
+// and uses column k to update each of its columns to the right.
+//
+// Columns go through the two-phase life the paper describes: written
+// exclusively by one processor, then read by many (CTS misses at small
+// blocks, §6). The triangular shrinkage of the active column combined with
+// the interleaved assignment produces false sharing already at small block
+// sizes, and the per-column ready flags, allocated back to back, add the
+// fine-grain flag sharing of the pipeline.
+func LU(n, procs int) *Workload {
+	if n < procs {
+		panic(fmt.Sprintf("workload: LU needs n >= %d", procs))
+	}
+	layout := mem.NewLayout(0)
+	matBase := layout.AllocWords(n * n * 2) // column-major doubles
+	flagBase := layout.AllocWords(n)        // per-column ready flags
+	bar := newANLBarrier(layout)            // per-step barrier, SPLASH style
+
+	// elem returns the first word of a(i,j); doubles are two words.
+	elem := func(i, j int) mem.Addr { return matBase + mem.Addr((j*n+i)*2) }
+	flag := func(j int) mem.Addr { return flagBase + mem.Addr(j) }
+
+	loadD := func(e *trace.Emitter, p int, a mem.Addr) { e.Load(p, a); e.Load(p, a+1) }
+	storeD := func(e *trace.Emitter, p int, a mem.Addr) { e.Store(p, a); e.Store(p, a+1) }
+
+	gen := func(e *trace.Emitter) {
+		for k := 0; k < n-1; k++ {
+			owner := k % procs
+
+			// The owner normalizes column k below the diagonal...
+			loadD(e, owner, elem(k, k))
+			for i := k + 1; i < n; i++ {
+				loadD(e, owner, elem(i, k))
+				storeD(e, owner, elem(i, k))
+			}
+			// ... and produces it.
+			e.Store(owner, flag(k))
+			e.Release(owner, flag(k))
+			e.Phase()
+
+			// Consumers wait for column k, then update their columns
+			// to its right. One unit updates one column.
+			units := make([]unit, procs)
+			for p := 0; p < procs; p++ {
+				p := p
+				cols := ownedColumnsAfter(n, procs, p, k)
+				acquired := p == owner // the producer needs no wait
+				units[p] = counter(len(cols), func(c int) {
+					if !acquired {
+						acquired = true
+						// Waiting for the producer: the spin
+						// duration tracks the producer's
+						// column length. These flag reads
+						// dominate LU's reference count at
+						// small n, which is why the paper's
+						// LU32 speedup is only 5.7.
+						for s := 0; s < n-k; s++ {
+							e.Load(p, flag(k))
+						}
+						e.Acquire(p, flag(k))
+						e.Load(p, flag(k)) // observe the flag after the acquire
+					}
+					j := cols[c]
+					loadD(e, p, elem(k, j)) // the multiplier row element
+					for i := k + 1; i < n; i++ {
+						loadD(e, p, elem(i, k))
+						loadD(e, p, elem(i, j))
+						storeD(e, p, elem(i, j))
+					}
+				})
+			}
+			roundRobin(units)
+			// SPLASH LU barriers after every pivot step; beyond the
+			// synchronization itself, the barrier's counter/flag
+			// adjacency injects the fine-grain false sharing the
+			// paper observes in LU at small block sizes.
+			bar.wait(e, procs)
+		}
+	}
+
+	return &Workload{
+		Name: fmt.Sprintf("LU%d", n),
+		Description: fmt.Sprintf("LU decomposition of a dense %dx%d matrix, columns interleaved over %d processors",
+			n, n, procs),
+		Procs:     procs,
+		DataBytes: layout.Bytes(),
+		Regions: []Region{
+			{Name: "matrix", Start: matBase, End: matBase + mem.Addr(n*n*2)},
+			{Name: "flags", Start: flagBase, End: flagBase + mem.Addr(n)},
+			{Name: "barrier", Start: bar.count, End: bar.flag + 1},
+		},
+		gen: gen,
+	}
+}
+
+// ownedColumnsAfter lists processor p's columns with index > k.
+func ownedColumnsAfter(n, procs, p, k int) []int {
+	var cols []int
+	start := p
+	for j := start; j < n; j += procs {
+		if j > k {
+			cols = append(cols, j)
+		}
+	}
+	return cols
+}

@@ -1,0 +1,166 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// MP3D models the SPLASH MP3D particle simulator (§5, §6): particle records
+// of 36 bytes (nine single-precision words) finely interleaved among the
+// processors, space-cell records of 48 bytes shared by all, per-cell locks
+// (the paper's runs have the locking option on), and a barrier per time
+// step. In every step each processor moves its particles — reading and
+// rewriting the particle record and updating the old and new space cell
+// under the cell lock — and every fifth move collides with the adjacent
+// particle, which belongs to a different processor: five words of both
+// particles' records are updated (§6: "during a collision five words (20
+// bytes) of the data structures of the two particles are updated"). A
+// per-step cell sweep adds the per-processor work that is independent of
+// the particle count.
+//
+// The 36-byte particle pitch produces false sharing from 8-byte blocks on,
+// the 48-byte cells from blocks larger than 16 bytes, and the collision
+// region makes the true-sharing component fall steeply up to 32-byte
+// blocks — the three features Fig. 5 shows for MP3D.
+func MP3D(particles, steps, procs int) *Workload {
+	if particles < 2*procs || steps < 1 {
+		panic(fmt.Sprintf("workload: MP3D needs >= %d particles and >= 1 step", 2*procs))
+	}
+	const (
+		particleWords = 9  // 36 bytes
+		cellWords     = 12 // 48 bytes
+		ncells        = 64
+		sweeps        = 3
+	)
+	layout := mem.NewLayout(0)
+	particleBase := layout.AllocWords(particles * particleWords)
+	cellBase := layout.AllocWords(ncells * cellWords)
+	cellLocks := newLockSet(layout, ncells)
+	bar := newANLBarrier(layout)
+
+	particle := func(i, w int) mem.Addr { return particleBase + mem.Addr(i*particleWords+w) }
+	cell := func(c, w int) mem.Addr { return cellBase + mem.Addr(c*cellWords+w) }
+	cellOf := func(i, step int) int { return int(mix(uint64(i)<<20|uint64(step)) % ncells) }
+
+	gen := func(e *trace.Emitter) {
+		for step := 0; step < steps; step++ {
+			// Move phase: each processor moves its own particles.
+			units := make([]unit, procs)
+			for p := 0; p < procs; p++ {
+				p := p
+				mine := ownedCount(particles, procs, p)
+				units[p] = counter(mine, func(k int) {
+					i := k*procs + p // interleaved assignment
+					movePhase(e, p, i, step, particles, particle, cell, cellOf, cellLocks)
+				})
+			}
+			roundRobin(units)
+			bar.wait(e, procs)
+
+			// Cell sweep phase: per-processor work over the whole
+			// cell array, with locked updates of the owned cells.
+			for p := 0; p < procs; p++ {
+				units[p] = counter(sweeps*ncells, func(k int) {
+					c := k % ncells
+					sweepCell(e, p, c, procs, cell, cellLocks)
+				})
+			}
+			roundRobin(units)
+			bar.wait(e, procs)
+		}
+	}
+
+	return &Workload{
+		Name: fmt.Sprintf("MP3D%d", particles),
+		Description: fmt.Sprintf("MP3D: %d particles (36 B, interleaved), %d space cells (48 B), %d steps, cell locking on",
+			particles, ncells, steps),
+		Procs:     procs,
+		DataBytes: layout.Bytes(),
+		Regions: []Region{
+			{Name: "particles", Start: particleBase, End: particleBase + mem.Addr(particles*particleWords)},
+			{Name: "cells", Start: cellBase, End: cellBase + mem.Addr(ncells*cellWords)},
+			{Name: "locks", Start: cellLocks.base, End: cellLocks.base + mem.Addr(cellLocks.n)},
+			{Name: "barrier", Start: bar.count, End: bar.flag + 1},
+		},
+		gen: gen,
+	}
+}
+
+// ownedCount returns how many of n interleaved objects processor p owns.
+func ownedCount(n, procs, p int) int {
+	c := n / procs
+	if p < n%procs {
+		c++
+	}
+	return c
+}
+
+func movePhase(e *trace.Emitter, p, i, step, particles int,
+	particle func(int, int) mem.Addr, cell func(int, int) mem.Addr,
+	cellOf func(int, int) int, locks lockSet) {
+
+	// Read the whole particle record, recompute with the kinematic part,
+	// rewrite position and velocity.
+	for w := 0; w < 9; w++ {
+		e.Load(p, particle(i, w))
+	}
+	for w := 0; w < 6; w++ {
+		e.Load(p, particle(i, w))
+	}
+	for w := 0; w < 6; w++ {
+		e.Store(p, particle(i, w))
+	}
+
+	// Leave the old space cell, enter the new one, both under the cell
+	// lock.
+	for _, c := range [2]int{cellOf(i, step), cellOf(i, step+1)} {
+		locks.acquire(e, p, c)
+		for w := 0; w < 4; w++ {
+			e.Load(p, cell(c, w))
+		}
+		for w := 0; w < 3; w++ {
+			e.Store(p, cell(c, w))
+		}
+		locks.release(e, p, c)
+	}
+
+	// Every fifth move collides with the neighboring particle, owned by
+	// a different processor: five words of both records are updated.
+	if (i+step)%5 == 0 {
+		j := (i + 1) % particles
+		c := cellOf(i, step+1)
+		locks.acquire(e, p, c)
+		for w := 0; w < 5; w++ {
+			e.Load(p, particle(i, w))
+			e.Load(p, particle(j, w))
+		}
+		for w := 0; w < 5; w++ {
+			e.Store(p, particle(i, w))
+			e.Store(p, particle(j, w))
+		}
+		locks.release(e, p, c)
+	}
+}
+
+func sweepCell(e *trace.Emitter, p, c, procs int,
+	cell func(int, int) mem.Addr, locks lockSet) {
+
+	for w := 0; w < 8; w++ {
+		e.Load(p, cell(c, w))
+	}
+	if c%procs != p {
+		return
+	}
+	// Owned cell: locked rewrite of the full record, plus a second
+	// rewrite of the occupancy head.
+	locks.acquire(e, p, c)
+	for w := 0; w < 12; w++ {
+		e.Store(p, cell(c, w))
+	}
+	for w := 0; w < 4; w++ {
+		e.Store(p, cell(c, w))
+	}
+	locks.release(e, p, c)
+}

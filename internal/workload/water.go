@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// Water models the SPLASH WATER N-body molecular dynamics code (§5, §6):
+// molecule records of 680 bytes (170 words) allocated back to back and
+// assigned to processors in a fine interleave, so consecutive molecules
+// belong to different processors. Each time step has an intra-molecular
+// phase (heavy reading and a predictor/corrector rewrite of the owner's own
+// record) and an inter-molecular phase in which every molecule interacts
+// with the following half of the molecules: the pair computation reads both
+// records' position sections several times and accumulates into 72 bytes
+// (eighteen words) of the other molecule's force section under its lock
+// (§6: "a part of the other molecule's data structure, corresponding to
+// nine double words (72 bytes), is modified").
+//
+// The interleave grain is one read or write pass, not a whole interaction,
+// so concurrent force accumulations by other processors land between a
+// reader's passes, like in an instruction-interleaved trace. The 72-byte
+// force region makes the true-sharing component fall quickly up to 128-byte
+// blocks; once blocks approach the 680-byte molecule size they couple
+// different owners' records and the false-sharing component grows — the
+// WATER features of Fig. 5.
+func Water(molecules, steps, procs int) *Workload {
+	if molecules < procs || steps < 1 {
+		panic(fmt.Sprintf("workload: WATER needs >= %d molecules and >= 1 step", procs))
+	}
+	const (
+		molWords   = 170 // 680 bytes
+		forceBase  = 120 // word offset of the 18-word force region
+		forceWords = 18
+	)
+	layout := mem.NewLayout(0)
+	molBase := layout.AllocWords(molecules * molWords)
+	molLocks := newLockSet(layout, molecules)
+	bar := newANLBarrier(layout)
+
+	word := func(m, w int) mem.Addr { return molBase + mem.Addr(m*molWords+w) }
+	loadRange := func(e *trace.Emitter, p, m, lo, n int) {
+		for w := lo; w < lo+n; w++ {
+			e.Load(p, word(m, w))
+		}
+	}
+	storeRange := func(e *trace.Emitter, p, m, lo, n int) {
+		for w := lo; w < lo+n; w++ {
+			e.Store(p, word(m, w))
+		}
+	}
+
+	// Intra-molecular work on one molecule: 17 read passes, then the
+	// predictor/corrector rewrite. Each pass is one interleave unit.
+	const intraUnits = 19
+	intraUnit := func(e *trace.Emitter, p, m, u int) {
+		switch {
+		case u < 17:
+			loadRange(e, p, m, 0, molWords)
+		case u == 17:
+			storeRange(e, p, m, 0, molWords)
+		default:
+			storeRange(e, p, m, 0, 119)
+		}
+	}
+
+	// One pairwise interaction, split into read passes and two short
+	// locked force updates. Locked sections stay within one unit so
+	// critical sections remain atomic in the interleaved trace.
+	const pairUnits = 6
+	pairUnit := func(e *trace.Emitter, p, m, other, u int) {
+		switch u {
+		case 0:
+			loadRange(e, p, m, 0, 100)
+		case 1:
+			loadRange(e, p, other, 0, 95)
+		case 2:
+			loadRange(e, p, m, 0, 95)
+		case 3:
+			loadRange(e, p, other, 0, 82)
+		case 4:
+			// Accumulate into the other molecule's force region.
+			molLocks.acquire(e, p, other)
+			for w := 0; w < forceWords; w++ {
+				e.Load(p, word(other, forceBase+w))
+				e.Store(p, word(other, forceBase+w))
+			}
+			molLocks.release(e, p, other)
+		default:
+			// Accumulate into our own.
+			molLocks.acquire(e, p, m)
+			storeRange(e, p, m, forceBase, 9)
+			e.Store(p, word(m, 0))
+			e.Store(p, word(m, 1))
+			molLocks.release(e, p, m)
+		}
+	}
+
+	half := molecules / 2
+	gen := func(e *trace.Emitter) {
+		for step := 0; step < steps; step++ {
+			units := make([]unit, procs)
+			for p := 0; p < procs; p++ {
+				p := p
+				mine := ownedCount(molecules, procs, p)
+				units[p] = counter(mine*intraUnits, func(k int) {
+					intraUnit(e, p, (k/intraUnits)*procs+p, k%intraUnits)
+				})
+			}
+			roundRobin(units)
+			bar.wait(e, procs)
+
+			for p := 0; p < procs; p++ {
+				p := p
+				mine := ownedCount(molecules, procs, p)
+				units[p] = counter(mine*half*pairUnits, func(k int) {
+					pairIdx := k / pairUnits
+					m := (pairIdx/half)*procs + p
+					other := (m + 1 + pairIdx%half) % molecules
+					pairUnit(e, p, m, other, k%pairUnits)
+				})
+			}
+			roundRobin(units)
+			bar.wait(e, procs)
+		}
+	}
+
+	return &Workload{
+		Name: fmt.Sprintf("WATER%d", molecules),
+		Description: fmt.Sprintf("WATER: %d molecules (680 B, interleaved), %d steps, pairwise interactions under molecule locks",
+			molecules, steps),
+		Procs:     procs,
+		DataBytes: layout.Bytes(),
+		Regions: []Region{
+			{Name: "molecules", Start: molBase, End: molBase + mem.Addr(molecules*molWords)},
+			{Name: "locks", Start: molLocks.base, End: molLocks.base + mem.Addr(molLocks.n)},
+			{Name: "barrier", Start: bar.count, End: bar.flag + 1},
+		},
+		gen: gen,
+	}
+}

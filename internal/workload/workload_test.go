@@ -1,0 +1,258 @@
+package workload
+
+import (
+	"hash/fnv"
+	"io"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestRegistry(t *testing.T) {
+	names := Names()
+	if len(names) != 7 {
+		t.Fatalf("expected 7 workloads, got %v", names)
+	}
+	for _, name := range names {
+		w, err := Get(name)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", name, err)
+		}
+		if w.Name != name {
+			t.Errorf("workload %s reports name %s", name, w.Name)
+		}
+		if w.Procs != DefaultProcs {
+			t.Errorf("%s: procs = %d", name, w.Procs)
+		}
+		if w.DataBytes == 0 || w.Description == "" {
+			t.Errorf("%s: missing metadata", name)
+		}
+	}
+	if _, err := Get("NOPE"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	for _, name := range append(SmallSet(), LargeSet()...) {
+		if _, err := Get(name); err != nil {
+			t.Errorf("experiment set references unknown workload %s", name)
+		}
+	}
+}
+
+func TestConstructorsRejectBadParameters(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"mp3d particles": func() { MP3D(8, 1, 16) },
+		"mp3d steps":     func() { MP3D(100, 0, 16) },
+		"water":          func() { Water(4, 1, 16) },
+		"lu":             func() { LU(8, 16) },
+		"jacobi procs":   func() { Jacobi(64, 1, 15) },
+		"jacobi dim":     func() { Jacobi(63, 1, 16) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestOwnedCount(t *testing.T) {
+	total := 0
+	for p := 0; p < 16; p++ {
+		total += ownedCount(1000, 16, p)
+	}
+	if total != 1000 {
+		t.Errorf("ownedCount does not partition: %d", total)
+	}
+	if ownedCount(5, 4, 0) != 2 || ownedCount(5, 4, 3) != 1 {
+		t.Error("remainder distribution wrong")
+	}
+}
+
+func TestRoundRobinInterleaves(t *testing.T) {
+	var order []int
+	units := []unit{
+		counter(3, func(int) { order = append(order, 0) }),
+		counter(1, func(int) { order = append(order, 1) }),
+		counter(2, func(int) { order = append(order, 2) }),
+	}
+	roundRobin(units)
+	want := []int{0, 1, 2, 0, 2, 0}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// characterize drains one generation through a Stats collector.
+func characterize(t *testing.T, w *Workload, footprint bool) *trace.Stats {
+	t.Helper()
+	s := trace.NewStats(w.Procs, footprint)
+	if err := trace.Drive(w.Reader(), s); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// Table 2 anchors: reads/writes/sync in thousands as the paper reports, with
+// a generous tolerance — the generators model the benchmarks, they do not
+// replay them. A factor of 3 in either direction still preserves every
+// qualitative conclusion the paper draws from these traces.
+func TestSmallWorkloadsMatchTable2(t *testing.T) {
+	anchors := map[string]struct{ writes, reads, sync, syncBand float64 }{
+		"MP3D1000": {357, 948, 90, 3},
+		"WATER16":  {83, 973, 9, 3},
+		// LU32's lock traffic is dominated by ANL busy-retry locks
+		// under heavy contention, which the pure acquire/release
+		// model does not reproduce; the band is correspondingly wide.
+		"LU32":   {37, 136, 4, 12},
+		"JACOBI": {280, 2407, 4, 3},
+	}
+	for name, want := range anchors {
+		w, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := characterize(t, w, true)
+		checkBand(t, name+" writes", float64(s.Stores)/1000, want.writes, 3)
+		checkBand(t, name+" reads", float64(s.Loads)/1000, want.reads, 3)
+		checkBand(t, name+" sync", float64(s.SyncRefs())/1000, want.sync, want.syncBand)
+
+		// Footprint: the touched words must essentially fill the layout.
+		if got, laid := s.DataSetBytes(), w.DataBytes; got > laid || got < laid/2 {
+			t.Errorf("%s: touched %d bytes of %d laid out", name, got, laid)
+		}
+		// Speedup must be parallel but not superlinear.
+		if sp := s.Speedup(); sp < 1.5 || sp > float64(w.Procs) {
+			t.Errorf("%s: modeled speedup %.1f out of range", name, sp)
+		}
+	}
+}
+
+func checkBand(t *testing.T, what string, got, want, factor float64) {
+	t.Helper()
+	if got < want/factor || got > want*factor {
+		t.Errorf("%s = %.1fk, paper reports %.0fk (allowed factor %.0f)", what, got, want, factor)
+	}
+}
+
+// LU's pipeline over a small matrix parallelizes poorly; JACOBI's balanced
+// subgrids parallelize almost perfectly. Table 2: LU32 speedup 5.7 vs
+// JACOBI 15.0. The model must reproduce the ordering.
+func TestSpeedupOrdering(t *testing.T) {
+	lu, _ := Get("LU32")
+	jac, _ := Get("JACOBI")
+	sLU := characterize(t, lu, false).Speedup()
+	sJac := characterize(t, jac, false).Speedup()
+	if sLU >= sJac {
+		t.Errorf("LU32 speedup %.1f should be below JACOBI's %.1f", sLU, sJac)
+	}
+	if sJac < 10 {
+		t.Errorf("JACOBI speedup %.1f, want near-perfect (paper: 15.0)", sJac)
+	}
+	if sLU > 12 {
+		t.Errorf("LU32 speedup %.1f, want clearly degraded (paper: 5.7)", sLU)
+	}
+}
+
+func TestTracesAreValid(t *testing.T) {
+	for _, name := range SmallSet() {
+		w, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := w.Collect()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if tr.Procs != DefaultProcs {
+			t.Errorf("%s: procs = %d", name, tr.Procs)
+		}
+	}
+}
+
+func traceHash(t *testing.T, w *Workload) uint64 {
+	t.Helper()
+	h := fnv.New64a()
+	r := w.Reader()
+	var buf [8]byte
+	for {
+		ref, err := r.Next()
+		if err == io.EOF {
+			return h.Sum64()
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf[0] = byte(ref.Kind)
+		buf[1] = byte(ref.Proc)
+		for i := 0; i < 6; i++ {
+			buf[2+i] = byte(ref.Addr >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+}
+
+func TestGenerationDeterministic(t *testing.T) {
+	for _, name := range []string{"LU32", "MP3D1000"} {
+		w, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if traceHash(t, w) != traceHash(t, w) {
+			t.Errorf("%s: two generations differ", name)
+		}
+	}
+}
+
+// Every processor must contribute work, and phases must be marked.
+func TestAllProcessorsParticipate(t *testing.T) {
+	for _, name := range SmallSet() {
+		w, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := characterize(t, w, false)
+		for p, refs := range s.PerProc {
+			if refs == 0 {
+				t.Errorf("%s: processor %d issues no references", name, p)
+			}
+		}
+		if s.Speedup() == 0 {
+			t.Errorf("%s: no phases recorded", name)
+		}
+	}
+}
+
+// The large data sets must stream without being collected: spot-check that
+// the reader produces a plausible prefix and can be closed early.
+func TestLargeWorkloadsStreamAndClose(t *testing.T) {
+	for _, name := range LargeSet() {
+		w, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := w.Reader()
+		for i := 0; i < 10000; i++ {
+			ref, err := r.Next()
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if ref.Kind != trace.Phase && int(ref.Proc) >= w.Procs {
+				t.Fatalf("%s: bad proc %d", name, ref.Proc)
+			}
+		}
+		if err := trace.CloseReader(r); err != nil {
+			t.Fatalf("%s: close: %v", name, err)
+		}
+	}
+}
