@@ -1,0 +1,41 @@
+GO ?= go
+FUZZTIME ?= 10s
+BENCHTIME ?= 1x
+
+.PHONY: all build test race vet fmt golden fuzz bench ci
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The determinism suite under the race detector is the regression guard for
+# the parallel sweep engine: any unsynchronized access in a driver or the
+# trace cache fails here.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l . && test -z "$$(gofmt -l .)"
+
+# Refresh the committed golden outputs after an intentional output change.
+golden:
+	$(GO) test ./cmd/uselessmiss -run TestGoldenOutputs -update
+
+# Short fuzzing smoke over every target, starting from the committed seed
+# corpora under internal/trace/testdata/fuzz.
+fuzz:
+	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzDecoder -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzParseText -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzClassifierRobustness -fuzztime $(FUZZTIME)
+
+bench:
+	$(GO) test -bench . -benchmem -benchtime $(BENCHTIME) -run '^$$' .
+
+ci: build vet fmt test race

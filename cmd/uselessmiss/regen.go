@@ -18,6 +18,7 @@ func cmdRegen(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("regen", flag.ContinueOnError)
 	dir := fs.String("o", "results", "output directory")
 	quick := fs.Bool("quick", false, "substitute small data sets in the heavy runs")
+	par := fs.Int("j", 0, "worker goroutines for the sweep grids (0 = GOMAXPROCS, 1 = serial)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -47,13 +48,16 @@ func cmdRegen(args []string, out io.Writer) error {
 		{"ablate_wbwi.txt", func(o experiment.Options) error { return experiment.AblationWBWI(o, 1024) }},
 		{"ablate_sector.txt", func(o experiment.Options) error { return experiment.AblationSector(o, 1024) }},
 	}
+	// One trace cache for the whole run: each workload's trace is
+	// materialized once and replayed by every artifact that wants it.
+	cache := experiment.NewTraceCache()
 	for _, a := range artifacts {
 		path := filepath.Join(*dir, a.file)
 		f, err := os.Create(path)
 		if err != nil {
 			return err
 		}
-		o := experiment.Options{Out: f, Quick: *quick}
+		o := experiment.Options{Out: f, Quick: *quick, Parallelism: *par, Cache: cache}
 		err = a.run(o)
 		if closeErr := f.Close(); err == nil {
 			err = closeErr

@@ -106,24 +106,26 @@ func splitInts(s string) ([]int, error) {
 }
 
 // experimentFlags defines the flags shared by the experiment subcommands.
-func experimentFlags(fs *flag.FlagSet) (quick, csv *bool, workloads, protocols *string) {
+func experimentFlags(fs *flag.FlagSet) (quick, csv *bool, workloads, protocols *string, par *int) {
 	quick = fs.Bool("quick", false, "use the small data sets for the heavy runs")
 	csv = fs.Bool("csv", false, "emit CSV instead of aligned tables")
 	workloads = fs.String("workloads", "", "comma-separated workload list (default: the experiment's own)")
 	protocols = fs.String("protocols", "", "comma-separated protocol list (fig6/large only)")
+	par = fs.Int("j", 0, "worker goroutines for the sweep grid (0 = GOMAXPROCS, 1 = serial)")
 	return
 }
 
 func cmdExperiment(args []string, out io.Writer, which string) error {
 	fs := flag.NewFlagSet(which, flag.ContinueOnError)
-	quick, csv, workloads, protocols := experimentFlags(fs)
+	quick, csv, workloads, protocols, par := experimentFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	o := experiment.Options{
 		Out: out, Quick: *quick, CSV: *csv,
-		Workloads: splitList(*workloads),
-		Protocols: splitList(*protocols),
+		Workloads:   splitList(*workloads),
+		Protocols:   splitList(*protocols),
+		Parallelism: *par,
 	}
 	switch which {
 	case "table1":
@@ -141,41 +143,41 @@ func cmdExperiment(args []string, out io.Writer, which string) error {
 
 func cmdCompare(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
-	_, csv, workloads, _ := experimentFlags(fs)
+	_, csv, workloads, _, par := experimentFlags(fs)
 	block := fs.Int("block", 64, "block size in bytes")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	o := experiment.Options{Out: out, CSV: *csv, Workloads: splitList(*workloads)}
+	o := experiment.Options{Out: out, CSV: *csv, Workloads: splitList(*workloads), Parallelism: *par}
 	return experiment.Compare(o, *block)
 }
 
 func cmdPhases(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("phases", flag.ContinueOnError)
-	_, csv, workloads, _ := experimentFlags(fs)
+	_, csv, workloads, _, par := experimentFlags(fs)
 	block := fs.Int("block", 64, "block size in bytes")
 	buckets := fs.Int("buckets", 10, "maximum rows per workload")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	o := experiment.Options{Out: out, CSV: *csv, Workloads: splitList(*workloads)}
+	o := experiment.Options{Out: out, CSV: *csv, Workloads: splitList(*workloads), Parallelism: *par}
 	return experiment.Phases(o, *block, *buckets)
 }
 
 func cmdHotspots(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("hotspots", flag.ContinueOnError)
-	_, csv, workloads, _ := experimentFlags(fs)
+	_, csv, workloads, _, par := experimentFlags(fs)
 	block := fs.Int("block", 64, "block size in bytes")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	o := experiment.Options{Out: out, CSV: *csv, Workloads: splitList(*workloads)}
+	o := experiment.Options{Out: out, CSV: *csv, Workloads: splitList(*workloads), Parallelism: *par}
 	return experiment.Hotspots(o, *block)
 }
 
 func cmdPenalty(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("penalty", flag.ContinueOnError)
-	_, csv, workloads, protocols := experimentFlags(fs)
+	_, csv, workloads, protocols, par := experimentFlags(fs)
 	block := fs.Int("block", 64, "block size in bytes")
 	missPenalty := fs.Uint64("miss-penalty", 30, "blocking cycles per miss")
 	syncCycles := fs.Uint64("sync-cycles", 3, "cycles per acquire/release")
@@ -185,6 +187,7 @@ func cmdPenalty(args []string, out io.Writer) error {
 	o := experiment.Options{
 		Out: out, CSV: *csv,
 		Workloads: splitList(*workloads), Protocols: splitList(*protocols),
+		Parallelism: *par,
 	}
 	m := timing.Model{RefCycles: 1, MissPenalty: *missPenalty, SyncCycles: *syncCycles}
 	return experiment.Penalty(o, *block, m)
@@ -192,25 +195,25 @@ func cmdPenalty(args []string, out io.Writer) error {
 
 func cmdFinite(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("finite", flag.ContinueOnError)
-	_, csv, workloads, _ := experimentFlags(fs)
+	_, csv, workloads, _, par := experimentFlags(fs)
 	block := fs.Int("block", 64, "block size in bytes")
 	assoc := fs.Int("assoc", 4, "cache associativity")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	o := experiment.Options{Out: out, CSV: *csv, Workloads: splitList(*workloads)}
+	o := experiment.Options{Out: out, CSV: *csv, Workloads: splitList(*workloads), Parallelism: *par}
 	return experiment.FiniteSweep(o, *block, *assoc)
 }
 
 func cmdAblate(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ablate", flag.ContinueOnError)
-	_, csv, workloads, _ := experimentFlags(fs)
+	_, csv, workloads, _, par := experimentFlags(fs)
 	what := fs.String("what", "cu", "ablation to run: cu (competitive-update threshold), wbwi (invalidation buffer) or sector (coherence grain)")
 	block := fs.Int("block", 64, "block size in bytes")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	o := experiment.Options{Out: out, CSV: *csv, Workloads: splitList(*workloads)}
+	o := experiment.Options{Out: out, CSV: *csv, Workloads: splitList(*workloads), Parallelism: *par}
 	switch *what {
 	case "cu":
 		return experiment.AblationCU(o, *block)
@@ -225,7 +228,7 @@ func cmdAblate(args []string, out io.Writer) error {
 
 func cmdFig5(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("fig5", flag.ContinueOnError)
-	quick, csv, workloads, _ := experimentFlags(fs)
+	quick, csv, workloads, _, par := experimentFlags(fs)
 	blocks := fs.String("blocks", "", "comma-separated block sizes in bytes (default 4..2048)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -237,13 +240,14 @@ func cmdFig5(args []string, out io.Writer) error {
 	o := experiment.Options{
 		Out: out, Quick: *quick, CSV: *csv,
 		Workloads: splitList(*workloads), Blocks: blockList,
+		Parallelism: *par,
 	}
 	return experiment.Fig5(o)
 }
 
 func cmdFig6(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("fig6", flag.ContinueOnError)
-	quick, csv, workloads, protocols := experimentFlags(fs)
+	quick, csv, workloads, protocols, par := experimentFlags(fs)
 	block := fs.Int("block", 64, "block size in bytes (64 for Fig. 6a, 1024 for Fig. 6b)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -251,6 +255,7 @@ func cmdFig6(args []string, out io.Writer) error {
 	o := experiment.Options{
 		Out: out, Quick: *quick, CSV: *csv,
 		Workloads: splitList(*workloads), Protocols: splitList(*protocols),
+		Parallelism: *par,
 	}
 	return experiment.Fig6(o, *block)
 }

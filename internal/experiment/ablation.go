@@ -14,7 +14,31 @@ import (
 // Ablations for the design choices DESIGN.md calls out: the competitive
 // -update threshold (how many remote updates a copy tolerates before
 // self-invalidating) and the finite invalidation buffer of the word
-// -invalidate protocols.
+// -invalidate protocols. Each (workload, variant) pair is one sweep cell
+// replaying the workload's cached trace.
+
+// runVariants executes one cell per (workload, variant) on the sweep
+// engine, where newSim builds variant j's simulator, and returns the
+// results in (workload-major, variant) order.
+func runVariants(o Options, ws []*workload.Workload, variants int,
+	newSim func(w *workload.Workload, j int) (coherence.Simulator, error)) ([]coherence.Result, error) {
+	cache := o.traceCache()
+	return mapCells(o, len(ws)*variants, func(i int) (coherence.Result, error) {
+		w, j := ws[i/variants], i%variants
+		sim, err := newSim(w, j)
+		if err != nil {
+			return coherence.Result{}, err
+		}
+		r, err := cache.Reader(w.Name)
+		if err != nil {
+			return coherence.Result{}, err
+		}
+		if err := trace.Drive(r, sim); err != nil {
+			return coherence.Result{}, err
+		}
+		return sim.Finish(), nil
+	})
+}
 
 // CompetitiveThresholds is the default sweep for AblationCU.
 var CompetitiveThresholds = []int{1, 2, 4, 8, 16, 32}
@@ -29,40 +53,38 @@ func AblationCU(o Options, blockBytes int) error {
 		return err
 	}
 	names := o.workloads(workload.SmallSet())
+	ws, err := getWorkloads(names)
+	if err != nil {
+		return err
+	}
+
+	// Variants: the MIN and WU endpoints plus the CU sweep.
+	labels := []string{"MIN", "WU"}
+	for _, threshold := range CompetitiveThresholds {
+		labels = append(labels, fmt.Sprintf("CU-%d", threshold))
+	}
+	cells, err := runVariants(o, ws, len(labels),
+		func(w *workload.Workload, j int) (coherence.Simulator, error) {
+			switch j {
+			case 0:
+				return coherence.NewMIN(w.Procs, g), nil
+			case 1:
+				return coherence.NewWU(w.Procs, g), nil
+			default:
+				return coherence.NewCU(w.Procs, g, CompetitiveThresholds[j-2])
+			}
+		})
+	if err != nil {
+		return err
+	}
 
 	fmt.Fprintf(o.Out, "Competitive-update threshold ablation (B=%d bytes)\n\n", blockBytes)
 	tb := report.NewTable("workload", "protocol", "miss%", "updates/ref", "traffic B/ref")
-	for _, name := range names {
-		w, err := workload.Get(name)
-		if err != nil {
-			return err
-		}
-		// Build the sims: MIN and WU endpoints plus the CU sweep, and
-		// run them all over a single trace generation.
-		sims := []coherence.Simulator{
-			coherence.NewMIN(w.Procs, g),
-			coherence.NewWU(w.Procs, g),
-		}
-		labels := []string{"MIN", "WU"}
-		for _, threshold := range CompetitiveThresholds {
-			cu, err := coherence.NewCU(w.Procs, g, threshold)
-			if err != nil {
-				return err
-			}
-			sims = append(sims, cu)
-			labels = append(labels, fmt.Sprintf("CU-%d", threshold))
-		}
-		consumers := make([]trace.Consumer, len(sims))
-		for i, s := range sims {
-			consumers[i] = s
-		}
-		if err := trace.Drive(w.Reader(), consumers...); err != nil {
-			return err
-		}
-		for i, sim := range sims {
-			res := sim.Finish()
+	for wi, w := range ws {
+		for j, label := range labels {
+			res := cells[wi*len(labels)+j]
 			refs := float64(res.DataRefs)
-			tb.Rowf(name, labels[i],
+			tb.Rowf(w.Name, label,
 				pct(res.MissRate()),
 				fmt.Sprintf("%.3f", float64(res.Updates)/refs),
 				fmt.Sprintf("%.2f", float64(TrafficOf(res, g))/refs))
@@ -91,35 +113,31 @@ func AblationSector(o Options, blockBytes int) error {
 		return err
 	}
 	names := o.workloads(workload.SmallSet())
+	ws, err := getWorkloads(names)
+	if err != nil {
+		return err
+	}
+
+	var sectors []int
+	for _, sector := range SectorSizes {
+		if sector <= blockBytes {
+			sectors = append(sectors, sector)
+		}
+	}
+	cells, err := runVariants(o, ws, len(sectors),
+		func(w *workload.Workload, j int) (coherence.Simulator, error) {
+			return coherence.NewSectored(w.Procs, g, sectors[j])
+		})
+	if err != nil {
+		return err
+	}
 
 	fmt.Fprintf(o.Out, "Coherence-grain ablation (fetch block B=%d bytes)\n\n", blockBytes)
 	tb := report.NewTable("workload", "sector", "miss%", "TRUE%", "FALSE%")
-	for _, name := range names {
-		w, err := workload.Get(name)
-		if err != nil {
-			return err
-		}
-		var sims []coherence.Simulator
-		for _, sector := range SectorSizes {
-			if sector > blockBytes {
-				continue
-			}
-			sim, err := coherence.NewSectored(w.Procs, g, sector)
-			if err != nil {
-				return err
-			}
-			sims = append(sims, sim)
-		}
-		consumers := make([]trace.Consumer, len(sims))
-		for i, s := range sims {
-			consumers[i] = s
-		}
-		if err := trace.Drive(w.Reader(), consumers...); err != nil {
-			return err
-		}
-		for _, sim := range sims {
-			res := sim.Finish()
-			tb.Rowf(name, sim.Name(),
+	for wi, w := range ws {
+		for j := range sectors {
+			res := cells[wi*len(sectors)+j]
+			tb.Rowf(w.Name, res.Protocol,
 				pct(res.MissRate()),
 				pct(core.Rate(res.Counts.PTS, res.DataRefs)),
 				pct(core.Rate(res.Counts.PFS, res.DataRefs)))
@@ -147,48 +165,42 @@ func AblationWBWI(o Options, blockBytes int) error {
 		return err
 	}
 	names := o.workloads(workload.SmallSet())
+	ws, err := getWorkloads(names)
+	if err != nil {
+		return err
+	}
+
+	labels := make([]string, len(BufferSizes))
+	for j, entries := range BufferSizes {
+		if entries == 0 {
+			labels[j] = "unlimited"
+		} else {
+			labels[j] = fmt.Sprintf("%d words", entries)
+		}
+	}
+	cells, err := runVariants(o, ws, len(BufferSizes),
+		func(w *workload.Workload, j int) (coherence.Simulator, error) {
+			if BufferSizes[j] == 0 {
+				return coherence.NewWBWI(w.Procs, g), nil
+			}
+			return coherence.NewWBWILimited(w.Procs, g, BufferSizes[j])
+		})
+	if err != nil {
+		return err
+	}
 
 	fmt.Fprintf(o.Out, "WBWI invalidation-buffer ablation (B=%d bytes, %d words per block)\n\n",
 		blockBytes, g.WordsPerBlock())
 	tb := report.NewTable("workload", "buffer", "miss%", "vs unlimited")
-	for _, name := range names {
-		w, err := workload.Get(name)
-		if err != nil {
-			return err
-		}
-		var sims []coherence.Simulator
-		var labels []string
-		for _, entries := range BufferSizes {
-			if entries == 0 {
-				sims = append(sims, coherence.NewWBWI(w.Procs, g))
-				labels = append(labels, "unlimited")
-				continue
-			}
-			sim, err := coherence.NewWBWILimited(w.Procs, g, entries)
-			if err != nil {
-				return err
-			}
-			sims = append(sims, sim)
-			labels = append(labels, fmt.Sprintf("%d words", entries))
-		}
-		consumers := make([]trace.Consumer, len(sims))
-		for i, s := range sims {
-			consumers[i] = s
-		}
-		if err := trace.Drive(w.Reader(), consumers...); err != nil {
-			return err
-		}
-		results := make([]coherence.Result, len(sims))
-		for i, sim := range sims {
-			results[i] = sim.Finish()
-		}
+	for wi, w := range ws {
+		results := cells[wi*len(BufferSizes) : (wi+1)*len(BufferSizes)]
 		unlimited := results[len(results)-1].MissRate()
-		for i, res := range results {
+		for j, res := range results {
 			rel := "n/a"
 			if unlimited > 0 {
 				rel = fmt.Sprintf("%+.0f%%", 100*(res.MissRate()-unlimited)/unlimited)
 			}
-			tb.Rowf(name, labels[i], pct(res.MissRate()), rel)
+			tb.Rowf(w.Name, labels[j], pct(res.MissRate()), rel)
 		}
 	}
 	if o.CSV {

@@ -15,7 +15,8 @@ import (
 // matrices, quantifying the disagreements the paper argues qualitatively —
 // in particular the "prefetching effects" of Torrellas' scheme that the
 // paper notes were never quantified: the misses Torrellas calls FSM or CM
-// that actually communicate values the processor needs (ours: TRUE).
+// that actually communicate values the processor needs (ours: TRUE). One
+// sweep cell per workload computes the joint verdict matrix.
 func Compare(o Options, blockBytes int) error {
 	g, err := mem.NewGeometry(blockBytes)
 	if err != nil {
@@ -24,19 +25,32 @@ func Compare(o Options, blockBytes int) error {
 	names := o.workloads(workload.SmallSet())
 	labels := [3]string{"COLD", "TRUE", "FALSE"}
 
-	fmt.Fprintf(o.Out, "Joint classification of every miss (B=%d bytes): ours vs. the earlier schemes\n", blockBytes)
-	for _, name := range names {
-		w, err := workload.Get(name)
+	ws, err := getWorkloads(names)
+	if err != nil {
+		return err
+	}
+	cache := o.traceCache()
+	cells, err := mapCells(o, len(ws), func(i int) (core.CrossCounts, error) {
+		w := ws[i]
+		r, err := cache.Reader(w.Name)
 		if err != nil {
-			return err
+			return core.CrossCounts{}, err
 		}
 		c := core.NewCrossClassifier(w.Procs, g)
-		if err := trace.Drive(w.Reader(), c); err != nil {
-			return err
+		if err := trace.Drive(r, c); err != nil {
+			return core.CrossCounts{}, err
 		}
 		matrix, _, _, _ := c.Finish()
+		return matrix, nil
+	})
+	if err != nil {
+		return err
+	}
 
-		fmt.Fprintf(o.Out, "\n%s (%d misses)\n", name, matrix.Total())
+	fmt.Fprintf(o.Out, "Joint classification of every miss (B=%d bytes): ours vs. the earlier schemes\n", blockBytes)
+	for wi, w := range ws {
+		matrix := cells[wi]
+		fmt.Fprintf(o.Out, "\n%s (%d misses)\n", w.Name, matrix.Total())
 		for _, pair := range []struct {
 			scheme string
 			m      [3][3]uint64

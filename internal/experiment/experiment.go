@@ -5,14 +5,22 @@
 // replays the synthetic benchmark traces of package workload through the
 // classifiers of package core and the protocol simulators of package
 // coherence, and renders the same rows and series the paper reports.
+//
+// Every driver runs on the sweep engine (package sweep): the experiment is
+// expanded into a grid of independent cells, the cells execute on a bounded
+// worker pool (Options.Parallelism) replaying traces materialized once in a
+// shared cache, and the report is rendered only after the grid completes,
+// in grid order — so the output is byte-identical at any parallelism.
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"repro/internal/core"
 	"repro/internal/mem"
+	"repro/internal/sweep"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -20,7 +28,9 @@ import (
 // Options configures the experiment drivers. The zero value is not usable:
 // use Default.
 type Options struct {
-	// Out receives the rendered report.
+	// Out receives the rendered report. Drivers never write to it from
+	// sweep cells: all output happens after the parallel phase, on the
+	// calling goroutine, in deterministic grid order.
 	Out io.Writer
 	// CSV emits machine-readable CSV instead of aligned tables (charts
 	// are suppressed).
@@ -35,6 +45,14 @@ type Options struct {
 	Protocols []string
 	// Blocks overrides the block-size sweep for Fig. 5.
 	Blocks []int
+	// Parallelism bounds the sweep worker pool (the CLI's -j flag).
+	// Zero means GOMAXPROCS; 1 recovers the serial path. The rendered
+	// output is byte-identical at any setting.
+	Parallelism int
+	// Cache shares materialized workload traces across driver calls
+	// (regen runs every artifact off one cache). Nil gives each driver
+	// its own cache for the duration of the call.
+	Cache *sweep.TraceCache
 }
 
 // Default returns Options writing to out.
@@ -57,13 +75,64 @@ func (o Options) blocks(def []int) []int {
 	return def
 }
 
-// classifyAll drives the three classifiers over one generation of the
-// workload trace in a single pass.
-func classifyAll(w *workload.Workload, g mem.Geometry) (ours core.Counts, eggers, torrellas core.SharingCounts, refs uint64, err error) {
-	oc := core.NewClassifier(w.Procs, g)
-	ec := core.NewEggers(w.Procs, g)
-	tc := core.NewTorrellas(w.Procs, g)
-	if err = trace.Drive(w.Reader(), oc, ec, tc); err != nil {
+func (o Options) sweepOpts() sweep.Options {
+	return sweep.Options{Parallelism: o.Parallelism}
+}
+
+// traceCache returns the shared cache, or a fresh one scoped to the
+// current driver call.
+func (o Options) traceCache() *sweep.TraceCache {
+	if o.Cache != nil {
+		return o.Cache
+	}
+	return NewTraceCache()
+}
+
+// NewTraceCache returns a trace cache over the workload registry, suitable
+// for Options.Cache when several drivers should share one set of
+// materialized traces (e.g. the regen subcommand).
+func NewTraceCache() *sweep.TraceCache {
+	return sweep.NewTraceCache(sweep.DefaultCacheRefs, openWorkloadTrace)
+}
+
+// openWorkloadTrace is the sweep.Opener over the workload registry.
+func openWorkloadTrace(name string) (trace.Reader, error) {
+	w, err := workload.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return w.Reader(), nil
+}
+
+// mapCells runs fn over every cell index in [0, n) on the sweep engine and
+// returns the results in deterministic cell order. Cell functions must not
+// touch Options.Out; rendering happens after mapCells returns.
+func mapCells[T any](o Options, n int, fn func(i int) (T, error)) ([]T, error) {
+	return sweep.Run(context.Background(), n, o.sweepOpts(),
+		func(_ context.Context, i int) (T, error) { return fn(i) })
+}
+
+// getWorkloads resolves every name up front so validation errors surface
+// before any cell runs or any output is written.
+func getWorkloads(names []string) ([]*workload.Workload, error) {
+	ws := make([]*workload.Workload, len(names))
+	for i, name := range names {
+		w, err := workload.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		ws[i] = w
+	}
+	return ws, nil
+}
+
+// classifyAll drives the three classifiers over one replay of the workload
+// trace in a single pass.
+func classifyAll(r trace.Reader, procs int, g mem.Geometry) (ours core.Counts, eggers, torrellas core.SharingCounts, refs uint64, err error) {
+	oc := core.NewClassifier(procs, g)
+	ec := core.NewEggers(procs, g)
+	tc := core.NewTorrellas(procs, g)
+	if err = trace.Drive(r, oc, ec, tc); err != nil {
 		return
 	}
 	return oc.Finish(), ec.Finish(), tc.Finish(), oc.DataRefs(), nil

@@ -10,34 +10,60 @@ import (
 	"repro/internal/workload"
 )
 
+// fig5Cell is one (workload, block) point of the Fig. 5 grid.
+type fig5Cell struct {
+	counts core.Counts
+	refs   uint64
+}
+
 // Fig5 regenerates the paper's Fig. 5: the decomposition of the miss rate
 // into pure cold (PC), cold-and-true-sharing (CTS), cold-and-false-sharing
 // (CFS), pure true sharing (PTS) and pure false sharing (PFS) misses as a
-// function of the block size, for each small-data-set benchmark.
+// function of the block size, for each small-data-set benchmark. The
+// (workload, block) grid runs on the sweep engine; each cell replays the
+// workload's cached trace through a fresh classifier.
 func Fig5(o Options) error {
 	names := o.workloads(workload.SmallSet())
 	blocks := o.blocks(Fig5Blocks)
 
-	fmt.Fprintln(o.Out, "Figure 5: miss classification vs. block size (% of data references)")
-	for _, name := range names {
-		w, err := workload.Get(name)
+	ws, err := getWorkloads(names)
+	if err != nil {
+		return err
+	}
+	geos := make([]mem.Geometry, len(blocks))
+	for i, b := range blocks {
+		g, err := mem.NewGeometry(b)
 		if err != nil {
 			return err
 		}
+		geos[i] = g
+	}
+
+	cache := o.traceCache()
+	cells, err := mapCells(o, len(ws)*len(blocks), func(i int) (fig5Cell, error) {
+		w, g := ws[i/len(blocks)], geos[i%len(blocks)]
+		r, err := cache.Reader(w.Name)
+		if err != nil {
+			return fig5Cell{}, err
+		}
+		c := core.NewClassifier(w.Procs, g)
+		if err := trace.Drive(r, c); err != nil {
+			return fig5Cell{}, err
+		}
+		return fig5Cell{counts: c.Finish(), refs: c.DataRefs()}, nil
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintln(o.Out, "Figure 5: miss classification vs. block size (% of data references)")
+	for wi, w := range ws {
 		fmt.Fprintf(o.Out, "\n%s — %s\n", w.Name, w.Description)
 		tb := report.NewTable("B(bytes)", "PC", "CTS", "CFS", "PTS", "PFS", "essential", "total")
 		chart := &report.BarChart{Unit: "%"}
-		for _, b := range blocks {
-			g, err := mem.NewGeometry(b)
-			if err != nil {
-				return err
-			}
-			c := core.NewClassifier(w.Procs, g)
-			if err := trace.Drive(w.Reader(), c); err != nil {
-				return err
-			}
-			counts := c.Finish()
-			refs := c.DataRefs()
+		for bi, b := range blocks {
+			cell := cells[wi*len(blocks)+bi]
+			counts, refs := cell.counts, cell.refs
 			tb.Rowf(b,
 				pct(core.Rate(counts.PC, refs)),
 				pct(core.Rate(counts.CTS, refs)),

@@ -14,10 +14,10 @@ import (
 // Fig6 regenerates one panel of the paper's Fig. 6: the effect of the
 // invalidation schedule on the miss rate at the given block size (64 bytes
 // for cache-based systems in Fig. 6a, 1024 bytes for virtual shared memory
-// in Fig. 6b). For each benchmark every protocol runs over the same trace
-// in a single pass; OTF, RD, SD and SRD are decomposed into TRUE/COLD/FALSE
-// like the paper's stacked bars, while MIN (no false sharing by
-// construction), WBWI and MAX are shown as totals.
+// in Fig. 6b). The (workload, protocol) grid runs on the sweep engine, every
+// protocol replaying the same cached trace; OTF, RD, SD and SRD are
+// decomposed into TRUE/COLD/FALSE like the paper's stacked bars, while MIN
+// (no false sharing by construction), WBWI and MAX are shown as totals.
 func Fig6(o Options, blockBytes int) error {
 	g, err := mem.NewGeometry(blockBytes)
 	if err != nil {
@@ -29,16 +29,40 @@ func Fig6(o Options, blockBytes int) error {
 		protos = coherence.Protocols
 	}
 
+	ws, err := getWorkloads(names)
+	if err != nil {
+		return err
+	}
+	// Validate the protocol names before any cell runs.
+	for _, name := range protos {
+		if _, err := coherence.New(name, workload.DefaultProcs, g); err != nil {
+			return err
+		}
+	}
+
+	cache := o.traceCache()
+	cells, err := mapCells(o, len(ws)*len(protos), func(i int) (coherence.Result, error) {
+		w, proto := ws[i/len(protos)], protos[i%len(protos)]
+		sim, err := coherence.New(proto, w.Procs, g)
+		if err != nil {
+			return coherence.Result{}, err
+		}
+		r, err := cache.Reader(w.Name)
+		if err != nil {
+			return coherence.Result{}, err
+		}
+		if err := trace.Drive(r, sim); err != nil {
+			return coherence.Result{}, err
+		}
+		return sim.Finish(), nil
+	})
+	if err != nil {
+		return err
+	}
+
 	fmt.Fprintf(o.Out, "Figure 6 (B=%d bytes): effect of invalidation scheduling on the miss rate\n", blockBytes)
-	for _, name := range names {
-		w, err := workload.Get(name)
-		if err != nil {
-			return err
-		}
-		results, err := runProtocols(w, g, protos)
-		if err != nil {
-			return err
-		}
+	for wi, w := range ws {
+		results := cells[wi*len(protos) : (wi+1)*len(protos)]
 		fmt.Fprintf(o.Out, "\n%s\n", w.Name)
 		tb := report.NewTable("protocol", "miss%", "TRUE%", "COLD%", "FALSE%", "invalidations", "upgrades")
 		chart := &report.BarChart{Unit: "%"}
@@ -75,7 +99,8 @@ func Fig6(o Options, blockBytes int) error {
 }
 
 // runProtocols replays one generation of the workload trace through all the
-// named protocols simultaneously.
+// named protocols simultaneously: the serial single-pass reference the
+// sweep engine's per-protocol cells are tested against.
 func runProtocols(w *workload.Workload, g mem.Geometry, protos []string) ([]coherence.Result, error) {
 	sims := make([]coherence.Simulator, len(protos))
 	consumers := make([]trace.Consumer, len(protos))

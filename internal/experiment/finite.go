@@ -15,11 +15,17 @@ import (
 // FiniteSweep, in bytes; 0 stands for an infinite cache.
 var CacheSizes = []int{512, 1 << 10, 2 << 10, 8 << 10, 32 << 10, 0}
 
+// finiteCell is one (workload, capacity) point.
+type finiteCell struct {
+	counts core.Counts
+	refs   uint64
+}
+
 // FiniteSweep runs the §8 finite-cache extension: the miss classification
 // as a function of the per-processor cache size, with replacement misses as
 // a third essential component. The paper's expectation to check: "the
 // fraction of essential misses will increase in systems with finite
-// caches".
+// caches". The (workload, capacity) grid runs on the sweep engine.
 func FiniteSweep(o Options, blockBytes, assoc int) error {
 	g, err := mem.NewGeometry(blockBytes)
 	if err != nil {
@@ -27,24 +33,40 @@ func FiniteSweep(o Options, blockBytes, assoc int) error {
 	}
 	names := o.workloads(workload.SmallSet())
 
+	ws, err := getWorkloads(names)
+	if err != nil {
+		return err
+	}
+	cache := o.traceCache()
+	cells, err := mapCells(o, len(ws)*len(CacheSizes), func(i int) (finiteCell, error) {
+		w := ws[i/len(CacheSizes)]
+		capacity := CacheSizes[i%len(CacheSizes)]
+		r, err := cache.Reader(w.Name)
+		if err != nil {
+			return finiteCell{}, err
+		}
+		counts, refs, err := classifyAtCapacity(r, w.Procs, g, capacity, assoc)
+		if err != nil {
+			return finiteCell{}, err
+		}
+		return finiteCell{counts: counts, refs: refs}, nil
+	})
+	if err != nil {
+		return err
+	}
+
 	fmt.Fprintf(o.Out, "Finite caches (B=%d bytes, %d-way LRU): classification vs. capacity\n\n",
 		blockBytes, assoc)
 	tb := report.NewTable("workload", "cache", "cold%", "PTS%", "repl%", "PFS%", "total%", "essential frac")
-	for _, name := range names {
-		w, err := workload.Get(name)
-		if err != nil {
-			return err
-		}
-		for _, capacity := range CacheSizes {
-			counts, refs, err := classifyAtCapacity(w, g, capacity, assoc)
-			if err != nil {
-				return err
-			}
+	for wi, w := range ws {
+		for ci, capacity := range CacheSizes {
+			cell := cells[wi*len(CacheSizes)+ci]
+			counts, refs := cell.counts, cell.refs
 			frac := 0.0
 			if counts.Total() > 0 {
 				frac = float64(counts.Essential()) / float64(counts.Total())
 			}
-			tb.Rowf(name, capacityLabel(capacity),
+			tb.Rowf(w.Name, capacityLabel(capacity),
 				pct(core.Rate(counts.Cold(), refs)),
 				pct(core.Rate(counts.PTS, refs)),
 				pct(core.Rate(counts.Repl, refs)),
@@ -63,22 +85,23 @@ func FiniteSweep(o Options, blockBytes, assoc int) error {
 	return nil
 }
 
-// classifyAtCapacity classifies one workload with the given per-processor
-// cache capacity; capacity 0 means infinite.
-func classifyAtCapacity(w *workload.Workload, g mem.Geometry, capacity, assoc int) (core.Counts, uint64, error) {
+// classifyAtCapacity classifies one trace replay with the given
+// per-processor cache capacity; capacity 0 means infinite.
+func classifyAtCapacity(r trace.Reader, procs int, g mem.Geometry, capacity, assoc int) (core.Counts, uint64, error) {
 	if capacity == 0 {
-		c := core.NewClassifier(w.Procs, g)
-		if err := trace.Drive(w.Reader(), c); err != nil {
+		c := core.NewClassifier(procs, g)
+		if err := trace.Drive(r, c); err != nil {
 			return core.Counts{}, 0, err
 		}
 		return c.Finish(), c.DataRefs(), nil
 	}
 	cfg := finite.Config{CapacityBytes: capacity, Assoc: assoc}
-	c, err := finite.NewClassifier(w.Procs, g, cfg)
+	c, err := finite.NewClassifier(procs, g, cfg)
 	if err != nil {
+		trace.CloseReader(r) //nolint:errcheck // error path cleanup
 		return core.Counts{}, 0, err
 	}
-	if err := trace.Drive(w.Reader(), c); err != nil {
+	if err := trace.Drive(r, c); err != nil {
 		return core.Counts{}, 0, err
 	}
 	return c.Finish(), c.DataRefs(), nil

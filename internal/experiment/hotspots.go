@@ -11,13 +11,19 @@ import (
 	"repro/internal/workload"
 )
 
+// hotspotCell is one workload's per-region attribution.
+type hotspotCell struct {
+	perRegion map[string]*core.Counts
+	totals    core.Counts
+}
+
 // Hotspots attributes every classified miss to the data structure it lands
 // in, mechanically validating the narrative of §6: which structure causes
 // each benchmark's true and false sharing at a given block size (particles
 // vs. space cells in MP3D, the grids vs. the barrier counter/flag in
 // JACOBI, the matrix vs. the column flags in LU, and so on). Blocks that
 // span two structures are attributed to the structure containing their
-// first word.
+// first word. One sweep cell per workload runs the hooked classifier.
 func Hotspots(o Options, blockBytes int) error {
 	g, err := mem.NewGeometry(blockBytes)
 	if err != nil {
@@ -25,11 +31,16 @@ func Hotspots(o Options, blockBytes int) error {
 	}
 	names := o.workloads(workload.SmallSet())
 
-	fmt.Fprintf(o.Out, "Miss attribution by data structure (B=%d bytes)\n", blockBytes)
-	for _, name := range names {
-		w, err := workload.Get(name)
+	ws, err := getWorkloads(names)
+	if err != nil {
+		return err
+	}
+	cache := o.traceCache()
+	cells, err := mapCells(o, len(ws), func(i int) (hotspotCell, error) {
+		w := ws[i]
+		r, err := cache.Reader(w.Name)
 		if err != nil {
-			return err
+			return hotspotCell{}, err
 		}
 		perRegion := make(map[string]*core.Counts)
 		classifier := core.NewClassifier(w.Procs, g)
@@ -55,20 +66,34 @@ func Hotspots(o Options, blockBytes int) error {
 				counts.Repl++
 			}
 		})
-		if err := trace.Drive(w.Reader(), classifier); err != nil {
-			return err
+		if err := trace.Drive(r, classifier); err != nil {
+			return hotspotCell{}, err
 		}
-		totals := classifier.Finish()
+		return hotspotCell{perRegion: perRegion, totals: classifier.Finish()}, nil
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(o.Out, "Miss attribution by data structure (B=%d bytes)\n", blockBytes)
+	for wi, w := range ws {
+		perRegion, totals := cells[wi].perRegion, cells[wi].totals
 
 		regions := make([]string, 0, len(perRegion))
 		for region := range perRegion {
 			regions = append(regions, region)
 		}
+		// Sort by miss count, breaking ties by name so the report is
+		// deterministic regardless of map iteration order.
 		sort.Slice(regions, func(i, j int) bool {
-			return perRegion[regions[i]].Total() > perRegion[regions[j]].Total()
+			ti, tj := perRegion[regions[i]].Total(), perRegion[regions[j]].Total()
+			if ti != tj {
+				return ti > tj
+			}
+			return regions[i] < regions[j]
 		})
 
-		fmt.Fprintf(o.Out, "\n%s (%d misses total, %d useless)\n", name, totals.Total(), totals.PFS)
+		fmt.Fprintf(o.Out, "\n%s (%d misses total, %d useless)\n", w.Name, totals.Total(), totals.PFS)
 		tb := report.NewTable("region", "misses", "cold", "PTS", "PFS", "share of PFS")
 		for _, region := range regions {
 			c := perRegion[region]

@@ -6,8 +6,12 @@ import (
 	"repro/internal/coherence"
 	"repro/internal/mem"
 	"repro/internal/report"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
+
+// largeBlocks is the §7 study's fixed block-size pair.
+var largeBlocks = []int{64, 1024}
 
 // Large regenerates the §7 large-data-set study: for LU200, MP3D10000 and
 // WATER288 it compares the invalidation schedules at B=64 and B=1024 and
@@ -18,7 +22,8 @@ import (
 // essential rate; MAX is disastrous for LU.
 //
 // The full run streams on the order of a hundred million references per
-// protocol set; with Quick the small data sets are substituted.
+// protocol set; with Quick the small data sets are substituted. The
+// (workload, block, protocol) grid runs on the sweep engine.
 func Large(o Options) error {
 	defaults := workload.LargeSet()
 	if o.Quick {
@@ -30,23 +35,50 @@ func Large(o Options) error {
 		protos = coherence.Protocols
 	}
 
+	ws, err := getWorkloads(names)
+	if err != nil {
+		return err
+	}
+	geos := make([]mem.Geometry, len(largeBlocks))
+	for i, b := range largeBlocks {
+		geos[i] = mem.MustGeometry(b)
+	}
+	for _, name := range protos {
+		if _, err := coherence.New(name, workload.DefaultProcs, geos[0]); err != nil {
+			return err
+		}
+	}
+
+	cache := o.traceCache()
+	perBlock := len(protos)
+	perWorkload := len(largeBlocks) * perBlock
+	cells, err := mapCells(o, len(ws)*perWorkload, func(i int) (coherence.Result, error) {
+		w := ws[i/perWorkload]
+		g := geos[i%perWorkload/perBlock]
+		proto := protos[i%perBlock]
+		sim, err := coherence.New(proto, w.Procs, g)
+		if err != nil {
+			return coherence.Result{}, err
+		}
+		r, err := cache.Reader(w.Name)
+		if err != nil {
+			return coherence.Result{}, err
+		}
+		if err := trace.Drive(r, sim); err != nil {
+			return coherence.Result{}, err
+		}
+		return sim.Finish(), nil
+	})
+	if err != nil {
+		return err
+	}
+
 	fmt.Fprintln(o.Out, "Section 7: large data sets — schedules at B=64 and B=1024")
 	fmt.Fprintln(o.Out)
 	tb := report.NewTable("workload", "B", "protocol", "miss%", "essential%", "vs MIN")
-	for _, name := range names {
-		w, err := workload.Get(name)
-		if err != nil {
-			return err
-		}
-		for _, b := range []int{64, 1024} {
-			g, err := mem.NewGeometry(b)
-			if err != nil {
-				return err
-			}
-			results, err := runProtocols(w, g, protos)
-			if err != nil {
-				return err
-			}
+	for wi, w := range ws {
+		for bi, b := range largeBlocks {
+			results := cells[wi*perWorkload+bi*perBlock : wi*perWorkload+(bi+1)*perBlock]
 			var minRate float64
 			for _, res := range results {
 				if res.Protocol == "MIN" {
@@ -58,7 +90,7 @@ func Large(o Options) error {
 				if minRate > 0 {
 					gap = fmt.Sprintf("%+.0f%%", 100*(res.MissRate()-minRate)/minRate)
 				}
-				tb.Rowf(name, b, res.Protocol, pct(res.MissRate()), pct(minRate), gap)
+				tb.Rowf(w.Name, b, res.Protocol, pct(res.MissRate()), pct(minRate), gap)
 			}
 		}
 	}

@@ -15,7 +15,8 @@ import (
 // bottom-line metric the paper's introduction motivates: processor blocking
 // ("the penalty of the request"). The report shows parallel cycles per
 // reference, the slowdown versus the essential schedule (MIN), and the
-// fraction of processor time lost to miss stalls.
+// fraction of processor time lost to miss stalls. The (workload, protocol)
+// grid runs on the sweep engine.
 func Penalty(o Options, blockBytes int, m timing.Model) error {
 	g, err := mem.NewGeometry(blockBytes)
 	if err != nil {
@@ -27,25 +28,39 @@ func Penalty(o Options, blockBytes int, m timing.Model) error {
 		protos = coherence.Protocols
 	}
 
+	ws, err := getWorkloads(names)
+	if err != nil {
+		return err
+	}
+	for _, name := range protos {
+		if _, err := coherence.New(name, workload.DefaultProcs, g); err != nil {
+			return err
+		}
+	}
+
+	cache := o.traceCache()
+	cells, err := mapCells(o, len(ws)*len(protos), func(i int) (timing.Times, error) {
+		w, proto := ws[i/len(protos)], protos[i%len(protos)]
+		r, err := cache.Reader(w.Name)
+		if err != nil {
+			return timing.Times{}, err
+		}
+		return timing.Run(proto, r, g, m)
+	})
+	if err != nil {
+		return err
+	}
+
 	fmt.Fprintf(o.Out, "Execution-time model (B=%d bytes, %d-cycle miss penalty)\n\n",
 		blockBytes, m.MissPenalty)
 	tb := report.NewTable("workload", "protocol", "cycles/ref", "vs MIN", "miss%", "stall share")
-	for _, name := range names {
-		w, err := workload.Get(name)
-		if err != nil {
-			return err
-		}
+	for wi, w := range ws {
+		results := cells[wi*len(protos) : (wi+1)*len(protos)]
 		var minCycles uint64
-		results := make([]timing.Times, 0, len(protos))
-		for _, proto := range protos {
-			times, err := timing.Run(proto, w.Reader(), g, m)
-			if err != nil {
-				return err
-			}
+		for pi, proto := range protos {
 			if proto == "MIN" {
-				minCycles = times.Cycles
+				minCycles = results[pi].Cycles
 			}
-			results = append(results, times)
 		}
 		for _, times := range results {
 			vs := "n/a"
@@ -56,7 +71,7 @@ func Penalty(o Options, blockBytes int, m timing.Model) error {
 			if times.BusyCycles > 0 {
 				stallShare = float64(times.StallCycles) / float64(times.BusyCycles)
 			}
-			tb.Rowf(name, times.Protocol,
+			tb.Rowf(w.Name, times.Protocol,
 				fmt.Sprintf("%.2f", times.CyclesPerRef()),
 				vs,
 				pct(times.Result.MissRate()),

@@ -10,10 +10,17 @@ import (
 	"repro/internal/workload"
 )
 
+// phasesCell is one workload's phase series.
+type phasesCell struct {
+	points []core.PhasePoint
+	tail   core.PhasePoint
+}
+
 // Phases renders the miss classification as a time series over the
 // computation's phases, bucketed into at most `buckets` rows: the cold ramp
 // draining into steady-state sharing, and — in LU — the rate climbing as
-// the active columns shrink toward the block size.
+// the active columns shrink toward the block size. One sweep cell per
+// workload computes the series.
 func Phases(o Options, blockBytes, buckets int) error {
 	g, err := mem.NewGeometry(blockBytes)
 	if err != nil {
@@ -24,18 +31,32 @@ func Phases(o Options, blockBytes, buckets int) error {
 	}
 	names := o.workloads(workload.SmallSet())
 
-	fmt.Fprintf(o.Out, "Miss classification over computation phases (B=%d bytes)\n", blockBytes)
-	for _, name := range names {
-		w, err := workload.Get(name)
+	ws, err := getWorkloads(names)
+	if err != nil {
+		return err
+	}
+	cache := o.traceCache()
+	cells, err := mapCells(o, len(ws), func(i int) (phasesCell, error) {
+		w := ws[i]
+		r, err := cache.Reader(w.Name)
 		if err != nil {
-			return err
+			return phasesCell{}, err
 		}
 		series := core.NewPhaseSeries(w.Procs, g)
-		if err := trace.Drive(w.Reader(), series); err != nil {
-			return err
+		if err := trace.Drive(r, series); err != nil {
+			return phasesCell{}, err
 		}
 		points, tail := series.Finish()
-		fmt.Fprintf(o.Out, "\n%s (%d phases)\n", name, len(points))
+		return phasesCell{points: points, tail: tail}, nil
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(o.Out, "Miss classification over computation phases (B=%d bytes)\n", blockBytes)
+	for wi, w := range ws {
+		points, tail := cells[wi].points, cells[wi].tail
+		fmt.Fprintf(o.Out, "\n%s (%d phases)\n", w.Name, len(points))
 		tb := report.NewTable("phases", "refs", "cold", "PTS", "PFS", "miss%")
 		for _, bucket := range bucketize(points, buckets) {
 			var agg core.Counts

@@ -1,0 +1,123 @@
+package experiment
+
+import (
+	"bytes"
+	"io"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/timing"
+)
+
+// drivers enumerates every experiment entry point with a bounded
+// configuration, so the whole suite runs in seconds.
+var drivers = []struct {
+	name string
+	run  func(Options) error
+}{
+	{"Table1", Table1},
+	{"Table2", Table2},
+	{"Fig5", func(o Options) error { o.Blocks = []int{8, 64}; return Fig5(o) }},
+	{"Fig6", func(o Options) error { return Fig6(o, 64) }},
+	{"Large", Large},
+	{"Traffic", Traffic},
+	{"Finite", func(o Options) error { return FiniteSweep(o, 64, 4) }},
+	{"Compare", func(o Options) error { return Compare(o, 64) }},
+	{"Penalty", func(o Options) error { return Penalty(o, 64, timing.DefaultModel()) }},
+	{"Hotspots", func(o Options) error { return Hotspots(o, 64) }},
+	{"Phases", func(o Options) error { return Phases(o, 64, 4) }},
+	{"AblationCU", func(o Options) error { return AblationCU(o, 64) }},
+	{"AblationWBWI", func(o Options) error { return AblationWBWI(o, 1024) }},
+	{"AblationSector", func(o Options) error { return AblationSector(o, 1024) }},
+}
+
+func boundedOpts(out io.Writer, parallelism int) Options {
+	return Options{
+		Out: out, Quick: true,
+		Workloads:   []string{"LU32", "JACOBI"},
+		Protocols:   []string{"MIN", "OTF", "MAX"},
+		Parallelism: parallelism,
+	}
+}
+
+// TestDriversDeterministicAcrossParallelism is the tentpole's contract: every
+// driver's output is byte-identical whether the grid runs serially or on
+// eight workers.
+func TestDriversDeterministicAcrossParallelism(t *testing.T) {
+	for _, d := range drivers {
+		t.Run(d.name, func(t *testing.T) {
+			var serial bytes.Buffer
+			if err := d.run(boundedOpts(&serial, 1)); err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range []int{0, 8} {
+				var parallel bytes.Buffer
+				if err := d.run(boundedOpts(&parallel, p)); err != nil {
+					t.Fatalf("parallelism %d: %v", p, err)
+				}
+				if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
+					t.Errorf("parallelism %d output differs from serial:\n%s\nvs\n%s",
+						p, parallel.String(), serial.String())
+				}
+			}
+		})
+	}
+}
+
+// exclusiveWriter fails the test if two goroutines ever write concurrently —
+// the regression guard for the drivers' old habit of writing to the shared
+// Options.Out from inside the sweep loop.
+type exclusiveWriter struct {
+	t      *testing.T
+	inside atomic.Int32
+}
+
+func (w *exclusiveWriter) Write(p []byte) (int, error) {
+	if !w.inside.CompareAndSwap(0, 1) {
+		w.t.Error("concurrent Write on Options.Out")
+		return len(p), nil
+	}
+	defer w.inside.Store(0)
+	return len(p), nil
+}
+
+func TestDriversNeverWriteOutConcurrently(t *testing.T) {
+	for _, d := range drivers {
+		t.Run(d.name, func(t *testing.T) {
+			if err := d.run(boundedOpts(&exclusiveWriter{t: t}, 8)); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestSharedCacheAcrossDrivers runs several drivers over one cache, the way
+// regen does, and checks both that results are unchanged and that later
+// drivers actually hit the cache.
+func TestSharedCacheAcrossDrivers(t *testing.T) {
+	cache := NewTraceCache()
+	var withCache bytes.Buffer
+	for _, d := range drivers[:4] {
+		o := boundedOpts(&withCache, 0)
+		o.Cache = cache
+		if err := d.run(o); err != nil {
+			t.Fatalf("%s: %v", d.name, err)
+		}
+	}
+	var fresh bytes.Buffer
+	for _, d := range drivers[:4] {
+		if err := d.run(boundedOpts(&fresh, 1)); err != nil {
+			t.Fatalf("%s: %v", d.name, err)
+		}
+	}
+	if !bytes.Equal(withCache.Bytes(), fresh.Bytes()) {
+		t.Error("shared cache changed driver output")
+	}
+	s := cache.Stats()
+	if s.Hits == 0 {
+		t.Errorf("no cache hits across drivers: %+v", s)
+	}
+	if s.Misses == 0 || s.CachedRefs == 0 {
+		t.Errorf("cache never materialized anything: %+v", s)
+	}
+}

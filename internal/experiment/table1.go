@@ -3,9 +3,9 @@ package experiment
 import (
 	"fmt"
 
+	"repro/internal/core"
 	"repro/internal/mem"
 	"repro/internal/report"
-	"repro/internal/workload"
 )
 
 // table1Paper holds the counts the paper's Table 1 reports, for side-by-side
@@ -23,10 +23,18 @@ var table1Paper = map[string]map[int][3][3]uint64{
 	},
 }
 
+// table1Cell is one (workload, block) point: the three schemes' counts.
+type table1Cell struct {
+	ours         core.Counts
+	eggers, torr core.SharingCounts
+}
+
 // Table1 regenerates the paper's Table 1: the number of true-sharing, cold
 // and false-sharing misses under the three classifications, for the large
 // data sets at block sizes of 32 and 1024 bytes. With Quick, the small data
-// sets are used instead (and no paper reference column is available).
+// sets are used instead (and no paper reference column is available). Each
+// (workload, block) cell drives the three classifiers over one trace replay
+// on the sweep engine.
 func Table1(o Options) error {
 	defaults := []string{"LU200", "MP3D10000"}
 	if o.Quick {
@@ -35,23 +43,43 @@ func Table1(o Options) error {
 	names := o.workloads(defaults)
 	blocks := o.blocks([]int{32, 1024})
 
-	fmt.Fprintln(o.Out, "Table 1: miss counts under the three classifications")
-	fmt.Fprintln(o.Out)
-	tb := report.NewTable("workload", "B", "class", "scheme", "misses", "paper")
-	for _, name := range names {
-		w, err := workload.Get(name)
+	ws, err := getWorkloads(names)
+	if err != nil {
+		return err
+	}
+	geos := make([]mem.Geometry, len(blocks))
+	for i, b := range blocks {
+		g, err := mem.NewGeometry(b)
 		if err != nil {
 			return err
 		}
-		for _, b := range blocks {
-			g, err := mem.NewGeometry(b)
-			if err != nil {
-				return err
-			}
-			ours, eggers, torr, _, err := classifyAll(w, g)
-			if err != nil {
-				return err
-			}
+		geos[i] = g
+	}
+
+	cache := o.traceCache()
+	cells, err := mapCells(o, len(ws)*len(blocks), func(i int) (table1Cell, error) {
+		w, g := ws[i/len(blocks)], geos[i%len(blocks)]
+		r, err := cache.Reader(w.Name)
+		if err != nil {
+			return table1Cell{}, err
+		}
+		ours, eggers, torr, _, err := classifyAll(r, w.Procs, g)
+		if err != nil {
+			return table1Cell{}, err
+		}
+		return table1Cell{ours: ours, eggers: eggers, torr: torr}, nil
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintln(o.Out, "Table 1: miss counts under the three classifications")
+	fmt.Fprintln(o.Out)
+	tb := report.NewTable("workload", "B", "class", "scheme", "misses", "paper")
+	for wi, w := range ws {
+		for bi, b := range blocks {
+			cell := cells[wi*len(blocks)+bi]
+			ours, eggers, torr := cell.ours, cell.eggers, cell.torr
 			schemes := [3]struct {
 				name string
 				c    [3]uint64 // true, cold, false
@@ -64,10 +92,10 @@ func Table1(o Options) error {
 			for ci, class := range classes {
 				for si, s := range schemes {
 					paper := ""
-					if ref, ok := table1Paper[name][b]; ok {
+					if ref, ok := table1Paper[w.Name][b]; ok {
 						paper = fmt.Sprint(ref[si][ci])
 					}
-					tb.Rowf(name, b, class, s.name, s.c[ci], paper)
+					tb.Rowf(w.Name, b, class, s.name, s.c[ci], paper)
 				}
 			}
 		}

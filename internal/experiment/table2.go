@@ -24,7 +24,8 @@ var table2Paper = map[string][5]float64{
 // benchmark trace (modeled speedup, reference volumes, synchronization
 // operations, data-set size), next to the values the paper reports. With
 // Quick, only the small data sets are characterized (the large ones stream
-// tens of millions of references).
+// tens of millions of references). One sweep cell per workload collects the
+// statistics.
 func Table2(o Options) error {
 	defaults := workload.Names()
 	if o.Quick {
@@ -32,18 +33,33 @@ func Table2(o Options) error {
 	}
 	names := o.workloads(defaults)
 
+	ws, err := getWorkloads(names)
+	if err != nil {
+		return err
+	}
+	cache := o.traceCache()
+	cells, err := mapCells(o, len(ws), func(i int) (*trace.Stats, error) {
+		w := ws[i]
+		r, err := cache.Reader(w.Name)
+		if err != nil {
+			return nil, err
+		}
+		s := trace.NewStats(w.Procs, true)
+		if err := trace.Drive(r, s); err != nil {
+			return nil, err
+		}
+		return s, nil
+	})
+	if err != nil {
+		return err
+	}
+
 	fmt.Fprintln(o.Out, "Table 2: characteristics of the benchmarks (measured | paper)")
 	fmt.Fprintln(o.Out)
 	tb := report.NewTable("benchmark", "speedup", "writes(k)", "reads(k)", "acq/rel(k)", "data(KB)")
-	for _, name := range names {
-		w, err := workload.Get(name)
-		if err != nil {
-			return err
-		}
-		s := trace.NewStats(w.Procs, true)
-		if err := trace.Drive(w.Reader(), s); err != nil {
-			return err
-		}
+	for wi, w := range ws {
+		name := w.Name
+		s := cells[wi]
 		paper, ok := table2Paper[name]
 		cell := func(measured float64, idx int, format string) string {
 			if !ok {

@@ -6,6 +6,7 @@ import (
 	"repro/internal/coherence"
 	"repro/internal/mem"
 	"repro/internal/report"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -34,7 +35,8 @@ func TrafficOf(res coherence.Result, g mem.Geometry) uint64 {
 // and the memory traffic per data reference. The paper's observations to
 // check: protocols with reduced miss rates also reduce miss traffic, the
 // traffic is very high for large blocks, and update-based protocols trade
-// fetch traffic for update traffic.
+// fetch traffic for update traffic. The (workload, block, protocol) grid
+// runs on the sweep engine.
 func Traffic(o Options) error {
 	names := o.workloads(workload.SmallSet())
 	protos := o.Protocols
@@ -42,28 +44,56 @@ func Traffic(o Options) error {
 		protos = append(append([]string{}, coherence.Protocols...), coherence.ExtensionProtocols...)
 	}
 
+	ws, err := getWorkloads(names)
+	if err != nil {
+		return err
+	}
+	geos := make([]mem.Geometry, len(largeBlocks))
+	for i, b := range largeBlocks {
+		geos[i] = mem.MustGeometry(b)
+	}
+	for _, name := range protos {
+		if _, err := coherence.New(name, workload.DefaultProcs, geos[0]); err != nil {
+			return err
+		}
+	}
+
+	cache := o.traceCache()
+	perBlock := len(protos)
+	perWorkload := len(largeBlocks) * perBlock
+	cells, err := mapCells(o, len(ws)*perWorkload, func(i int) (coherence.Result, error) {
+		w := ws[i/perWorkload]
+		g := geos[i%perWorkload/perBlock]
+		proto := protos[i%perBlock]
+		sim, err := coherence.New(proto, w.Procs, g)
+		if err != nil {
+			return coherence.Result{}, err
+		}
+		r, err := cache.Reader(w.Name)
+		if err != nil {
+			return coherence.Result{}, err
+		}
+		if err := trace.Drive(r, sim); err != nil {
+			return coherence.Result{}, err
+		}
+		return sim.Finish(), nil
+	})
+	if err != nil {
+		return err
+	}
+
 	fmt.Fprintln(o.Out, "Memory traffic by invalidation schedule (bytes per data reference)")
 	fmt.Fprintln(o.Out)
 	tb := report.NewTable("workload", "B", "protocol", "miss%", "fetch B/ref", "msg B/ref", "total B/ref")
-	for _, name := range names {
-		w, err := workload.Get(name)
-		if err != nil {
-			return err
-		}
-		for _, b := range []int{64, 1024} {
-			g, err := mem.NewGeometry(b)
-			if err != nil {
-				return err
-			}
-			results, err := runProtocols(w, g, protos)
-			if err != nil {
-				return err
-			}
+	for wi, w := range ws {
+		for bi, b := range largeBlocks {
+			g := geos[bi]
+			results := cells[wi*perWorkload+bi*perBlock : wi*perWorkload+(bi+1)*perBlock]
 			for _, res := range results {
 				refs := float64(res.DataRefs)
 				fetch := float64(res.Misses*fetchBytes(g)) / refs
 				msgs := float64(TrafficOf(res, g)-res.Misses*fetchBytes(g)) / refs
-				tb.Rowf(name, b, res.Protocol,
+				tb.Rowf(w.Name, b, res.Protocol,
 					pct(res.MissRate()),
 					fmt.Sprintf("%.2f", fetch),
 					fmt.Sprintf("%.2f", msgs),

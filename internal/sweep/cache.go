@@ -1,0 +1,147 @@
+package sweep
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/trace"
+)
+
+// DefaultCacheRefs is the default TraceCache budget: the total number of
+// references the cache may hold in memory across all workloads. At 16
+// bytes per reference the default is ~128 MB — enough for every small
+// data-set trace at once, while the tens-of-millions-of-references large
+// traces (LU200, WATER288, ...) keep streaming exactly like the serial
+// path always did.
+const DefaultCacheRefs = 8 << 20
+
+// Opener produces a fresh streaming reader for a named trace. It must
+// return an equivalent stream every time it is called with the same name
+// (the workload generators are deterministic, so the registry satisfies
+// this).
+type Opener func(name string) (trace.Reader, error)
+
+// TraceCache memoizes materialized traces by name so a workload is
+// generated once per run instead of once per sweep cell. It is safe for
+// concurrent use: the first Reader call for a name materializes the trace
+// (concurrent callers for the same name wait rather than generating
+// duplicates), and every later call replays the in-memory copy. Traces
+// that would exceed the remaining budget are not cached; callers for those
+// names fall back to a fresh stream from the Opener each time.
+type TraceCache struct {
+	open   Opener
+	budget int64
+
+	mu      sync.Mutex
+	used    int64
+	entries map[string]*cacheEntry
+
+	hits, misses, streamed atomic.Int64
+}
+
+type cacheEntry struct {
+	ready chan struct{} // closed once materialization settled
+	tr    *trace.Trace  // nil: stream-only (over budget or failed)
+	err   error         // opener error, reported to every waiter
+}
+
+// NewTraceCache returns a cache over open holding at most budgetRefs
+// references in memory; budgetRefs <= 0 selects DefaultCacheRefs.
+func NewTraceCache(budgetRefs int64, open Opener) *TraceCache {
+	if budgetRefs <= 0 {
+		budgetRefs = DefaultCacheRefs
+	}
+	return &TraceCache{
+		open:    open,
+		budget:  budgetRefs,
+		entries: make(map[string]*cacheEntry),
+	}
+}
+
+// Reader returns a reader over the named trace: a replay of the cached
+// in-memory copy when the trace fits the budget, otherwise a fresh stream
+// from the Opener. Readers are independent and safe to drain concurrently.
+func (c *TraceCache) Reader(name string) (trace.Reader, error) {
+	c.mu.Lock()
+	e, ok := c.entries[name]
+	if ok {
+		c.mu.Unlock()
+		<-e.ready
+		if e.err != nil {
+			return nil, e.err
+		}
+		if e.tr == nil {
+			c.streamed.Add(1)
+			return c.open(name)
+		}
+		c.hits.Add(1)
+		return e.tr.Reader(), nil
+	}
+
+	e = &cacheEntry{ready: make(chan struct{})}
+	c.entries[name] = e
+	remaining := c.budget - c.used
+	c.mu.Unlock()
+
+	c.misses.Add(1)
+	tr, complete, err := c.materialize(name, remaining)
+	switch {
+	case err != nil:
+		e.err = err
+	case complete:
+		e.tr = tr
+		c.mu.Lock()
+		c.used += int64(tr.Len())
+		c.mu.Unlock()
+	}
+	close(e.ready)
+	if err != nil {
+		return nil, err
+	}
+	if e.tr == nil {
+		// Over budget: the partial materialization was abandoned, so this
+		// caller streams a fresh generation like every later one.
+		c.streamed.Add(1)
+		return c.open(name)
+	}
+	return e.tr.Reader(), nil
+}
+
+// materialize drains up to maxRefs references of a fresh stream into
+// memory.
+func (c *TraceCache) materialize(name string, maxRefs int64) (*trace.Trace, bool, error) {
+	if maxRefs <= 0 {
+		return nil, false, nil
+	}
+	r, err := c.open(name)
+	if err != nil {
+		return nil, false, err
+	}
+	return trace.CollectN(r, maxRefs)
+}
+
+// CacheStats reports cache effectiveness for logs and tests.
+type CacheStats struct {
+	// Hits counts readers served from a cached trace.
+	Hits int64
+	// Misses counts materialization attempts (one per distinct name).
+	Misses int64
+	// Streamed counts readers that fell back to a fresh generation
+	// because the trace did not fit the budget.
+	Streamed int64
+	// CachedRefs is the number of references currently held in memory.
+	CachedRefs int64
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *TraceCache) Stats() CacheStats {
+	c.mu.Lock()
+	used := c.used
+	c.mu.Unlock()
+	return CacheStats{
+		Hits:       c.hits.Load(),
+		Misses:     c.misses.Load(),
+		Streamed:   c.streamed.Load(),
+		CachedRefs: used,
+	}
+}

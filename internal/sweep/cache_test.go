@@ -1,0 +1,198 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// testTrace builds a small deterministic trace: every processor stores to
+// its own word and loads a shared one, with the given seed skewing the
+// addresses so distinct seeds give distinct sharing patterns.
+func testTrace(procs int, seed uint64) *trace.Trace {
+	tr := trace.New(procs)
+	for round := uint64(0); round < 8; round++ {
+		for p := 0; p < procs; p++ {
+			own := mem.Addr(uint64(p)*16 + (seed+round)%16)
+			tr.Refs = append(tr.Refs,
+				trace.S(p, own),
+				trace.L(p, mem.Addr(seed%32)),
+				trace.L(p, own+1))
+		}
+	}
+	return tr
+}
+
+// openerFor wraps traces in an Opener that counts its calls.
+func openerFor(traces map[string]*trace.Trace, calls *atomic.Int64) Opener {
+	return func(name string) (trace.Reader, error) {
+		if calls != nil {
+			calls.Add(1)
+		}
+		tr, ok := traces[name]
+		if !ok {
+			return nil, fmt.Errorf("no trace %q", name)
+		}
+		return tr.Reader(), nil
+	}
+}
+
+func TestTraceCacheMaterializesOnce(t *testing.T) {
+	var calls atomic.Int64
+	traces := map[string]*trace.Trace{"T": testTrace(4, 1)}
+	c := NewTraceCache(0, openerFor(traces, &calls))
+
+	for i := 0; i < 5; i++ {
+		r, err := c.Reader("T")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := trace.Collect(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Refs, traces["T"].Refs) {
+			t.Fatalf("reader %d replayed different refs", i)
+		}
+	}
+	if n := calls.Load(); n != 1 {
+		t.Errorf("opener called %d times, want 1", n)
+	}
+	s := c.Stats()
+	if s.Misses != 1 || s.Hits != 4 || s.Streamed != 0 {
+		t.Errorf("stats = %+v, want 1 miss, 4 hits, 0 streamed", s)
+	}
+	if s.CachedRefs != int64(traces["T"].Len()) {
+		t.Errorf("CachedRefs = %d, want %d", s.CachedRefs, traces["T"].Len())
+	}
+}
+
+func TestTraceCacheSingleflight(t *testing.T) {
+	var calls atomic.Int64
+	traces := map[string]*trace.Trace{"T": testTrace(8, 2)}
+	c := NewTraceCache(0, openerFor(traces, &calls))
+
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, err := c.Reader("T")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := trace.Collect(r); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := calls.Load(); n != 1 {
+		t.Errorf("opener called %d times under concurrency, want 1", n)
+	}
+}
+
+func TestTraceCacheOverBudgetStreams(t *testing.T) {
+	var calls atomic.Int64
+	tr := testTrace(4, 3)
+	c := NewTraceCache(int64(tr.Len())-1, openerFor(map[string]*trace.Trace{"T": tr}, &calls))
+
+	for i := 0; i < 3; i++ {
+		r, err := c.Reader("T")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := trace.Collect(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Len() != tr.Len() {
+			t.Fatalf("streamed reader %d saw %d refs, want %d", i, got.Len(), tr.Len())
+		}
+	}
+	s := c.Stats()
+	if s.Streamed != 3 || s.CachedRefs != 0 {
+		t.Errorf("stats = %+v, want 3 streamed and nothing cached", s)
+	}
+	// Materialization attempt + one fresh stream per caller.
+	if n := calls.Load(); n != 4 {
+		t.Errorf("opener called %d times, want 4", n)
+	}
+}
+
+func TestTraceCacheBudgetSharedAcrossNames(t *testing.T) {
+	a, b := testTrace(4, 4), testTrace(4, 5)
+	c := NewTraceCache(int64(a.Len()), openerFor(map[string]*trace.Trace{"A": a, "B": b}, nil))
+	if _, err := c.Reader("A"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Reader("B"); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Stats()
+	if s.CachedRefs != int64(a.Len()) {
+		t.Errorf("CachedRefs = %d, want only A's %d", s.CachedRefs, a.Len())
+	}
+	if s.Streamed != 1 {
+		t.Errorf("Streamed = %d, want 1 (B over budget)", s.Streamed)
+	}
+}
+
+func TestTraceCacheOpenerError(t *testing.T) {
+	boom := errors.New("boom")
+	var calls atomic.Int64
+	c := NewTraceCache(0, func(name string) (trace.Reader, error) {
+		calls.Add(1)
+		return nil, boom
+	})
+	for i := 0; i < 3; i++ {
+		if _, err := c.Reader("X"); !errors.Is(err, boom) {
+			t.Fatalf("call %d: err = %v, want %v", i, err, boom)
+		}
+	}
+	// The failure is memoized like a result: no retry storm.
+	if n := calls.Load(); n != 1 {
+		t.Errorf("opener called %d times, want 1", n)
+	}
+}
+
+// TestCacheInvarianceProperty is the cache's core contract as a property:
+// classifying a trace through the cache — whatever the budget, and whether
+// the reader is the materializing call, a cache hit, or a stream fallback —
+// yields exactly the counts of classifying the raw trace.
+func TestCacheInvarianceProperty(t *testing.T) {
+	g := mem.MustGeometry(16)
+	property := func(procsRaw, seedRaw uint8, budgetRaw int16) bool {
+		procs := int(procsRaw%7) + 2
+		tr := testTrace(procs, uint64(seedRaw))
+		wantCounts, wantRefs, err := core.Classify(tr.Reader(), g)
+		if err != nil {
+			return false
+		}
+		budget := int64(budgetRaw) // negative → default, small → stream path
+		c := NewTraceCache(budget, openerFor(map[string]*trace.Trace{"T": tr}, nil))
+		for i := 0; i < 3; i++ {
+			r, err := c.Reader("T")
+			if err != nil {
+				return false
+			}
+			counts, refs, err := core.Classify(r, g)
+			if err != nil || counts != wantCounts || refs != wantRefs {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

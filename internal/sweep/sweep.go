@@ -1,0 +1,133 @@
+// Package sweep is the parallel execution engine behind the experiment
+// drivers. An experiment is expanded into a grid of independent cells —
+// {workload, geometry, protocol/classifier} — and the cells run on a
+// bounded worker pool while the results are reassembled in deterministic
+// grid order, so the rendered tables and charts are byte-identical to a
+// serial run at any parallelism. A keyed, size-bounded trace cache
+// (TraceCache) lets every cell replay a workload trace that was
+// materialized once instead of regenerating it per cell.
+package sweep
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Options configures Run.
+type Options struct {
+	// Parallelism bounds the worker pool. Zero or negative means
+	// GOMAXPROCS; 1 runs the cells inline on the calling goroutine,
+	// recovering the serial path exactly.
+	Parallelism int
+}
+
+// workers returns the effective pool size for n cells.
+func (o Options) workers(n int) int {
+	p := o.Parallelism
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > n {
+		p = n
+	}
+	return p
+}
+
+// Run evaluates fn(ctx, i) for every cell index in [0, n) on a bounded
+// worker pool and returns the results in index order, independent of the
+// parallelism and of scheduling. The first error (lowest cell index among
+// the cells that failed) cancels the context so outstanding cells can stop
+// early and unstarted cells are skipped; Run then reports that error.
+func Run[T any](ctx context.Context, n int, o Options, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	results := make([]T, n)
+	p := o.workers(n)
+	if p == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			r, err := fn(ctx, i)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = r
+		}
+		return results, nil
+	}
+
+	parent := ctx
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				r, err := fn(ctx, i)
+				if err != nil {
+					errs[i] = err
+					cancel()
+					return
+				}
+				results[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := parent.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// Cell is one point of an experiment grid. Unused dimensions are left at
+// their zero value.
+type Cell struct {
+	// Workload names the benchmark trace.
+	Workload string
+	// Block is the cache-block size in bytes (0 when the experiment fixes
+	// the geometry outside the grid).
+	Block int
+	// Proto names the protocol, classifier variant or sweep label of the
+	// cell ("" when the experiment has no such dimension).
+	Proto string
+}
+
+// Grid expands the cross product workloads x blocks x protos in
+// workload-major order — the order the drivers render in. Empty dimensions
+// contribute a single zero value, so Grid(ws, nil, nil) is one cell per
+// workload.
+func Grid(workloads []string, blocks []int, protos []string) []Cell {
+	if len(blocks) == 0 {
+		blocks = []int{0}
+	}
+	if len(protos) == 0 {
+		protos = []string{""}
+	}
+	cells := make([]Cell, 0, len(workloads)*len(blocks)*len(protos))
+	for _, w := range workloads {
+		for _, b := range blocks {
+			for _, p := range protos {
+				cells = append(cells, Cell{Workload: w, Block: b, Proto: p})
+			}
+		}
+	}
+	return cells
+}

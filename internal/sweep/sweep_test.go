@@ -1,0 +1,151 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunReturnsResultsInOrder(t *testing.T) {
+	for _, p := range []int{0, 1, 2, 7, 64} {
+		got, err := Run(context.Background(), 100, Options{Parallelism: p},
+			func(_ context.Context, i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("p=%d: cell %d = %d, want %d", p, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	got, err := Run(context.Background(), 0, Options{},
+		func(_ context.Context, i int) (int, error) {
+			t.Error("fn called for empty grid")
+			return 0, nil
+		})
+	if err != nil || got != nil {
+		t.Fatalf("Run(0) = %v, %v", got, err)
+	}
+}
+
+func TestRunReportsLowestIndexError(t *testing.T) {
+	errLow, errHigh := errors.New("low"), errors.New("high")
+	for _, p := range []int{1, 4} {
+		_, err := Run(context.Background(), 16, Options{Parallelism: p},
+			func(_ context.Context, i int) (int, error) {
+				switch i {
+				case 3:
+					return 0, errLow
+				case 11:
+					return 0, errHigh
+				default:
+					return i, nil
+				}
+			})
+		// With p=1 cell 11 is never reached; with p=4 either may fire first,
+		// but the reported error must be the lowest-index one among those
+		// that did.
+		if err == nil {
+			t.Fatalf("p=%d: no error", p)
+		}
+		if p == 1 && err != errLow {
+			t.Fatalf("p=1: err = %v, want %v", err, errLow)
+		}
+		if err != errLow && err != errHigh {
+			t.Fatalf("p=%d: unexpected error %v", p, err)
+		}
+	}
+}
+
+func TestRunCancelsRemainingCellsOnError(t *testing.T) {
+	boom := errors.New("boom")
+	var started atomic.Int64
+	_, err := Run(context.Background(), 1000, Options{Parallelism: 2},
+		func(ctx context.Context, i int) (int, error) {
+			started.Add(1)
+			if i == 0 {
+				return 0, boom
+			}
+			<-ctx.Done() // the surviving worker must be released promptly
+			return 0, ctx.Err()
+		})
+	if !errors.Is(err, boom) && !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if n := started.Load(); n > 3 {
+		t.Errorf("%d cells started after the failure; want the pool drained", n)
+	}
+}
+
+func TestRunHonorsParentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, p := range []int{1, 4} {
+		_, err := Run(ctx, 8, Options{Parallelism: p},
+			func(ctx context.Context, i int) (int, error) { return i, ctx.Err() })
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("p=%d: err = %v, want context.Canceled", p, err)
+		}
+	}
+}
+
+func TestWorkersClamp(t *testing.T) {
+	if got := (Options{Parallelism: 8}).workers(3); got != 3 {
+		t.Errorf("workers clamped to %d, want 3", got)
+	}
+	if got := (Options{Parallelism: -1}).workers(1); got != 1 {
+		t.Errorf("workers = %d, want 1", got)
+	}
+	if got := (Options{}).workers(1 << 20); got < 1 {
+		t.Errorf("workers = %d, want >= 1", got)
+	}
+}
+
+func TestGrid(t *testing.T) {
+	cells := Grid([]string{"A", "B"}, []int{8, 64}, []string{"MIN"})
+	want := []Cell{
+		{"A", 8, "MIN"}, {"A", 64, "MIN"},
+		{"B", 8, "MIN"}, {"B", 64, "MIN"},
+	}
+	if !reflect.DeepEqual(cells, want) {
+		t.Errorf("Grid = %v, want %v", cells, want)
+	}
+	// Empty dimensions collapse to a single zero value.
+	cells = Grid([]string{"A", "B"}, nil, nil)
+	want = []Cell{{Workload: "A"}, {Workload: "B"}}
+	if !reflect.DeepEqual(cells, want) {
+		t.Errorf("Grid with empty dims = %v, want %v", cells, want)
+	}
+	if got := Grid(nil, []int{8}, nil); len(got) != 0 {
+		t.Errorf("Grid with no workloads = %v, want empty", got)
+	}
+}
+
+// TestRunMatchesSerialProperty is the engine's core contract as a property:
+// for any cell function, grid size and parallelism, Run returns exactly what
+// the plain serial loop returns.
+func TestRunMatchesSerialProperty(t *testing.T) {
+	property := func(nRaw uint8, parRaw int8, seed int64) bool {
+		n := int(nRaw%64) + 1
+		fn := func(_ context.Context, i int) (string, error) {
+			return fmt.Sprintf("%d:%d", seed, int64(i)*seed), nil
+		}
+		serial := make([]string, n)
+		for i := range serial {
+			serial[i], _ = fn(nil, i)
+		}
+		got, err := Run(context.Background(), n, Options{Parallelism: int(parRaw)}, fn)
+		return err == nil && reflect.DeepEqual(got, serial)
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

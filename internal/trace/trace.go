@@ -110,6 +110,30 @@ func Collect(r Reader) (*Trace, error) {
 	}
 }
 
+// CollectN drains at most maxRefs references from r into an in-memory
+// Trace and closes r. The second result reports whether the stream was
+// fully drained: false means the stream had more references than maxRefs
+// and the collected prefix should not stand in for the whole trace. It is
+// the materialize-once primitive behind the sweep engine's trace cache:
+// a materialized Trace serves any number of concurrent replay Readers.
+func CollectN(r Reader, maxRefs int64) (*Trace, bool, error) {
+	t := New(r.NumProcs())
+	defer CloseReader(r) //nolint:errcheck // best-effort close after drain
+	for {
+		ref, err := r.Next()
+		if err == io.EOF {
+			return t, true, nil
+		}
+		if err != nil {
+			return nil, false, err
+		}
+		if int64(len(t.Refs)) >= maxRefs {
+			return t, false, nil
+		}
+		t.Refs = append(t.Refs, ref)
+	}
+}
+
 // Consumer receives each reference of a trace in order. Implemented by the
 // classifiers, the protocol simulators and the statistics collector.
 type Consumer interface {
