@@ -25,27 +25,37 @@ var goldenCases = []struct {
 	{"penalty", []string{"penalty", "-workloads", "LU32,JACOBI", "-block", "64"}},
 }
 
-// runGolden executes one subcommand with the given worker count.
-func runGolden(t *testing.T, args []string, parallelism string) string {
+// runGolden executes one subcommand with the given extra flags appended.
+func runGolden(t *testing.T, args []string, extra ...string) string {
 	t.Helper()
 	var sb strings.Builder
-	full := append(append([]string{}, args...), "-j", parallelism)
+	full := append(append([]string{}, args...), extra...)
 	if err := run(full, &sb); err != nil {
 		t.Fatalf("%v: %v", full, err)
 	}
 	return sb.String()
 }
 
-// TestGoldenOutputs pins each experiment's exact stdout and proves the sweep
-// engine is deterministic: serial (-j 1) and parallel (-j 8) runs must both
-// match the committed golden byte for byte. Refresh with:
+// TestGoldenOutputs pins each experiment's exact stdout and proves the
+// parallel pipeline is deterministic end to end: the serial run (-j 1), the
+// parallel sweep (-j 8), and the block-sharded pipeline (-shards 1 and
+// -shards 8) must all match the committed golden byte for byte. Refresh
+// with:
 //
 //	go test ./cmd/uselessmiss -run TestGoldenOutputs -update
 func TestGoldenOutputs(t *testing.T) {
+	variants := []struct {
+		name  string
+		extra []string
+	}{
+		{"-j 8", []string{"-j", "8"}},
+		{"-shards 1", []string{"-j", "1", "-shards", "1"}},
+		{"-shards 8", []string{"-j", "1", "-shards", "8"}},
+	}
 	for _, tc := range goldenCases {
 		t.Run(tc.name, func(t *testing.T) {
 			path := filepath.Join("testdata", "golden", tc.name+".txt")
-			serial := runGolden(t, tc.args, "1")
+			serial := runGolden(t, tc.args, "-j", "1")
 
 			if *update {
 				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
@@ -63,11 +73,11 @@ func TestGoldenOutputs(t *testing.T) {
 				t.Errorf("-j 1 output differs from golden %s:\n got:\n%s\nwant:\n%s",
 					path, serial, want)
 			}
-
-			parallel := runGolden(t, tc.args, "8")
-			if parallel != string(want) {
-				t.Errorf("-j 8 output differs from golden %s:\n got:\n%s\nwant:\n%s",
-					path, parallel, want)
+			for _, v := range variants {
+				if got := runGolden(t, tc.args, v.extra...); got != string(want) {
+					t.Errorf("%s output differs from golden %s:\n got:\n%s\nwant:\n%s",
+						v.name, path, got, want)
+				}
 			}
 		})
 	}

@@ -19,6 +19,7 @@ func cmdRegen(args []string, out io.Writer) error {
 	dir := fs.String("o", "results", "output directory")
 	quick := fs.Bool("quick", false, "substitute small data sets in the heavy runs")
 	par := fs.Int("j", 0, "worker goroutines for the sweep grids (0 = GOMAXPROCS, 1 = serial)")
+	shards := fs.Int("shards", 0, "block shards per cell (0 or 1 = serial; output is identical at any value)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -57,7 +58,7 @@ func cmdRegen(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		o := experiment.Options{Out: f, Quick: *quick, Parallelism: *par, Cache: cache}
+		o := experiment.Options{Out: f, Quick: *quick, Parallelism: *par, Shards: *shards, Cache: cache}
 		err = a.run(o)
 		if closeErr := f.Close(); err == nil {
 			err = closeErr

@@ -106,18 +106,19 @@ func splitInts(s string) ([]int, error) {
 }
 
 // experimentFlags defines the flags shared by the experiment subcommands.
-func experimentFlags(fs *flag.FlagSet) (quick, csv *bool, workloads, protocols *string, par *int) {
+func experimentFlags(fs *flag.FlagSet) (quick, csv *bool, workloads, protocols *string, par, shards *int) {
 	quick = fs.Bool("quick", false, "use the small data sets for the heavy runs")
 	csv = fs.Bool("csv", false, "emit CSV instead of aligned tables")
 	workloads = fs.String("workloads", "", "comma-separated workload list (default: the experiment's own)")
 	protocols = fs.String("protocols", "", "comma-separated protocol list (fig6/large only)")
 	par = fs.Int("j", 0, "worker goroutines for the sweep grid (0 = GOMAXPROCS, 1 = serial)")
+	shards = fs.Int("shards", 0, "block shards per cell (0 or 1 = serial; output is identical at any value)")
 	return
 }
 
 func cmdExperiment(args []string, out io.Writer, which string) error {
 	fs := flag.NewFlagSet(which, flag.ContinueOnError)
-	quick, csv, workloads, protocols, par := experimentFlags(fs)
+	quick, csv, workloads, protocols, par, shards := experimentFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -126,6 +127,7 @@ func cmdExperiment(args []string, out io.Writer, which string) error {
 		Workloads:   splitList(*workloads),
 		Protocols:   splitList(*protocols),
 		Parallelism: *par,
+		Shards:      *shards,
 	}
 	switch which {
 	case "table1":
@@ -143,41 +145,41 @@ func cmdExperiment(args []string, out io.Writer, which string) error {
 
 func cmdCompare(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
-	_, csv, workloads, _, par := experimentFlags(fs)
+	_, csv, workloads, _, par, shards := experimentFlags(fs)
 	block := fs.Int("block", 64, "block size in bytes")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	o := experiment.Options{Out: out, CSV: *csv, Workloads: splitList(*workloads), Parallelism: *par}
+	o := experiment.Options{Out: out, CSV: *csv, Workloads: splitList(*workloads), Parallelism: *par, Shards: *shards}
 	return experiment.Compare(o, *block)
 }
 
 func cmdPhases(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("phases", flag.ContinueOnError)
-	_, csv, workloads, _, par := experimentFlags(fs)
+	_, csv, workloads, _, par, shards := experimentFlags(fs)
 	block := fs.Int("block", 64, "block size in bytes")
 	buckets := fs.Int("buckets", 10, "maximum rows per workload")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	o := experiment.Options{Out: out, CSV: *csv, Workloads: splitList(*workloads), Parallelism: *par}
+	o := experiment.Options{Out: out, CSV: *csv, Workloads: splitList(*workloads), Parallelism: *par, Shards: *shards}
 	return experiment.Phases(o, *block, *buckets)
 }
 
 func cmdHotspots(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("hotspots", flag.ContinueOnError)
-	_, csv, workloads, _, par := experimentFlags(fs)
+	_, csv, workloads, _, par, shards := experimentFlags(fs)
 	block := fs.Int("block", 64, "block size in bytes")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	o := experiment.Options{Out: out, CSV: *csv, Workloads: splitList(*workloads), Parallelism: *par}
+	o := experiment.Options{Out: out, CSV: *csv, Workloads: splitList(*workloads), Parallelism: *par, Shards: *shards}
 	return experiment.Hotspots(o, *block)
 }
 
 func cmdPenalty(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("penalty", flag.ContinueOnError)
-	_, csv, workloads, protocols, par := experimentFlags(fs)
+	_, csv, workloads, protocols, par, shards := experimentFlags(fs)
 	block := fs.Int("block", 64, "block size in bytes")
 	missPenalty := fs.Uint64("miss-penalty", 30, "blocking cycles per miss")
 	syncCycles := fs.Uint64("sync-cycles", 3, "cycles per acquire/release")
@@ -187,7 +189,7 @@ func cmdPenalty(args []string, out io.Writer) error {
 	o := experiment.Options{
 		Out: out, CSV: *csv,
 		Workloads: splitList(*workloads), Protocols: splitList(*protocols),
-		Parallelism: *par,
+		Parallelism: *par, Shards: *shards,
 	}
 	m := timing.Model{RefCycles: 1, MissPenalty: *missPenalty, SyncCycles: *syncCycles}
 	return experiment.Penalty(o, *block, m)
@@ -195,25 +197,25 @@ func cmdPenalty(args []string, out io.Writer) error {
 
 func cmdFinite(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("finite", flag.ContinueOnError)
-	_, csv, workloads, _, par := experimentFlags(fs)
+	_, csv, workloads, _, par, shards := experimentFlags(fs)
 	block := fs.Int("block", 64, "block size in bytes")
 	assoc := fs.Int("assoc", 4, "cache associativity")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	o := experiment.Options{Out: out, CSV: *csv, Workloads: splitList(*workloads), Parallelism: *par}
+	o := experiment.Options{Out: out, CSV: *csv, Workloads: splitList(*workloads), Parallelism: *par, Shards: *shards}
 	return experiment.FiniteSweep(o, *block, *assoc)
 }
 
 func cmdAblate(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ablate", flag.ContinueOnError)
-	_, csv, workloads, _, par := experimentFlags(fs)
+	_, csv, workloads, _, par, shards := experimentFlags(fs)
 	what := fs.String("what", "cu", "ablation to run: cu (competitive-update threshold), wbwi (invalidation buffer) or sector (coherence grain)")
 	block := fs.Int("block", 64, "block size in bytes")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	o := experiment.Options{Out: out, CSV: *csv, Workloads: splitList(*workloads), Parallelism: *par}
+	o := experiment.Options{Out: out, CSV: *csv, Workloads: splitList(*workloads), Parallelism: *par, Shards: *shards}
 	switch *what {
 	case "cu":
 		return experiment.AblationCU(o, *block)
@@ -228,7 +230,7 @@ func cmdAblate(args []string, out io.Writer) error {
 
 func cmdFig5(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("fig5", flag.ContinueOnError)
-	quick, csv, workloads, _, par := experimentFlags(fs)
+	quick, csv, workloads, _, par, shards := experimentFlags(fs)
 	blocks := fs.String("blocks", "", "comma-separated block sizes in bytes (default 4..2048)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -240,14 +242,14 @@ func cmdFig5(args []string, out io.Writer) error {
 	o := experiment.Options{
 		Out: out, Quick: *quick, CSV: *csv,
 		Workloads: splitList(*workloads), Blocks: blockList,
-		Parallelism: *par,
+		Parallelism: *par, Shards: *shards,
 	}
 	return experiment.Fig5(o)
 }
 
 func cmdFig6(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("fig6", flag.ContinueOnError)
-	quick, csv, workloads, protocols, par := experimentFlags(fs)
+	quick, csv, workloads, protocols, par, shards := experimentFlags(fs)
 	block := fs.Int("block", 64, "block size in bytes (64 for Fig. 6a, 1024 for Fig. 6b)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -255,7 +257,7 @@ func cmdFig6(args []string, out io.Writer) error {
 	o := experiment.Options{
 		Out: out, Quick: *quick, CSV: *csv,
 		Workloads: splitList(*workloads), Protocols: splitList(*protocols),
-		Parallelism: *par,
+		Parallelism: *par, Shards: *shards,
 	}
 	return experiment.Fig6(o, *block)
 }

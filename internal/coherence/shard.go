@@ -1,0 +1,51 @@
+package coherence
+
+import (
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// MergeResults folds two shard Results of the same protocol into one:
+// every count is additive over a partition of the block space. The
+// protocol name is taken from a.
+func MergeResults(a, b Result) Result {
+	a.Counts = a.Counts.Add(b.Counts)
+	a.DataRefs += b.DataRefs
+	a.Misses += b.Misses
+	a.Invalidations += b.Invalidations
+	a.Upgrades += b.Upgrades
+	a.WriteThroughs += b.WriteThroughs
+	a.Updates += b.Updates
+	return a
+}
+
+// RunSharded replays a trace stream through the named protocol with the
+// block space partitioned across shards parallel simulators and merges the
+// per-shard Results.
+//
+// Every simulator's state is keyed by block — the per-processor structures
+// (RD/SRD invalidation buffers, SD/SRD store buffers, MAX credit books)
+// hold per-block entries — and the demux broadcasts synchronization
+// references to every shard, so each shard replays exactly the serial
+// schedule restricted to its blocks. The merged Result is identical to
+// RunWith's for every shard count; shards <= 1 is exactly RunWith.
+func RunSharded(name string, r trace.Reader, g mem.Geometry, shards int) (Result, error) {
+	if shards < 1 {
+		shards = 1
+	}
+	procs := r.NumProcs()
+	sims := make([]Simulator, shards)
+	for i := range sims {
+		sim, err := New(name, procs, g)
+		if err != nil {
+			trace.CloseReader(r) //nolint:errcheck // error path cleanup
+			return Result{}, err
+		}
+		sims[i] = sim
+	}
+	return core.RunSharded(r, shards, trace.BlockShard(g, shards),
+		func(i int) Simulator { return sims[i] },
+		Simulator.Finish,
+		MergeResults)
+}

@@ -1,0 +1,112 @@
+package coherence
+
+// Shard-invariance differential suite for the invalidation schedules: the
+// block-sharded pipeline must reproduce the serial Result — misses,
+// decomposition, invalidations, upgrades, write-throughs and updates —
+// bit for bit for every schedule, including the delayed ones whose drain
+// points (acquire/release) reach every shard via the demux broadcast.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+var shardCounts = []int{1, 2, 3, 8, 64}
+
+// shardedProtocols is every schedule the differential suite must cover:
+// the paper's seven plus the update-based extensions.
+func shardedProtocols() []string {
+	return append(append([]string{}, Protocols...), ExtensionProtocols...)
+}
+
+// TestShardedProtocolMatchesSerial checks, for every schedule and shard
+// count, that the merged sharded Result equals the serial RunWith Result
+// in every field.
+func TestShardedProtocolMatchesSerial(t *testing.T) {
+	for _, name := range shardedProtocols() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			f := func(seed int64) bool {
+				rng := rand.New(rand.NewSource(seed))
+				tr := randomSyncTrace(rng, 6, 700, 56)
+				for _, g := range []mem.Geometry{mem.MustGeometry(8), mem.MustGeometry(64)} {
+					want, err := RunWith(name, tr.Reader(), g)
+					if err != nil {
+						t.Log(err)
+						return false
+					}
+					for _, n := range shardCounts {
+						got, err := RunSharded(name, tr.Reader(), g, n)
+						if err != nil {
+							t.Log(err)
+							return false
+						}
+						if got != want {
+							t.Logf("%s %v shards=%d:\n got %+v\nwant %+v", name, g, n, got, want)
+							return false
+						}
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestShardedProtocolCrossChecks re-asserts the paper's structural
+// identities on MERGED results: MIN equals the essential count with no
+// false sharing, OTF's decomposition equals the Appendix-A classification,
+// and each protocol's internal miss counter matches its classified total.
+func TestShardedProtocolCrossChecks(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomSyncTrace(rng, 5, 600, 40)
+		g := mem.MustGeometry(32)
+		const n = 8
+		minRes, err := RunSharded("MIN", tr.Reader(), g, n)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		otfRes, err := RunSharded("OTF", tr.Reader(), g, n)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		if minRes.Counts.PFS != 0 {
+			t.Logf("sharded MIN has false sharing: %+v", minRes.Counts)
+			return false
+		}
+		if minRes.Misses != otfRes.Counts.Essential() {
+			t.Logf("sharded MIN misses %d != essential %d", minRes.Misses, otfRes.Counts.Essential())
+			return false
+		}
+		for _, res := range []Result{minRes, otfRes} {
+			if res.Misses != res.Counts.Total() {
+				t.Logf("%s: miss counter %d != classified total %d", res.Protocol, res.Misses, res.Counts.Total())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedUnknownProtocol pins the validation path: an unknown name must
+// fail before the demux starts and must still close the source reader.
+func TestShardedUnknownProtocol(t *testing.T) {
+	tr := trace.New(2, trace.L(0, 0))
+	if _, err := RunSharded("BOGUS", tr.Reader(), mem.MustGeometry(16), 4); err == nil {
+		t.Fatal("expected an error for an unknown protocol")
+	}
+}

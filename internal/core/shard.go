@@ -1,0 +1,165 @@
+package core
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// This file implements the consumer side of the block-sharded
+// classification pipeline: a pool of per-shard consumer goroutines over a
+// trace.Demux, with a deterministic merge of the per-shard results.
+//
+// The classifiers' and simulators' state — presence masks, lifetimes,
+// communication bases, per-word definitions — is keyed entirely by
+// mem.Block, and their counts are additive over any partition of the block
+// space. Partitioning the data references by block therefore splits one
+// consumer into independent machines whose merged counts equal the serial
+// run's, bit for bit, for every shard count (the shard-invariance test
+// suite and FuzzShardedEquivalence enforce this). Synchronization and
+// phase references are broadcast to every shard by the demux, so
+// schedule-sensitive consumers see the same synchronization points.
+
+// RunSharded partitions the data references of r across shards consumers
+// and merges their results in shard order. newConsumer(i) builds shard i's
+// consumer (called before any reference flows), finish extracts a shard's
+// result, and merge folds two results together (it must be associative;
+// the fold is left-to-right from shard 0).
+//
+// With shards <= 1 the single consumer is driven inline — the exact serial
+// path, no demux. The first shard error tears the demux down, the peer
+// goroutines drain, and that error is returned; RunSharded never leaks the
+// demux pump or a shard goroutine.
+func RunSharded[C trace.Consumer, R any](
+	r trace.Reader,
+	shards int,
+	key trace.ShardFunc,
+	newConsumer func(shard int) C,
+	finish func(C) R,
+	merge func(R, R) R,
+) (R, error) {
+	if shards <= 1 {
+		c := newConsumer(0)
+		if err := trace.Drive(r, c); err != nil {
+			var zero R
+			return zero, err
+		}
+		return finish(c), nil
+	}
+
+	consumers := make([]C, shards)
+	for i := range consumers {
+		consumers[i] = newConsumer(i)
+	}
+	d := trace.NewDemux(r, shards, key)
+	defer d.Close()
+
+	errs := make([]error, shards)
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := trace.Drive(d.Shard(i), consumers[i]); err != nil {
+				errs[i] = err
+				// First failure cancels the demux so the peers stop
+				// instead of classifying a stream that already failed.
+				d.Close()
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// Report the most meaningful error: a real failure beats the
+	// ErrStopped the peers observe after the teardown.
+	var stopped error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, trace.ErrStopped) {
+			if stopped == nil {
+				stopped = err
+			}
+			continue
+		}
+		var zero R
+		return zero, err
+	}
+	if stopped != nil {
+		var zero R
+		return zero, stopped
+	}
+
+	acc := finish(consumers[0])
+	for i := 1; i < shards; i++ {
+		acc = merge(acc, finish(consumers[i]))
+	}
+	return acc, nil
+}
+
+// classifyResult pairs a classification's counts with its data-reference
+// denominator so both merge together.
+type classifyResult[K any] struct {
+	counts K
+	refs   uint64
+}
+
+// ShardedClassify runs the paper's Appendix A classification with the
+// block space partitioned across shards parallel classifiers. The counts
+// and the data-reference count are identical to Classify's for every shard
+// count; shards <= 1 is exactly Classify.
+func ShardedClassify(r trace.Reader, g mem.Geometry, shards int) (Counts, uint64, error) {
+	procs := r.NumProcs()
+	res, err := RunSharded(r, shards, trace.BlockShard(g, shards),
+		func(int) *Classifier { return NewClassifier(procs, g) },
+		func(c *Classifier) classifyResult[Counts] {
+			return classifyResult[Counts]{counts: c.Finish(), refs: c.DataRefs()}
+		},
+		func(a, b classifyResult[Counts]) classifyResult[Counts] {
+			return classifyResult[Counts]{counts: a.counts.Add(b.counts), refs: a.refs + b.refs}
+		})
+	if err != nil {
+		return Counts{}, 0, err
+	}
+	return res.counts, res.refs, nil
+}
+
+// ShardedClassifyEggers runs Eggers' classification block-sharded; see
+// ShardedClassify.
+func ShardedClassifyEggers(r trace.Reader, g mem.Geometry, shards int) (SharingCounts, uint64, error) {
+	procs := r.NumProcs()
+	res, err := RunSharded(r, shards, trace.BlockShard(g, shards),
+		func(int) *Eggers { return NewEggers(procs, g) },
+		func(c *Eggers) classifyResult[SharingCounts] {
+			return classifyResult[SharingCounts]{counts: c.Finish(), refs: c.DataRefs()}
+		},
+		func(a, b classifyResult[SharingCounts]) classifyResult[SharingCounts] {
+			return classifyResult[SharingCounts]{counts: a.counts.Add(b.counts), refs: a.refs + b.refs}
+		})
+	if err != nil {
+		return SharingCounts{}, 0, err
+	}
+	return res.counts, res.refs, nil
+}
+
+// ShardedClassifyTorrellas runs Torrellas' classification block-sharded;
+// see ShardedClassify. Torrellas' word-level state shards with the blocks
+// containing the words.
+func ShardedClassifyTorrellas(r trace.Reader, g mem.Geometry, shards int) (SharingCounts, uint64, error) {
+	procs := r.NumProcs()
+	res, err := RunSharded(r, shards, trace.BlockShard(g, shards),
+		func(int) *Torrellas { return NewTorrellas(procs, g) },
+		func(c *Torrellas) classifyResult[SharingCounts] {
+			return classifyResult[SharingCounts]{counts: c.Finish(), refs: c.DataRefs()}
+		},
+		func(a, b classifyResult[SharingCounts]) classifyResult[SharingCounts] {
+			return classifyResult[SharingCounts]{counts: a.counts.Add(b.counts), refs: a.refs + b.refs}
+		})
+	if err != nil {
+		return SharingCounts{}, 0, err
+	}
+	return res.counts, res.refs, nil
+}

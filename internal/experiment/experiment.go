@@ -17,6 +17,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/mem"
@@ -49,6 +50,14 @@ type Options struct {
 	// Zero means GOMAXPROCS; 1 recovers the serial path. The rendered
 	// output is byte-identical at any setting.
 	Parallelism int
+	// Shards block-shards each cell's classification (the CLI's -shards
+	// flag): the cell's trace is demuxed by cache block across that many
+	// parallel consumers and the per-shard counts are merged. 0 or 1
+	// recovers the serial per-cell path. Shard invariance guarantees the
+	// rendered output is byte-identical at any setting; the effective
+	// per-cell shard count is capped so cells x shards goroutines stay
+	// within the shared budget (see shardsPerCell).
+	Shards int
 	// Cache shares materialized workload traces across driver calls
 	// (regen runs every artifact off one cache). Nil gives each driver
 	// its own cache for the duration of the call.
@@ -77,6 +86,40 @@ func (o Options) blocks(def []int) []int {
 
 func (o Options) sweepOpts() sweep.Options {
 	return sweep.Options{Parallelism: o.Parallelism}
+}
+
+// shardsPerCell bounds the per-cell shard count so the sweep pool and the
+// shard pools compose under one goroutine budget: with P concurrent cells
+// and S shards per cell the pipeline runs about P*S consumer goroutines, so
+// the effective S is budget/P where the budget is the largest of
+// GOMAXPROCS, the requested parallelism and the requested shard count.
+// Semaphore-gating the shard consumers instead would risk deadlock (a demux
+// pump blocks on a shard whose consumer never gets a slot), and a static
+// cap costs nothing because shard invariance keeps the output identical at
+// any effective value.
+func (o Options) shardsPerCell() int {
+	if o.Shards <= 1 {
+		return 1
+	}
+	par := o.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	budget := runtime.GOMAXPROCS(0)
+	if par > budget {
+		budget = par
+	}
+	if o.Shards > budget {
+		budget = o.Shards
+	}
+	eff := budget / par
+	if eff < 1 {
+		eff = 1
+	}
+	if eff > o.Shards {
+		eff = o.Shards
+	}
+	return eff
 }
 
 // traceCache returns the shared cache, or a fresh one scoped to the
@@ -126,16 +169,54 @@ func getWorkloads(names []string) ([]*workload.Workload, error) {
 	return ws, nil
 }
 
-// classifyAll drives the three classifiers over one replay of the workload
-// trace in a single pass.
-func classifyAll(r trace.Reader, procs int, g mem.Geometry) (ours core.Counts, eggers, torrellas core.SharingCounts, refs uint64, err error) {
-	oc := core.NewClassifier(procs, g)
-	ec := core.NewEggers(procs, g)
-	tc := core.NewTorrellas(procs, g)
-	if err = trace.Drive(r, oc, ec, tc); err != nil {
-		return
+// triClassifier fans one shard's references to all three classification
+// schemes, so a sharded run still replays each workload trace exactly once.
+type triClassifier struct {
+	oc *core.Classifier
+	ec *core.Eggers
+	tc *core.Torrellas
+}
+
+func newTriClassifier(procs int, g mem.Geometry) *triClassifier {
+	return &triClassifier{
+		oc: core.NewClassifier(procs, g),
+		ec: core.NewEggers(procs, g),
+		tc: core.NewTorrellas(procs, g),
 	}
-	return oc.Finish(), ec.Finish(), tc.Finish(), oc.DataRefs(), nil
+}
+
+func (c *triClassifier) Ref(r trace.Ref) {
+	c.oc.Ref(r)
+	c.ec.Ref(r)
+	c.tc.Ref(r)
+}
+
+// triCounts is the merged result of a triClassifier pass.
+type triCounts struct {
+	ours         core.Counts
+	eggers, torr core.SharingCounts
+	refs         uint64
+}
+
+func mergeTriCounts(a, b triCounts) triCounts {
+	return triCounts{
+		ours:   a.ours.Add(b.ours),
+		eggers: a.eggers.Add(b.eggers),
+		torr:   a.torr.Add(b.torr),
+		refs:   a.refs + b.refs,
+	}
+}
+
+// classifyAll drives the three classifiers over one replay of the workload
+// trace, block-sharded across shards consumers (shards <= 1 is the serial
+// single-pass path).
+func classifyAll(r trace.Reader, procs int, g mem.Geometry, shards int) (triCounts, error) {
+	return core.RunSharded(r, shards, trace.BlockShard(g, shards),
+		func(int) *triClassifier { return newTriClassifier(procs, g) },
+		func(c *triClassifier) triCounts {
+			return triCounts{ours: c.oc.Finish(), eggers: c.ec.Finish(), torr: c.tc.Finish(), refs: c.oc.DataRefs()}
+		},
+		mergeTriCounts)
 }
 
 func pct(v float64) string { return fmt.Sprintf("%.2f", v) }

@@ -6,7 +6,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/mem"
 	"repro/internal/report"
-	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -46,11 +45,11 @@ func Fig5(o Options) error {
 		if err != nil {
 			return fig5Cell{}, err
 		}
-		c := core.NewClassifier(w.Procs, g)
-		if err := trace.Drive(r, c); err != nil {
+		counts, refs, err := core.ShardedClassify(r, g, o.shardsPerCell())
+		if err != nil {
 			return fig5Cell{}, err
 		}
-		return fig5Cell{counts: c.Finish(), refs: c.DataRefs()}, nil
+		return fig5Cell{counts: counts, refs: refs}, nil
 	})
 	if err != nil {
 		return err

@@ -43,18 +43,11 @@ func Fig6(o Options, blockBytes int) error {
 	cache := o.traceCache()
 	cells, err := mapCells(o, len(ws)*len(protos), func(i int) (coherence.Result, error) {
 		w, proto := ws[i/len(protos)], protos[i%len(protos)]
-		sim, err := coherence.New(proto, w.Procs, g)
-		if err != nil {
-			return coherence.Result{}, err
-		}
 		r, err := cache.Reader(w.Name)
 		if err != nil {
 			return coherence.Result{}, err
 		}
-		if err := trace.Drive(r, sim); err != nil {
-			return coherence.Result{}, err
-		}
-		return sim.Finish(), nil
+		return coherence.RunSharded(proto, r, g, o.shardsPerCell())
 	})
 	if err != nil {
 		return err

@@ -45,7 +45,7 @@ func FiniteSweep(o Options, blockBytes, assoc int) error {
 		if err != nil {
 			return finiteCell{}, err
 		}
-		counts, refs, err := classifyAtCapacity(r, w.Procs, g, capacity, assoc)
+		counts, refs, err := classifyAtCapacity(r, g, capacity, assoc, o.shardsPerCell())
 		if err != nil {
 			return finiteCell{}, err
 		}
@@ -86,25 +86,14 @@ func FiniteSweep(o Options, blockBytes, assoc int) error {
 }
 
 // classifyAtCapacity classifies one trace replay with the given
-// per-processor cache capacity; capacity 0 means infinite.
-func classifyAtCapacity(r trace.Reader, procs int, g mem.Geometry, capacity, assoc int) (core.Counts, uint64, error) {
+// per-processor cache capacity, block-sharded across shards consumers;
+// capacity 0 means infinite.
+func classifyAtCapacity(r trace.Reader, g mem.Geometry, capacity, assoc, shards int) (core.Counts, uint64, error) {
 	if capacity == 0 {
-		c := core.NewClassifier(procs, g)
-		if err := trace.Drive(r, c); err != nil {
-			return core.Counts{}, 0, err
-		}
-		return c.Finish(), c.DataRefs(), nil
+		return core.ShardedClassify(r, g, shards)
 	}
 	cfg := finite.Config{CapacityBytes: capacity, Assoc: assoc}
-	c, err := finite.NewClassifier(procs, g, cfg)
-	if err != nil {
-		trace.CloseReader(r) //nolint:errcheck // error path cleanup
-		return core.Counts{}, 0, err
-	}
-	if err := trace.Drive(r, c); err != nil {
-		return core.Counts{}, 0, err
-	}
-	return c.Finish(), c.DataRefs(), nil
+	return finite.ShardedClassify(r, g, cfg, shards)
 }
 
 func capacityLabel(capacity int) string {

@@ -6,7 +6,6 @@ import (
 	"repro/internal/coherence"
 	"repro/internal/mem"
 	"repro/internal/report"
-	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -56,18 +55,11 @@ func Large(o Options) error {
 		w := ws[i/perWorkload]
 		g := geos[i%perWorkload/perBlock]
 		proto := protos[i%perBlock]
-		sim, err := coherence.New(proto, w.Procs, g)
-		if err != nil {
-			return coherence.Result{}, err
-		}
 		r, err := cache.Reader(w.Name)
 		if err != nil {
 			return coherence.Result{}, err
 		}
-		if err := trace.Drive(r, sim); err != nil {
-			return coherence.Result{}, err
-		}
-		return sim.Finish(), nil
+		return coherence.RunSharded(proto, r, g, o.shardsPerCell())
 	})
 	if err != nil {
 		return err

@@ -63,11 +63,11 @@ func Table1(o Options) error {
 		if err != nil {
 			return table1Cell{}, err
 		}
-		ours, eggers, torr, _, err := classifyAll(r, w.Procs, g)
+		tri, err := classifyAll(r, w.Procs, g, o.shardsPerCell())
 		if err != nil {
 			return table1Cell{}, err
 		}
-		return table1Cell{ours: ours, eggers: eggers, torr: torr}, nil
+		return table1Cell{ours: tri.ours, eggers: tri.eggers, torr: tri.torr}, nil
 	})
 	if err != nil {
 		return err

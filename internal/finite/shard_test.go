@@ -1,0 +1,107 @@
+package finite
+
+// Shard-invariance differential suite for the finite-cache classifier: the
+// set-respecting partition must reproduce the serial counts — including
+// the Repl component — for LRU and FIFO; the Random policy's global
+// xorshift stream is not block-decomposable and must fall back to serial.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+func randomFiniteTrace(rng *rand.Rand, procs, n, addrRange int) *trace.Trace {
+	tr := trace.New(procs)
+	for i := 0; i < n; i++ {
+		p := rng.Intn(procs)
+		switch rng.Intn(8) {
+		case 0, 1:
+			tr.Append(trace.S(p, mem.Addr(rng.Intn(addrRange))))
+		default:
+			tr.Append(trace.L(p, mem.Addr(rng.Intn(addrRange))))
+		}
+	}
+	return tr
+}
+
+// TestShardedFiniteMatchesSerial sweeps policies, capacities and shard
+// counts; the address range is sized well past the capacities so
+// replacements actually happen.
+func TestShardedFiniteMatchesSerial(t *testing.T) {
+	g := mem.MustGeometry(16) // 4 words per block
+	configs := []Config{
+		{CapacityBytes: 128, Assoc: 2, Policy: LRU},  // 4 sets
+		{CapacityBytes: 256, Assoc: 4, Policy: LRU},  // 4 sets
+		{CapacityBytes: 128, Assoc: 1, Policy: FIFO}, // 8 sets
+		{CapacityBytes: 64, Assoc: 4, Policy: LRU},   // 1 set: everything on shard 0
+		{CapacityBytes: 256, Assoc: 2, Policy: Random},
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomFiniteTrace(rng, 4, 900, 512)
+		for _, cfg := range configs {
+			want, wantRefs, err := Classify(tr.Reader(), g, cfg)
+			if err != nil {
+				t.Log(err)
+				return false
+			}
+			if cfg.Policy != Random && want.Repl == 0 {
+				t.Logf("%+v: no replacement misses; trace too small to exercise eviction", cfg)
+				return false
+			}
+			for _, n := range []int{1, 2, 3, 8, 64} {
+				got, refs, err := ShardedClassify(tr.Reader(), g, cfg, n)
+				if err != nil {
+					t.Log(err)
+					return false
+				}
+				if got != want || refs != wantRefs {
+					t.Logf("%+v shards=%d: got %+v, want %+v", cfg, n, got, want)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedFiniteEssentialInvariant: replacement misses are essential, so
+// essential = cold + PTS + Repl <= total on merged counts at any shards.
+func TestShardedFiniteEssentialInvariant(t *testing.T) {
+	g := mem.MustGeometry(16)
+	cfg := Config{CapacityBytes: 128, Assoc: 2, Policy: LRU}
+	rng := rand.New(rand.NewSource(7))
+	tr := randomFiniteTrace(rng, 4, 1200, 512)
+	for _, n := range []int{1, 4, 16} {
+		counts, refs, err := ShardedClassify(tr.Reader(), g, cfg, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if counts.Essential() != counts.Cold()+counts.PTS+counts.Repl {
+			t.Fatalf("shards=%d: essential %d != cold+PTS+Repl", n, counts.Essential())
+		}
+		if counts.Essential() > counts.Total() {
+			t.Fatalf("shards=%d: essential %d > total %d", n, counts.Essential(), counts.Total())
+		}
+		if refs != tr.DataRefs() {
+			t.Fatalf("shards=%d: data refs not conserved: %d of %d", n, refs, tr.DataRefs())
+		}
+	}
+}
+
+// TestShardedFiniteBadConfig pins the error path: an invalid cache shape
+// must surface before any goroutine starts.
+func TestShardedFiniteBadConfig(t *testing.T) {
+	tr := trace.New(2, trace.L(0, 0))
+	g := mem.MustGeometry(16)
+	if _, _, err := ShardedClassify(tr.Reader(), g, Config{CapacityBytes: 100, Assoc: 3}, 4); err == nil {
+		t.Fatal("expected an error for a non-power-of-two cache shape")
+	}
+}

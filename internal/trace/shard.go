@@ -1,0 +1,241 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/mem"
+)
+
+// This file implements the demux stage of the block-sharded classification
+// pipeline: one trace stream is fanned out to N shard streams so that N
+// block-partitioned consumers can classify one big trace concurrently.
+//
+// Routing rules:
+//
+//   - Every data reference (load/store) is delivered to exactly one shard,
+//     chosen by the ShardFunc. Sharding by cache block (BlockShard) is the
+//     canonical choice: the classifiers' and simulators' state is keyed by
+//     block, so a block partition splits them into independent machines.
+//   - Every synchronization and phase reference is broadcast to all shards,
+//     in stream order relative to the data references, so that
+//     schedule-sensitive consumers (RD/SD/SRD/MAX buffer stores or
+//     invalidations until an acquire or release) observe the same
+//     synchronization points as a serial run.
+//
+// Within each shard the delivered references are a subsequence of the
+// original stream, in original order.
+
+// ShardFunc maps a data reference to a shard index in [0, n). It is only
+// consulted for loads and stores; synchronization and phase references are
+// broadcast to every shard.
+type ShardFunc func(Ref) int
+
+// BlockShard returns the canonical ShardFunc for n shards: data references
+// are routed by g.BlockOf(addr) % n, so all references to one cache block
+// land on one shard.
+func BlockShard(g mem.Geometry, n int) ShardFunc {
+	return func(r Ref) int { return int(uint64(g.BlockOf(r.Addr)) % uint64(n)) }
+}
+
+// demuxBatch is the number of references pumped per channel send; batching
+// amortizes channel synchronization over the hot demux loop.
+const demuxBatch = 512
+
+// demuxBuffer is the per-shard channel capacity, in batches.
+const demuxBuffer = 4
+
+// Demux fans one trace Reader out to n shard Readers, following the routing
+// rules above. The pump goroutine owns the source reader and closes it when
+// the stream ends, when every shard has been closed, or when the Demux
+// itself is closed.
+//
+// Teardown is leak-free in both directions: closing one shard (CloseReader)
+// detaches it without stalling the others, and Close tears the whole demux
+// down — pending shard reads return ErrStopped — and waits for the pump
+// goroutine to exit.
+type Demux struct {
+	shards []*demuxShard
+	stop   chan struct{}
+	once   sync.Once
+	wg     sync.WaitGroup
+}
+
+// NewDemux starts the demux of r into n shards routed by key. It panics if
+// n < 1 or key is nil.
+func NewDemux(r Reader, n int, key ShardFunc) *Demux {
+	if n < 1 {
+		panic(fmt.Sprintf("trace: demux shard count %d < 1", n))
+	}
+	if key == nil {
+		panic("trace: nil ShardFunc")
+	}
+	d := &Demux{
+		shards: make([]*demuxShard, n),
+		stop:   make(chan struct{}),
+	}
+	for i := range d.shards {
+		d.shards[i] = &demuxShard{
+			procs: r.NumProcs(),
+			ch:    make(chan []Ref, demuxBuffer),
+			done:  make(chan struct{}),
+		}
+	}
+	d.wg.Add(1)
+	go d.pump(r, key)
+	return d
+}
+
+// Shards returns the number of shard streams.
+func (d *Demux) Shards() int { return len(d.shards) }
+
+// Shard returns shard i's Reader. Each shard must be consumed by at most
+// one goroutine; distinct shards may be consumed concurrently. Closing a
+// shard (it implements io.Closer) detaches it from the demux without
+// disturbing the other shards.
+func (d *Demux) Shard(i int) Reader { return d.shards[i] }
+
+// Close tears the demux down: the pump goroutine stops, the source reader
+// is closed, and any shard read still blocked (or issued later) returns
+// ErrStopped unless that shard had already reached its end of stream.
+// Close is idempotent and safe to call from shard-consuming goroutines.
+func (d *Demux) Close() error {
+	d.once.Do(func() { close(d.stop) })
+	d.wg.Wait()
+	return nil
+}
+
+// pump is the demux goroutine: it drains the source, batches per shard, and
+// finally publishes each shard's terminal status before closing its channel.
+func (d *Demux) pump(r Reader, key ShardFunc) {
+	defer d.wg.Done()
+	defer CloseReader(r) //nolint:errcheck // best-effort close after drain
+	n := len(d.shards)
+	batches := make([][]Ref, n)
+	var err error
+
+	flush := func(i int) bool {
+		if len(batches[i]) == 0 {
+			return true
+		}
+		s := d.shards[i]
+		if s.dead {
+			batches[i] = nil
+			return true
+		}
+		select {
+		case s.ch <- batches[i]:
+			batches[i] = nil
+			return true
+		case <-s.done:
+			// The consumer closed this shard: drop its refs and keep
+			// pumping the others.
+			s.dead = true
+			batches[i] = nil
+			return true
+		case <-d.stop:
+			return false
+		}
+	}
+
+loop:
+	for {
+		ref, e := r.Next()
+		if e == io.EOF {
+			break
+		}
+		if e != nil {
+			err = e
+			break
+		}
+		if ref.Kind.IsData() {
+			i := key(ref)
+			if uint(i) >= uint(n) {
+				err = fmt.Errorf("trace: ShardFunc returned %d for %d shards", i, n)
+				break
+			}
+			if d.shards[i].dead {
+				continue
+			}
+			batches[i] = append(batches[i], ref)
+			if len(batches[i]) >= demuxBatch && !flush(i) {
+				err = ErrStopped
+				break loop
+			}
+			continue
+		}
+		// Synchronization and phase references are broadcast: appended to
+		// every shard's batch so each shard sees them in stream order.
+		for i := range batches {
+			if d.shards[i].dead {
+				continue
+			}
+			batches[i] = append(batches[i], ref)
+			if len(batches[i]) >= demuxBatch && !flush(i) {
+				err = ErrStopped
+				break loop
+			}
+		}
+	}
+
+	if err == nil {
+		for i := range batches {
+			if !flush(i) {
+				err = ErrStopped
+				break
+			}
+		}
+	}
+	// Publish the terminal status. Writing err before close(ch) orders it
+	// before any consumer that observes the closed channel.
+	for _, s := range d.shards {
+		s.err = err
+		close(s.ch)
+	}
+}
+
+// demuxShard is one shard's Reader end.
+type demuxShard struct {
+	procs int
+	ch    chan []Ref
+	done  chan struct{}
+	once  sync.Once
+
+	cur []Ref
+	pos int
+	err error // terminal status, valid once ch is closed; nil means EOF
+
+	// dead is owned by the pump goroutine: set once it observes the
+	// shard's done channel closed, so later batches skip it.
+	dead bool
+}
+
+// NumProcs implements Reader.
+func (s *demuxShard) NumProcs() int { return s.procs }
+
+// Next implements Reader.
+func (s *demuxShard) Next() (Ref, error) {
+	for {
+		if s.pos < len(s.cur) {
+			ref := s.cur[s.pos]
+			s.pos++
+			return ref, nil
+		}
+		batch, ok := <-s.ch
+		if !ok {
+			if s.err != nil {
+				return Ref{}, s.err
+			}
+			return Ref{}, io.EOF
+		}
+		s.cur, s.pos = batch, 0
+	}
+}
+
+// Close implements io.Closer: it detaches the shard from the demux. The
+// pump stops delivering to it; other shards are unaffected.
+func (s *demuxShard) Close() error {
+	s.once.Do(func() { close(s.done) })
+	return nil
+}

@@ -1,0 +1,350 @@
+package trace
+
+// Demux-stage tests: routing and broadcast rules, per-shard order,
+// data-reference conservation, and — the regression suite for the teardown
+// fix — leak-free shutdown on early shard close, demux Close, and source
+// errors.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/mem"
+)
+
+// collectShard drains one shard into a slice.
+func collectShard(t *testing.T, r Reader) []Ref {
+	t.Helper()
+	var out []Ref
+	for {
+		ref, err := r.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("shard error: %v", err)
+		}
+		out = append(out, ref)
+	}
+}
+
+func randomDemuxTrace(rng *rand.Rand, procs, n int) *Trace {
+	tr := New(procs)
+	for i := 0; i < n; i++ {
+		p := rng.Intn(procs)
+		switch rng.Intn(10) {
+		case 0:
+			tr.Append(A(p, 1000))
+		case 1:
+			tr.Append(R(p, 1000))
+		case 2:
+			tr.Append(P())
+		case 3, 4:
+			tr.Append(S(p, mem.Addr(rng.Intn(96))))
+		default:
+			tr.Append(L(p, mem.Addr(rng.Intn(96))))
+		}
+	}
+	return tr
+}
+
+// TestDemuxRoutingAndOrder checks the demux contract directly: each data
+// reference lands exactly on its key's shard, every sync/phase reference
+// reaches all shards, and every shard stream is an order-preserving
+// subsequence of the source.
+func TestDemuxRoutingAndOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tr := randomDemuxTrace(rng, 4, 3000)
+	g := mem.MustGeometry(16)
+	const n = 5
+	d := NewDemux(tr.Reader(), n, BlockShard(g, n))
+
+	shards := make([][]Ref, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			shards[i] = collectShard(t, d.Shard(i))
+		}(i)
+	}
+	wg.Wait()
+	defer d.Close()
+
+	// Expected per-shard subsequences, built serially.
+	want := make([][]Ref, n)
+	for _, ref := range tr.Refs {
+		if ref.Kind.IsData() {
+			i := int(uint64(g.BlockOf(ref.Addr)) % n)
+			want[i] = append(want[i], ref)
+			continue
+		}
+		for i := range want {
+			want[i] = append(want[i], ref)
+		}
+	}
+	var dataDelivered uint64
+	for i := 0; i < n; i++ {
+		if len(shards[i]) != len(want[i]) {
+			t.Fatalf("shard %d: %d refs, want %d", i, len(shards[i]), len(want[i]))
+		}
+		for j := range want[i] {
+			if shards[i][j] != want[i][j] {
+				t.Fatalf("shard %d ref %d: got %v, want %v", i, j, shards[i][j], want[i][j])
+			}
+		}
+		for _, ref := range shards[i] {
+			if ref.Kind.IsData() {
+				dataDelivered++
+			}
+		}
+		if d.Shard(i).NumProcs() != tr.Procs {
+			t.Fatalf("shard %d: NumProcs %d, want %d", i, d.Shard(i).NumProcs(), tr.Procs)
+		}
+	}
+	if dataDelivered != tr.DataRefs() {
+		t.Fatalf("data refs not conserved: delivered %d, trace has %d", dataDelivered, tr.DataRefs())
+	}
+}
+
+// errAfterReader yields n loads, then a non-EOF error. It records whether
+// it was closed.
+type errAfterReader struct {
+	n      int
+	pos    int
+	err    error
+	closed bool
+}
+
+func (r *errAfterReader) NumProcs() int { return 2 }
+func (r *errAfterReader) Next() (Ref, error) {
+	if r.pos >= r.n {
+		return Ref{}, r.err
+	}
+	r.pos++
+	return L(0, mem.Addr(r.pos)), nil
+}
+func (r *errAfterReader) Close() error {
+	r.closed = true
+	return nil
+}
+
+// TestDemuxErrorPropagation: a source error must reach every shard (after
+// its buffered prefix) and the source must be closed.
+func TestDemuxErrorPropagation(t *testing.T) {
+	srcErr := errors.New("backing store exploded")
+	src := &errAfterReader{n: 2000, err: srcErr}
+	const n = 3
+	g := mem.MustGeometry(8)
+	d := NewDemux(src, n, BlockShard(g, n))
+
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for {
+				_, err := d.Shard(i).Next()
+				if err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	// Close waits for the pump goroutine, ordering its CloseReader call
+	// before the src.closed check below.
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i, err := range errs {
+		if !errors.Is(err, srcErr) {
+			t.Errorf("shard %d: got %v, want the source error", i, err)
+		}
+	}
+	if !src.closed {
+		t.Error("source reader not closed after error")
+	}
+}
+
+// waitForGoroutines polls until the goroutine count drops back to at most
+// base, tolerating scheduler lag.
+func waitForGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked: %d > %d\n%s",
+				runtime.NumGoroutine(), base, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestDemuxEarlyShardCloseNoLeak is the regression test for the teardown
+// fix: closing one shard mid-stream must neither stall the pump nor leak
+// it, and the remaining shards must still drain to EOF with their full
+// contents.
+func TestDemuxEarlyShardCloseNoLeak(t *testing.T) {
+	base := runtime.NumGoroutine()
+	for iter := 0; iter < 20; iter++ {
+		rng := rand.New(rand.NewSource(int64(iter)))
+		tr := randomDemuxTrace(rng, 4, 4000)
+		g := mem.MustGeometry(16)
+		const n = 4
+		d := NewDemux(tr.Reader(), n, BlockShard(g, n))
+
+		// Read a few refs from shard 0, then abandon it via CloseReader —
+		// the path trace.Drive takes when a consumer's shard errors.
+		s0 := d.Shard(0)
+		for j := 0; j < 3; j++ {
+			if _, err := s0.Next(); err != nil {
+				break
+			}
+		}
+		if err := CloseReader(s0); err != nil {
+			t.Fatal(err)
+		}
+
+		var wg sync.WaitGroup
+		got := make([]int, n)
+		for i := 1; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				got[i] = len(collectShard(t, d.Shard(i)))
+			}(i)
+		}
+		wg.Wait()
+		for i := 1; i < n; i++ {
+			wantLen := 0
+			for _, ref := range tr.Refs {
+				if !ref.Kind.IsData() || int(uint64(g.BlockOf(ref.Addr))%n) == i {
+					wantLen++
+				}
+			}
+			if got[i] != wantLen {
+				t.Fatalf("iter %d shard %d: %d refs after peer close, want %d", iter, i, got[i], wantLen)
+			}
+		}
+		if err := d.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitForGoroutines(t, base)
+}
+
+// TestDemuxCloseMidStreamNoLeak: Close while every shard is still being
+// pumped must stop the pump, close the source, and fail pending reads with
+// ErrStopped.
+func TestDemuxCloseMidStreamNoLeak(t *testing.T) {
+	base := runtime.NumGoroutine()
+	for iter := 0; iter < 20; iter++ {
+		src := &errAfterReader{n: 1 << 20, err: io.EOF}
+		const n = 3
+		g := mem.MustGeometry(8)
+		d := NewDemux(src, n, BlockShard(g, n))
+
+		// Consume a little so the pump is mid-flight, then tear down.
+		if _, err := d.Shard(0).Next(); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Close(); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			var err error
+			for err == nil {
+				_, err = d.Shard(i).Next()
+			}
+			if !errors.Is(err, ErrStopped) && err != io.EOF {
+				t.Fatalf("iter %d shard %d: got %v, want ErrStopped or EOF", iter, i, err)
+			}
+		}
+		if !src.closed {
+			t.Fatalf("iter %d: source not closed after demux Close", iter)
+		}
+	}
+	waitForGoroutines(t, base)
+}
+
+// TestDemuxAllShardsClosedStopsPump: abandoning every shard must let the
+// pump finish (it keeps draining the source but delivers nowhere) without
+// an explicit demux Close.
+func TestDemuxAllShardsClosedStopsPump(t *testing.T) {
+	base := runtime.NumGoroutine()
+	for iter := 0; iter < 10; iter++ {
+		rng := rand.New(rand.NewSource(int64(iter)))
+		tr := randomDemuxTrace(rng, 4, 2000)
+		g := mem.MustGeometry(16)
+		const n = 4
+		d := NewDemux(tr.Reader(), n, BlockShard(g, n))
+		for i := 0; i < n; i++ {
+			if err := CloseReader(d.Shard(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := d.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitForGoroutines(t, base)
+}
+
+// TestDemuxSingleShardIdentity: a 1-shard demux must reproduce the source
+// stream exactly (data and sync refs alike).
+func TestDemuxSingleShardIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr := randomDemuxTrace(rng, 3, 1500)
+	d := NewDemux(tr.Reader(), 1, func(Ref) int { return 0 })
+	defer d.Close()
+	got := collectShard(t, d.Shard(0))
+	if len(got) != tr.Len() {
+		t.Fatalf("got %d refs, want %d", len(got), tr.Len())
+	}
+	for i := range got {
+		if got[i] != tr.Refs[i] {
+			t.Fatalf("ref %d: got %v, want %v", i, got[i], tr.Refs[i])
+		}
+	}
+}
+
+// TestDemuxBadKey: a ShardFunc result out of range must surface as an
+// error on the shards, not a panic or a hang.
+func TestDemuxBadKey(t *testing.T) {
+	tr := New(2, L(0, 0), L(1, 1))
+	d := NewDemux(tr.Reader(), 2, func(Ref) int { return 99 })
+	defer d.Close()
+	var err error
+	for err == nil {
+		_, err = d.Shard(0).Next()
+	}
+	if err == io.EOF {
+		t.Fatal("out-of-range shard key silently ignored")
+	}
+	if want := fmt.Sprintf("%d shards", 2); !contains(err.Error(), want) {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
