@@ -5,7 +5,11 @@ BENCHTIME ?= 1x
 # the floor was set; drops below the floor fail `make cover` (and ci).
 COVERFLOOR ?= 85.0
 
-.PHONY: all build test race vet fmt golden golden-check cover fuzz bench ci
+.PHONY: all build test race vet fmt golden golden-check cover fuzz bench bench-save bench-compare ci
+
+# Where bench-save snapshots benchmark output and bench-compare reads it.
+BENCHDIR ?= results
+BENCHFILE ?= $(BENCHDIR)/bench_baseline.txt
 
 all: build test
 
@@ -17,9 +21,12 @@ test:
 
 # The determinism suite under the race detector is the regression guard for
 # the parallel sweep engine: any unsynchronized access in a driver or the
-# trace cache fails here.
+# trace cache fails here. Race instrumentation slows the driver replays far
+# below real speed (every dense-table probe is an instrumented slice access),
+# so give the experiment package room beyond go test's 10m default.
+RACETIMEOUT ?= 30m
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout $(RACETIMEOUT) ./...
 
 vet:
 	$(GO) vet ./...
@@ -56,5 +63,28 @@ fuzz:
 
 bench:
 	$(GO) test -bench . -benchmem -benchtime $(BENCHTIME) -run '^$$' .
+
+# Snapshot the current benchmark numbers as the comparison baseline.
+bench-save:
+	@mkdir -p $(BENCHDIR)
+	$(GO) test -bench . -benchmem -benchtime $(BENCHTIME) -run '^$$' . | tee $(BENCHFILE)
+
+# Compare a fresh run against the saved baseline: benchstat when installed,
+# otherwise a sorted side-by-side diff of the benchmark lines.
+bench-compare:
+	@test -f $(BENCHFILE) || { echo "no baseline at $(BENCHFILE); run 'make bench-save' first"; exit 1; }
+	@new=$$(mktemp); \
+	$(GO) test -bench . -benchmem -benchtime $(BENCHTIME) -run '^$$' . > "$$new" || { rm -f "$$new"; exit 1; }; \
+	if command -v benchstat >/dev/null 2>&1; then \
+		benchstat $(BENCHFILE) "$$new"; \
+	else \
+		old_sorted=$$(mktemp); new_sorted=$$(mktemp); \
+		grep '^Benchmark' $(BENCHFILE) | sort > "$$old_sorted"; \
+		grep '^Benchmark' "$$new" | sort > "$$new_sorted"; \
+		echo "benchstat not installed; showing old (<) vs new (>) benchmark lines:"; \
+		diff "$$old_sorted" "$$new_sorted" || true; \
+		rm -f "$$old_sorted" "$$new_sorted"; \
+	fi; \
+	rm -f "$$new"
 
 ci: build vet fmt test race golden-check cover

@@ -186,6 +186,54 @@ func BenchmarkProtocol(b *testing.B) {
 	}
 }
 
+// BenchmarkBatchDrain measures the two reference-delivery paths over the
+// cached trace: per-ref Next calls versus NextBatch into a reusable buffer.
+// The spread between the subbenchmarks is the dispatch overhead the batched
+// replay engine removes.
+func BenchmarkBatchDrain(b *testing.B) {
+	tr := benchTrace()
+	b.Run("next", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r := tr.Reader()
+			for {
+				if _, err := r.Next(); err != nil {
+					break
+				}
+			}
+		}
+		reportRefRate(b, tr)
+	})
+	b.Run("batch", func(b *testing.B) {
+		buf := make([]Ref, 1024)
+		for i := 0; i < b.N; i++ {
+			r := tr.Reader().(BatchReader)
+			for {
+				if _, err := r.NextBatch(buf); err != nil {
+					break
+				}
+			}
+		}
+		reportRefRate(b, tr)
+	})
+}
+
+// BenchmarkDriveClassifier measures the full replay engine (Drive) feeding
+// the Appendix A classifier, the end-to-end unit the experiments repeat.
+func BenchmarkDriveClassifier(b *testing.B) {
+	tr := benchTrace()
+	g := MustGeometry(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := NewClassifier(tr.Procs, g)
+		if err := Drive(tr.Reader(), c); err != nil {
+			b.Fatal(err)
+		}
+		c.Finish()
+	}
+	reportRefRate(b, tr)
+}
+
 func BenchmarkGenerate(b *testing.B) {
 	for _, name := range []string{"LU32", "JACOBI"} {
 		b.Run(name, func(b *testing.B) {

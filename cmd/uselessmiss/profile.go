@@ -1,0 +1,82 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// profiler carries the -cpuprofile/-memprofile flag values shared by the
+// experiment subcommands and regen.
+type profiler struct {
+	cpu string
+	mem string
+}
+
+// addProfileFlags registers the profiling flags on fs.
+func addProfileFlags(fs *flag.FlagSet) *profiler {
+	p := &profiler{}
+	fs.StringVar(&p.cpu, "cpuprofile", "", "write a pprof CPU profile of the replay to this file")
+	fs.StringVar(&p.mem, "memprofile", "", "write a pprof heap profile to this file on exit")
+	return p
+}
+
+// around runs fn with profiling active: the CPU profile covers fn, and the
+// heap profile is snapshotted after fn returns. The run error wins over
+// profile-writing errors.
+func (p *profiler) around(fn func() error) error {
+	stop, err := p.start()
+	if err != nil {
+		return err
+	}
+	runErr := fn()
+	if err := stop(); runErr == nil {
+		runErr = err
+	}
+	return runErr
+}
+
+// start begins the requested profiles and returns the function that stops
+// them and writes the results.
+func (p *profiler) start() (stop func() error, err error) {
+	var cpuFile *os.File
+	if p.cpu != "" {
+		cpuFile, err = os.Create(p.cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("starting CPU profile: %w", err)
+		}
+	}
+	return func() error {
+		var firstErr error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				firstErr = err
+			}
+		}
+		if p.mem != "" {
+			f, err := os.Create(p.mem)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return firstErr
+			}
+			runtime.GC() // flush dead objects so the profile shows live state
+			err = pprof.WriteHeapProfile(f)
+			if closeErr := f.Close(); err == nil {
+				err = closeErr
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}, nil
+}

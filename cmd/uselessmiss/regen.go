@@ -20,12 +20,19 @@ func cmdRegen(args []string, out io.Writer) error {
 	quick := fs.Bool("quick", false, "substitute small data sets in the heavy runs")
 	par := fs.Int("j", 0, "worker goroutines for the sweep grids (0 = GOMAXPROCS, 1 = serial)")
 	shards := fs.Int("shards", 0, "block shards per cell (0 or 1 = serial; output is identical at any value)")
+	prof := addProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
 		return err
 	}
+	return prof.around(func() error { return regenAll(*dir, *quick, *par, *shards, out) })
+}
+
+// regenAll replays every artifact; split out so profiling brackets exactly
+// the replay work.
+func regenAll(dir string, quick bool, par, shards int, out io.Writer) error {
 
 	artifacts := []struct {
 		file string
@@ -53,12 +60,12 @@ func cmdRegen(args []string, out io.Writer) error {
 	// materialized once and replayed by every artifact that wants it.
 	cache := experiment.NewTraceCache()
 	for _, a := range artifacts {
-		path := filepath.Join(*dir, a.file)
+		path := filepath.Join(dir, a.file)
 		f, err := os.Create(path)
 		if err != nil {
 			return err
 		}
-		o := experiment.Options{Out: f, Quick: *quick, Parallelism: *par, Shards: *shards, Cache: cache}
+		o := experiment.Options{Out: f, Quick: quick, Parallelism: par, Shards: shards, Cache: cache}
 		err = a.run(o)
 		if closeErr := f.Close(); err == nil {
 			err = closeErr

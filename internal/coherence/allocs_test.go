@@ -1,0 +1,45 @@
+package coherence
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// rdAllocRefs mixes loads, stores and acquires so the RD simulator exercises
+// its miss, invalidation-buffer and acquire-drain paths on every pass.
+func rdAllocRefs(procs, blocks int, g mem.Geometry) []trace.Ref {
+	refs := make([]trace.Ref, 0, 4096)
+	stride := mem.Addr(g.BlockBytes() / mem.WordBytes)
+	for i := 0; i < 4096; i++ {
+		p := i % procs
+		a := mem.Addr(i%blocks)*stride + mem.Addr(i%4)
+		switch i % 7 {
+		case 0:
+			refs = append(refs, trace.S(p, a))
+		case 3:
+			refs = append(refs, trace.A(p, 1))
+		default:
+			refs = append(refs, trace.L(p, a))
+		}
+	}
+	return refs
+}
+
+// TestRDSteadyStateAllocs pins the receive-delayed simulator's hot path to
+// zero steady-state allocations: the dense block table and the per-processor
+// pending lists (drained with retained capacity at each acquire) must absorb
+// a warmed-up pass without touching the heap.
+func TestRDSteadyStateAllocs(t *testing.T) {
+	g := mem.MustGeometry(64)
+	refs := rdAllocRefs(4, 64, g)
+	s := NewRD(4, g)
+	s.RefBatch(refs) // warm up: block table + pendList capacities
+
+	const ceiling = 0.0
+	got := testing.AllocsPerRun(10, func() { s.RefBatch(refs) })
+	if got > ceiling {
+		t.Fatalf("RD steady state allocates %.1f allocs per pass, ceiling %.1f", got, ceiling)
+	}
+}

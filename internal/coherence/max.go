@@ -3,6 +3,7 @@ package coherence
 import (
 	"math/bits"
 
+	"repro/internal/dense"
 	"repro/internal/mem"
 	"repro/internal/trace"
 )
@@ -24,34 +25,41 @@ import (
 // whenever it could miss under any legal schedule.
 type MAX struct {
 	base
-	blocks map[mem.Block]*maxBlock
-	open   [][]mem.Block // per sender: blocks with credits issued since its last release
+	blocks *dense.Map[maxBlock]
+	// issuedSlab holds one cell per contested block (procs counters);
+	// consumedSlab holds one cell per block that spent a credit
+	// (procs*procs counters, flattened [sender*procs+receiver]). Both are
+	// lazy: most blocks are never contested.
+	issuedSlab   *dense.Arena[uint32]
+	consumedSlab *dense.Arena[uint32]
+	open         [][]mem.Block // per sender: blocks with credits issued since its last release
 }
 
 type maxBlock struct {
 	present uint64
 	owner   int8
-	// issued[s] counts stores by sender s to this block since s's last
-	// release; consumed[s] holds per-receiver counts of credits from s
-	// already spent. Allocated lazily: most blocks are never contested.
-	issued   []uint32
-	consumed [][]uint32
+	// issued is the arena handle of per-sender credit counts since that
+	// sender's last release; consumed the handle of per-(sender,receiver)
+	// spent counts. 0 means not yet allocated.
+	issued   uint32
+	consumed uint32
 }
 
 // NewMAX returns a worst-case-schedule simulator.
 func NewMAX(procs int, g mem.Geometry) *MAX {
 	return &MAX{
-		base:   newBase("MAX", procs, g),
-		blocks: make(map[mem.Block]*maxBlock),
-		open:   make([][]mem.Block, procs),
+		base:         newBase("MAX", procs, g),
+		blocks:       dense.NewMap[maxBlock](0),
+		issuedSlab:   dense.NewArena[uint32](procs),
+		consumedSlab: dense.NewArena[uint32](procs * procs),
+		open:         make([][]mem.Block, procs),
 	}
 }
 
 func (s *MAX) block(b mem.Block) *maxBlock {
-	mb := s.blocks[b]
-	if mb == nil {
-		mb = &maxBlock{owner: -1}
-		s.blocks[b] = mb
+	mb, existed := s.blocks.GetOrPut(uint64(b))
+	if !existed {
+		mb.owner = -1
 	}
 	return mb
 }
@@ -64,6 +72,13 @@ func (s *MAX) Ref(r trace.Ref) {
 		s.access(p, r.Addr, r.Kind == trace.Store)
 	case trace.Release:
 		s.releaseCredits(p)
+	}
+}
+
+// RefBatch implements trace.BatchConsumer.
+func (s *MAX) RefBatch(refs []trace.Ref) {
+	for _, r := range refs {
+		s.Ref(r)
 	}
 }
 
@@ -95,50 +110,50 @@ func (s *MAX) access(p int, a mem.Addr, store bool) {
 		mb.owner = int8(p)
 		s.life.RecordStore(p, a)
 		// Issue one credit per remote processor.
-		if mb.issued == nil {
-			mb.issued = make([]uint32, s.procs)
+		if mb.issued == 0 {
+			mb.issued = s.issuedSlab.Alloc()
 		}
-		if mb.issued[p] == 0 {
+		issued := s.issuedSlab.Slice(mb.issued)
+		if issued[p] == 0 {
 			s.open[p] = append(s.open[p], blk)
 		}
-		mb.issued[p]++
+		issued[p]++
 	}
 }
 
 // spendCredit consumes one live credit targeting processor q's copy, if any
 // sender has one, and reports whether it did.
 func (s *MAX) spendCredit(mb *maxBlock, q int) bool {
-	if mb.issued == nil {
+	if mb.issued == 0 {
 		return false
 	}
-	for sender := range mb.issued {
-		if sender == q || mb.issued[sender] == 0 {
+	issued := s.issuedSlab.Slice(mb.issued)
+	for sender := range issued {
+		if sender == q || issued[sender] == 0 {
 			continue
 		}
-		if s.consumedCount(mb, sender, q) >= mb.issued[sender] {
+		if s.consumedCount(mb, sender, q) >= issued[sender] {
 			continue
 		}
-		s.consumed(mb, sender)[q]++
+		s.consumedRow(mb, sender)[q]++
 		return true
 	}
 	return false
 }
 
 func (s *MAX) consumedCount(mb *maxBlock, sender, q int) uint32 {
-	if mb.consumed == nil || mb.consumed[sender] == nil {
+	if mb.consumed == 0 {
 		return 0
 	}
-	return mb.consumed[sender][q]
+	return s.consumedSlab.Slice(mb.consumed)[sender*s.procs+q]
 }
 
-func (s *MAX) consumed(mb *maxBlock, sender int) []uint32 {
-	if mb.consumed == nil {
-		mb.consumed = make([][]uint32, s.procs)
+func (s *MAX) consumedRow(mb *maxBlock, sender int) []uint32 {
+	if mb.consumed == 0 {
+		mb.consumed = s.consumedSlab.Alloc()
 	}
-	if mb.consumed[sender] == nil {
-		mb.consumed[sender] = make([]uint32, s.procs)
-	}
-	return mb.consumed[sender]
+	row := sender * s.procs
+	return s.consumedSlab.Slice(mb.consumed)[row : row+s.procs]
 }
 
 // releaseCredits is the deadline: all of sender p's open credits must be
@@ -146,8 +161,9 @@ func (s *MAX) consumed(mb *maxBlock, sender int) []uint32 {
 // invalidated; the credit books for p are then cleared.
 func (s *MAX) releaseCredits(p int) {
 	for _, blk := range s.open[p] {
-		mb := s.blocks[blk]
-		if mb.issued[p] == 0 {
+		mb := s.blocks.Get(uint64(blk))
+		issued := s.issuedSlab.Slice(mb.issued)
+		if issued[p] == 0 {
 			continue
 		}
 		targets := mb.present &^ (1 << uint(p))
@@ -155,15 +171,15 @@ func (s *MAX) releaseCredits(p int) {
 			q := bits.TrailingZeros64(targets)
 			qbit := uint64(1) << uint(q)
 			targets &^= qbit
-			if s.consumedCount(mb, p, q) >= mb.issued[p] {
+			if s.consumedCount(mb, p, q) >= issued[p] {
 				continue // every credit already spent on q
 			}
 			mb.present &^= qbit
 			s.invalidate(q, blk)
 		}
-		mb.issued[p] = 0
-		if mb.consumed != nil && mb.consumed[p] != nil {
-			clear(mb.consumed[p])
+		issued[p] = 0
+		if mb.consumed != 0 {
+			clear(s.consumedRow(mb, p))
 		}
 	}
 	s.open[p] = s.open[p][:0]

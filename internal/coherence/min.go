@@ -3,6 +3,7 @@ package coherence
 import (
 	"math/bits"
 
+	"repro/internal/dense"
 	"repro/internal/mem"
 	"repro/internal/trace"
 )
@@ -16,24 +17,28 @@ import (
 // false-sharing component is zero by construction.
 type MIN struct {
 	base
-	blocks map[mem.Block]*minBlock
+	blocks *dense.Map[minBlock]
+	slab   *dense.Arena[uint64] // one cell per block: pend, words long
 }
 
 type minBlock struct {
-	present uint64   // procs with a copy
-	pend    []uint64 // per word: procs with a buffered invalidation
+	present uint64 // procs with a copy
+	pend    uint32 // arena handle, per word: procs with a buffered invalidation
 }
 
 // NewMIN returns a MIN simulator.
 func NewMIN(procs int, g mem.Geometry) *MIN {
-	return &MIN{base: newBase("MIN", procs, g), blocks: make(map[mem.Block]*minBlock)}
+	return &MIN{
+		base:   newBase("MIN", procs, g),
+		blocks: dense.NewMap[minBlock](0),
+		slab:   dense.NewArena[uint64](g.WordsPerBlock()),
+	}
 }
 
 func (s *MIN) block(b mem.Block) *minBlock {
-	mb := s.blocks[b]
-	if mb == nil {
-		mb = &minBlock{pend: make([]uint64, s.g.WordsPerBlock())}
-		s.blocks[b] = mb
+	mb, existed := s.blocks.GetOrPut(uint64(b))
+	if !existed {
+		mb.pend = s.slab.Alloc()
 	}
 	return mb
 }
@@ -47,6 +52,7 @@ func (s *MIN) Ref(r trace.Ref) {
 	p := int(r.Proc)
 	blk := s.g.BlockOf(r.Addr)
 	mb := s.block(blk)
+	pend := s.slab.Slice(mb.pend)
 	bit := uint64(1) << uint(p)
 	off := s.g.OffsetOf(r.Addr)
 
@@ -54,11 +60,11 @@ func (s *MIN) Ref(r trace.Ref) {
 	case mb.present&bit == 0: // cold-path miss: allocate (also on writes)
 		s.miss(p, r.Addr)
 		mb.present |= bit
-		clearPending(mb.pend, bit)
-	case mb.pend[off]&bit != 0: // buffered invalidation on this word
+		clearPending(pend, bit)
+	case pend[off]&bit != 0: // buffered invalidation on this word
 		s.life.CloseInvalidate(p, blk)
 		s.miss(p, r.Addr) // refetch a fresh copy
-		clearPending(mb.pend, bit)
+		clearPending(pend, bit)
 	}
 	s.life.Access(p, r.Addr)
 
@@ -69,9 +75,16 @@ func (s *MIN) Ref(r trace.Ref) {
 			// One word-invalidation message per remote copy,
 			// buffered at each receiver.
 			s.invalidations += uint64(popcount(sharers))
-			mb.pend[off] |= sharers
+			pend[off] |= sharers
 		}
 		s.life.RecordStore(p, r.Addr)
+	}
+}
+
+// RefBatch implements trace.BatchConsumer.
+func (s *MIN) RefBatch(refs []trace.Ref) {
+	for _, r := range refs {
+		s.Ref(r)
 	}
 }
 

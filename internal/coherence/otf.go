@@ -1,6 +1,7 @@
 package coherence
 
 import (
+	"repro/internal/dense"
 	"repro/internal/mem"
 	"repro/internal/trace"
 )
@@ -11,12 +12,12 @@ import (
 // miss decomposition is exactly the paper's Appendix A classification.
 type OTF struct {
 	base
-	present map[mem.Block]uint64
+	present *dense.Map[uint64]
 }
 
 // NewOTF returns an on-the-fly simulator.
 func NewOTF(procs int, g mem.Geometry) *OTF {
-	return &OTF{base: newBase("OTF", procs, g), present: make(map[mem.Block]uint64)}
+	return &OTF{base: newBase("OTF", procs, g), present: dense.NewMap[uint64](0)}
 }
 
 // Ref implements trace.Consumer. Synchronization references are free under
@@ -30,23 +31,31 @@ func (s *OTF) Ref(r trace.Ref) {
 	blk := s.g.BlockOf(r.Addr)
 	bit := uint64(1) << uint(p)
 
-	missed := s.present[blk]&bit == 0
+	present, _ := s.present.GetOrPut(uint64(blk))
+	missed := *present&bit == 0
 	if missed {
 		s.miss(p, r.Addr)
-		s.present[blk] |= bit
+		*present |= bit
 	}
 	s.life.Access(p, r.Addr)
 
 	if r.Kind == trace.Store {
-		others := s.present[blk] &^ bit
+		others := *present &^ bit
 		if others != 0 {
 			if !missed {
 				s.upgrades++ // ownership taken without a miss
 			}
 			forEachProc(others, func(q int) { s.invalidate(q, blk) })
-			s.present[blk] = bit
+			*present = bit
 		}
 		s.life.RecordStore(p, r.Addr)
+	}
+}
+
+// RefBatch implements trace.BatchConsumer.
+func (s *OTF) RefBatch(refs []trace.Ref) {
+	for _, r := range refs {
+		s.Ref(r)
 	}
 }
 

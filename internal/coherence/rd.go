@@ -1,6 +1,7 @@
 package coherence
 
 import (
+	"repro/internal/dense"
 	"repro/internal/mem"
 	"repro/internal/trace"
 )
@@ -14,7 +15,7 @@ import (
 // suffices, versus a dirty bit per word for WBWI.
 type RD struct {
 	base
-	blocks   map[mem.Block]*rdBlock
+	blocks   *dense.Map[rdBlock]
 	pendList [][]mem.Block // per proc: blocks with a buffered invalidation
 }
 
@@ -28,16 +29,15 @@ type rdBlock struct {
 func NewRD(procs int, g mem.Geometry) *RD {
 	return &RD{
 		base:     newBase("RD", procs, g),
-		blocks:   make(map[mem.Block]*rdBlock),
+		blocks:   dense.NewMap[rdBlock](0),
 		pendList: make([][]mem.Block, procs),
 	}
 }
 
 func (s *RD) block(b mem.Block) *rdBlock {
-	rb := s.blocks[b]
-	if rb == nil {
-		rb = &rdBlock{owner: -1}
-		s.blocks[b] = rb
+	rb, existed := s.blocks.GetOrPut(uint64(b))
+	if !existed {
+		rb.owner = -1
 	}
 	return rb
 }
@@ -52,6 +52,13 @@ func (s *RD) Ref(r trace.Ref) {
 		s.store(p, r.Addr)
 	case trace.Acquire:
 		s.acquire(p)
+	}
+}
+
+// RefBatch implements trace.BatchConsumer.
+func (s *RD) RefBatch(refs []trace.Ref) {
+	for _, r := range refs {
+		s.Ref(r)
 	}
 }
 
@@ -110,7 +117,7 @@ func (s *RD) store(p int, a mem.Addr) {
 func (s *RD) acquire(p int) {
 	bit := uint64(1) << uint(p)
 	for _, blk := range s.pendList[p] {
-		rb := s.blocks[blk]
+		rb := s.blocks.Get(uint64(blk))
 		if rb.pending&bit == 0 {
 			continue // already satisfied by a refetch
 		}

@@ -1,6 +1,7 @@
 package coherence
 
 import (
+	"repro/internal/dense"
 	"repro/internal/mem"
 	"repro/internal/trace"
 )
@@ -12,20 +13,14 @@ import (
 // then. Received invalidations are performed immediately in the cache.
 type SD struct {
 	base
-	blocks  map[mem.Block]*sdBlock
-	buffers []sdBuffer // per proc: blocks with buffered stores
+	blocks  *dense.Map[sdBlock]
+	buffers [][]sdPending // per proc: blocks with buffered stores
 }
 
 type sdBlock struct {
-	present uint64
-	owner   int8
-}
-
-// sdBuffer is a per-processor store buffer holding one entry per block
-// (stores to the same block combine).
-type sdBuffer struct {
-	blocks []sdPending
-	member map[mem.Block]bool
+	present  uint64
+	buffered uint64 // procs holding a buffered store to this block
+	owner    int8
 }
 
 // sdPending remembers one buffered-store block and a word address inside it
@@ -37,22 +32,17 @@ type sdPending struct {
 
 // NewSD returns a send-delayed simulator.
 func NewSD(procs int, g mem.Geometry) *SD {
-	s := &SD{
+	return &SD{
 		base:    newBase("SD", procs, g),
-		blocks:  make(map[mem.Block]*sdBlock),
-		buffers: make([]sdBuffer, procs),
+		blocks:  dense.NewMap[sdBlock](0),
+		buffers: make([][]sdPending, procs),
 	}
-	for p := range s.buffers {
-		s.buffers[p].member = make(map[mem.Block]bool)
-	}
-	return s
 }
 
 func (s *SD) block(b mem.Block) *sdBlock {
-	sb := s.blocks[b]
-	if sb == nil {
-		sb = &sdBlock{owner: -1}
-		s.blocks[b] = sb
+	sb, existed := s.blocks.GetOrPut(uint64(b))
+	if !existed {
+		sb.owner = -1
 	}
 	return sb
 }
@@ -67,6 +57,13 @@ func (s *SD) Ref(r trace.Ref) {
 		s.store(p, r.Addr)
 	case trace.Release:
 		s.release(p)
+	}
+}
+
+// RefBatch implements trace.BatchConsumer.
+func (s *SD) RefBatch(refs []trace.Ref) {
+	for _, r := range refs {
+		s.Ref(r)
 	}
 }
 
@@ -96,10 +93,9 @@ func (s *SD) store(p int, a mem.Addr) {
 			s.miss(p, a) // the data is needed now; only the send is delayed
 			sb.present |= bit
 		}
-		buf := &s.buffers[p]
-		if !buf.member[blk] {
-			buf.member[blk] = true
-			buf.blocks = append(buf.blocks, sdPending{blk: blk, addr: a})
+		if sb.buffered&bit == 0 {
+			sb.buffered |= bit
+			s.buffers[p] = append(s.buffers[p], sdPending{blk: blk, addr: a})
 		}
 	}
 	s.life.Access(p, a)
@@ -111,10 +107,9 @@ func (s *SD) store(p int, a mem.Addr) {
 // receivers), and the processor takes ownership. A copy lost between the
 // buffered store and the release must be refetched: a miss.
 func (s *SD) release(p int) {
-	buf := &s.buffers[p]
 	bit := uint64(1) << uint(p)
-	for _, pend := range buf.blocks {
-		sb := s.blocks[pend.blk]
+	for _, pend := range s.buffers[p] {
+		sb := s.blocks.Get(uint64(pend.blk))
 		if sb.present&bit == 0 {
 			// Someone else took ownership in between and
 			// invalidated our copy; refetch to complete the store.
@@ -125,9 +120,9 @@ func (s *SD) release(p int) {
 		}
 		sb.owner = int8(p)
 		s.invalidateSharers(sb, pend.blk, bit)
-		delete(buf.member, pend.blk)
+		sb.buffered &^= bit
 	}
-	buf.blocks = buf.blocks[:0]
+	s.buffers[p] = s.buffers[p][:0]
 }
 
 func (s *SD) invalidateSharers(sb *sdBlock, blk mem.Block, bit uint64) {

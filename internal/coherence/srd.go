@@ -1,6 +1,7 @@
 package coherence
 
 import (
+	"repro/internal/dense"
 	"repro/internal/mem"
 	"repro/internal/trace"
 )
@@ -11,36 +12,32 @@ import (
 // acquire (combining at the receiving end).
 type SRD struct {
 	base
-	blocks   map[mem.Block]*srdBlock
-	buffers  []sdBuffer    // per proc: blocks with buffered stores
+	blocks   *dense.Map[srdBlock]
+	buffers  [][]sdPending // per proc: blocks with buffered stores
 	pendList [][]mem.Block // per proc: blocks with buffered received invalidations
 }
 
 type srdBlock struct {
-	present uint64
-	pending uint64 // procs whose copy has a buffered received invalidation
-	owner   int8
+	present  uint64
+	pending  uint64 // procs whose copy has a buffered received invalidation
+	buffered uint64 // procs holding a buffered store to this block
+	owner    int8
 }
 
 // NewSRD returns a send-and-receive-delayed simulator.
 func NewSRD(procs int, g mem.Geometry) *SRD {
-	s := &SRD{
+	return &SRD{
 		base:     newBase("SRD", procs, g),
-		blocks:   make(map[mem.Block]*srdBlock),
-		buffers:  make([]sdBuffer, procs),
+		blocks:   dense.NewMap[srdBlock](0),
+		buffers:  make([][]sdPending, procs),
 		pendList: make([][]mem.Block, procs),
 	}
-	for p := range s.buffers {
-		s.buffers[p].member = make(map[mem.Block]bool)
-	}
-	return s
 }
 
 func (s *SRD) block(b mem.Block) *srdBlock {
-	sb := s.blocks[b]
-	if sb == nil {
-		sb = &srdBlock{owner: -1}
-		s.blocks[b] = sb
+	sb, existed := s.blocks.GetOrPut(uint64(b))
+	if !existed {
+		sb.owner = -1
 	}
 	return sb
 }
@@ -57,6 +54,13 @@ func (s *SRD) Ref(r trace.Ref) {
 		s.acquire(p)
 	case trace.Release:
 		s.release(p)
+	}
+}
+
+// RefBatch implements trace.BatchConsumer.
+func (s *SRD) RefBatch(refs []trace.Ref) {
+	for _, r := range refs {
+		s.Ref(r)
 	}
 }
 
@@ -88,10 +92,9 @@ func (s *SRD) store(p int, a mem.Addr) {
 			sb.present |= bit
 			sb.pending &^= bit
 		}
-		buf := &s.buffers[p]
-		if !buf.member[blk] {
-			buf.member[blk] = true
-			buf.blocks = append(buf.blocks, sdPending{blk: blk, addr: a})
+		if sb.buffered&bit == 0 {
+			sb.buffered |= bit
+			s.buffers[p] = append(s.buffers[p], sdPending{blk: blk, addr: a})
 		}
 	}
 	s.life.Access(p, a)
@@ -101,10 +104,9 @@ func (s *SRD) store(p int, a mem.Addr) {
 // release flushes the store buffer: ownership is acquired per block and one
 // combined invalidation per block goes out to the receivers' buffers.
 func (s *SRD) release(p int) {
-	buf := &s.buffers[p]
 	bit := uint64(1) << uint(p)
-	for _, pend := range buf.blocks {
-		sb := s.blocks[pend.blk]
+	for _, pend := range s.buffers[p] {
+		sb := s.blocks.Get(uint64(pend.blk))
 		switch {
 		case sb.present&bit == 0:
 			s.miss(p, pend.addr)
@@ -121,16 +123,16 @@ func (s *SRD) release(p int) {
 		}
 		sb.owner = int8(p)
 		s.sendInvalidations(sb, pend.blk, bit)
-		delete(buf.member, pend.blk)
+		sb.buffered &^= bit
 	}
-	buf.blocks = buf.blocks[:0]
+	s.buffers[p] = s.buffers[p][:0]
 }
 
 // acquire performs all buffered received invalidations.
 func (s *SRD) acquire(p int) {
 	bit := uint64(1) << uint(p)
 	for _, blk := range s.pendList[p] {
-		sb := s.blocks[blk]
+		sb := s.blocks.Get(uint64(blk))
 		if sb.pending&bit == 0 {
 			continue
 		}

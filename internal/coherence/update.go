@@ -3,6 +3,7 @@ package coherence
 import (
 	"fmt"
 
+	"repro/internal/dense"
 	"repro/internal/mem"
 	"repro/internal/trace"
 )
@@ -31,13 +32,13 @@ const DefaultCompetitiveThreshold = 4
 // message per remote copy per store.
 type WU struct {
 	base
-	present map[mem.Block]uint64
+	present *dense.Map[uint64]
 	updates uint64
 }
 
 // NewWU returns a write-update simulator.
 func NewWU(procs int, g mem.Geometry) *WU {
-	return &WU{base: newBase("WU", procs, g), present: make(map[mem.Block]uint64)}
+	return &WU{base: newBase("WU", procs, g), present: dense.NewMap[uint64](0)}
 }
 
 // Ref implements trace.Consumer.
@@ -50,14 +51,22 @@ func (s *WU) Ref(r trace.Ref) {
 	blk := s.g.BlockOf(r.Addr)
 	bit := uint64(1) << uint(p)
 
-	if s.present[blk]&bit == 0 {
+	present, _ := s.present.GetOrPut(uint64(blk))
+	if *present&bit == 0 {
 		s.miss(p, r.Addr)
-		s.present[blk] |= bit
+		*present |= bit
 	}
 	s.life.Access(p, r.Addr)
 	if r.Kind == trace.Store {
-		s.updates += uint64(popcount(s.present[blk] &^ bit))
+		s.updates += uint64(popcount(*present &^ bit))
 		s.life.RecordStore(p, r.Addr)
+	}
+}
+
+// RefBatch implements trace.BatchConsumer.
+func (s *WU) RefBatch(refs []trace.Ref) {
+	for _, r := range refs {
+		s.Ref(r)
 	}
 }
 
@@ -77,13 +86,14 @@ func (s *WU) Finish() Result {
 type CU struct {
 	base
 	threshold uint8
-	blocks    map[mem.Block]*cuBlock
+	blocks    *dense.Map[cuBlock]
+	slab      *dense.Arena[uint8] // one cell per block: per-proc countdowns
 	updates   uint64
 }
 
 type cuBlock struct {
 	present uint64
-	count   []uint8 // per processor: remaining remote updates before self-invalidation
+	count   uint32 // arena handle, per processor: remaining remote updates before self-invalidation
 }
 
 // NewCU returns a competitive-update simulator with the given threshold
@@ -95,15 +105,15 @@ func NewCU(procs int, g mem.Geometry, threshold int) (*CU, error) {
 	return &CU{
 		base:      newBase("CU", procs, g),
 		threshold: uint8(threshold),
-		blocks:    make(map[mem.Block]*cuBlock),
+		blocks:    dense.NewMap[cuBlock](0),
+		slab:      dense.NewArena[uint8](procs),
 	}, nil
 }
 
 func (s *CU) block(b mem.Block) *cuBlock {
-	cb := s.blocks[b]
-	if cb == nil {
-		cb = &cuBlock{count: make([]uint8, s.procs)}
-		s.blocks[b] = cb
+	cb, existed := s.blocks.GetOrPut(uint64(b))
+	if !existed {
+		cb.count = s.slab.Alloc()
 	}
 	return cb
 }
@@ -117,26 +127,34 @@ func (s *CU) Ref(r trace.Ref) {
 	p := int(r.Proc)
 	blk := s.g.BlockOf(r.Addr)
 	cb := s.block(blk)
+	count := s.slab.Slice(cb.count)
 	bit := uint64(1) << uint(p)
 
 	if cb.present&bit == 0 {
 		s.miss(p, r.Addr)
 		cb.present |= bit
 	}
-	cb.count[p] = s.threshold // local use resets the countdown
+	count[p] = s.threshold // local use resets the countdown
 	s.life.Access(p, r.Addr)
 
 	if r.Kind == trace.Store {
 		sharers := cb.present &^ bit
 		s.updates += uint64(popcount(sharers))
 		forEachProc(sharers, func(q int) {
-			cb.count[q]--
-			if cb.count[q] == 0 {
+			count[q]--
+			if count[q] == 0 {
 				cb.present &^= 1 << uint(q)
 				s.invalidate(q, blk)
 			}
 		})
 		s.life.RecordStore(p, r.Addr)
+	}
+}
+
+// RefBatch implements trace.BatchConsumer.
+func (s *CU) RefBatch(refs []trace.Ref) {
+	for _, r := range refs {
+		s.Ref(r)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"repro/internal/dense"
 	"repro/internal/mem"
 	"repro/internal/trace"
 )
@@ -16,7 +17,13 @@ import (
 // miss, where MIN would have kept writing through.
 type WBWI struct {
 	base
-	blocks map[mem.Block]*wbwiBlock
+	blocks *dense.Map[wbwiBlock]
+	// pendSlab holds one cell per block (sectors words); cntSlab holds one
+	// cell per block (procs counters, limited buffers only). Both are
+	// created on the first block since NewSectored/NewWBWILimited adjust
+	// the cell sizes after NewWBWI.
+	pendSlab *dense.Arena[uint64]
+	cntSlab  *dense.Arena[uint16]
 	// sectorShift maps word offsets to invalidation sectors: 0 gives the
 	// paper's word-grain WBWI; larger shifts coarsen the invalidation
 	// grain up to the whole block (see NewSectored).
@@ -32,11 +39,11 @@ type WBWI struct {
 }
 
 type wbwiBlock struct {
-	present uint64   // procs with a copy
-	pendAny uint64   // procs with a buffered invalidation on >= 1 word
-	owner   int8     // current owner, -1 if none yet
-	pend    []uint64 // per word: procs with a buffered invalidation
-	cnt     []uint16 // per proc: buffered words (limited buffers only)
+	present uint64 // procs with a copy
+	pendAny uint64 // procs with a buffered invalidation on >= 1 word
+	owner   int8   // current owner, -1 if none yet
+	pend    uint32 // arena handle, per word: procs with a buffered invalidation
+	cnt     uint32 // arena handle, per proc: buffered words (limited buffers only)
 }
 
 // NewWBWI returns a WBWI simulator with an unlimited invalidation buffer
@@ -44,7 +51,7 @@ type wbwiBlock struct {
 func NewWBWI(procs int, g mem.Geometry) *WBWI {
 	return &WBWI{
 		base:    newBase("WBWI", procs, g),
-		blocks:  make(map[mem.Block]*wbwiBlock),
+		blocks:  dense.NewMap[wbwiBlock](0),
 		sectors: g.WordsPerBlock(),
 	}
 }
@@ -85,13 +92,19 @@ func NewWBWILimited(procs int, g mem.Geometry, entries int) (*WBWI, error) {
 }
 
 func (s *WBWI) block(b mem.Block) *wbwiBlock {
-	wb := s.blocks[b]
-	if wb == nil {
-		wb = &wbwiBlock{owner: -1, pend: make([]uint64, s.sectors)}
-		if s.limit > 0 {
-			wb.cnt = make([]uint16, s.procs)
+	wb, existed := s.blocks.GetOrPut(uint64(b))
+	if !existed {
+		if s.pendSlab == nil {
+			s.pendSlab = dense.NewArena[uint64](s.sectors)
+			if s.limit > 0 {
+				s.cntSlab = dense.NewArena[uint16](s.procs)
+			}
 		}
-		s.blocks[b] = wb
+		wb.owner = -1
+		wb.pend = s.pendSlab.Alloc()
+		if s.limit > 0 {
+			wb.cnt = s.cntSlab.Alloc()
+		}
 	}
 	return wb
 }
@@ -105,6 +118,7 @@ func (s *WBWI) Ref(r trace.Ref) {
 	p := int(r.Proc)
 	blk := s.g.BlockOf(r.Addr)
 	wb := s.block(blk)
+	pend := s.pendSlab.Slice(wb.pend)
 	bit := uint64(1) << uint(p)
 	off := s.g.OffsetOf(r.Addr) >> s.sectorShift
 
@@ -113,11 +127,11 @@ func (s *WBWI) Ref(r trace.Ref) {
 		case wb.present&bit == 0:
 			s.miss(p, r.Addr)
 			wb.present |= bit
-			s.clear(wb, bit)
-		case wb.pend[off]&bit != 0: // touched a word-invalidated word
+			s.clear(wb, pend, bit)
+		case pend[off]&bit != 0: // touched a word-invalidated word
 			s.life.CloseInvalidate(p, blk)
 			s.miss(p, r.Addr)
-			s.clear(wb, bit)
+			s.clear(wb, pend, bit)
 		}
 		s.life.Access(p, r.Addr)
 		return
@@ -128,13 +142,13 @@ func (s *WBWI) Ref(r trace.Ref) {
 	case wb.present&bit == 0:
 		s.miss(p, r.Addr)
 		wb.present |= bit
-		s.clear(wb, bit)
+		s.clear(wb, pend, bit)
 	case wb.pendAny&bit != 0:
 		// Ownership on a copy with any buffered word invalidation
 		// costs a miss: the fresh copy is fetched from the owner.
 		s.life.CloseInvalidate(p, blk)
 		s.miss(p, r.Addr)
-		s.clear(wb, bit)
+		s.clear(wb, pend, bit)
 	case wb.owner != int8(p):
 		s.upgrades++
 	}
@@ -144,41 +158,49 @@ func (s *WBWI) Ref(r trace.Ref) {
 	sharers := wb.present &^ bit
 	if sharers != 0 {
 		s.invalidations += uint64(popcount(sharers))
-		newly := sharers &^ wb.pend[off]
-		wb.pend[off] |= sharers
+		newly := sharers &^ pend[off]
+		pend[off] |= sharers
 		wb.pendAny |= sharers
 		if s.limit > 0 && newly != 0 {
-			s.chargeBuffer(wb, blk, newly)
+			s.chargeBuffer(wb, pend, blk, newly)
 		}
 	}
 	s.life.RecordStore(p, r.Addr)
 }
 
+// RefBatch implements trace.BatchConsumer.
+func (s *WBWI) RefBatch(refs []trace.Ref) {
+	for _, r := range refs {
+		s.Ref(r)
+	}
+}
+
 // chargeBuffer accounts one buffered word for each processor in mask and
 // invalidates any copy whose buffer would overflow.
-func (s *WBWI) chargeBuffer(wb *wbwiBlock, blk mem.Block, mask uint64) {
+func (s *WBWI) chargeBuffer(wb *wbwiBlock, pend []uint64, blk mem.Block, mask uint64) {
+	cnt := s.cntSlab.Slice(wb.cnt)
 	forEachProc(mask, func(q int) {
-		wb.cnt[q]++
-		if int(wb.cnt[q]) <= s.limit {
+		cnt[q]++
+		if int(cnt[q]) <= s.limit {
 			return
 		}
 		// Overflow: the hardware falls back to invalidating the
 		// whole copy at once.
 		qbit := uint64(1) << uint(q)
 		wb.present &^= qbit
-		s.clear(wb, qbit)
+		s.clear(wb, pend, qbit)
 		s.life.CloseInvalidate(q, blk)
 	})
 }
 
-func (s *WBWI) clear(wb *wbwiBlock, bit uint64) {
-	if wb.cnt != nil {
-		wb.cnt[bits.TrailingZeros64(bit)] = 0
+func (s *WBWI) clear(wb *wbwiBlock, pend []uint64, bit uint64) {
+	if wb.cnt != 0 {
+		s.cntSlab.Slice(wb.cnt)[bits.TrailingZeros64(bit)] = 0
 	}
 	if wb.pendAny&bit == 0 {
 		return
 	}
-	clearPending(wb.pend, bit)
+	clearPending(pend, bit)
 	wb.pendAny &^= bit
 }
 

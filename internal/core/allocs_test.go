@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// allocTestRefs builds a sharing-heavy reference mix over a fixed block set:
+// re-feeding it touches only existing table entries, so a warmed classifier
+// should allocate nothing.
+func allocTestRefs(procs, blocks int, g mem.Geometry) []trace.Ref {
+	refs := make([]trace.Ref, 0, 4096)
+	stride := mem.Addr(g.BlockBytes() / mem.WordBytes)
+	for i := 0; i < 4096; i++ {
+		p := i % procs
+		a := mem.Addr(i%blocks)*stride + mem.Addr(i%4)
+		if i%5 == 0 {
+			refs = append(refs, trace.S(p, a))
+		} else {
+			refs = append(refs, trace.L(p, a))
+		}
+	}
+	return refs
+}
+
+// TestClassifierSteadyStateAllocs pins the Appendix A classifier's hot path
+// to zero steady-state allocations: once every block has its dense-table
+// entry, classifying references must not touch the heap.
+func TestClassifierSteadyStateAllocs(t *testing.T) {
+	g := mem.MustGeometry(64)
+	refs := allocTestRefs(4, 64, g)
+	c := NewClassifier(4, g)
+	c.RefBatch(refs) // warm up: populate the block table
+
+	const ceiling = 0.0
+	got := testing.AllocsPerRun(10, func() { c.RefBatch(refs) })
+	if got > ceiling {
+		t.Fatalf("Classifier steady state allocates %.1f allocs per pass, ceiling %.1f", got, ceiling)
+	}
+}
+
+// TestEggersSteadyStateAllocs does the same for the Eggers comparison
+// classifier, whose per-block word vectors live in the shared arena.
+func TestEggersSteadyStateAllocs(t *testing.T) {
+	g := mem.MustGeometry(64)
+	refs := allocTestRefs(4, 64, g)
+	c := NewEggers(4, g)
+	c.RefBatch(refs)
+
+	const ceiling = 0.0
+	got := testing.AllocsPerRun(10, func() { c.RefBatch(refs) })
+	if got > ceiling {
+		t.Fatalf("Eggers steady state allocates %.1f allocs per pass, ceiling %.1f", got, ceiling)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/dense"
 	"repro/internal/mem"
 	"repro/internal/trace"
 )
@@ -18,7 +19,8 @@ import (
 type Eggers struct {
 	geom     mem.Geometry
 	procs    int
-	blocks   map[mem.Block]*eggersBlock
+	blocks   *dense.Map[eggersBlock]
+	slab     *dense.Arena[uint64] // one cell per block: modSince, words long
 	counts   SharingCounts
 	dataRefs uint64
 
@@ -30,10 +32,10 @@ type Eggers struct {
 type eggersBlock struct {
 	present uint64 // procs with a valid copy
 	touched uint64 // procs that have referenced the block (cold detection)
-	// modSince[w] holds, for every processor q that currently has no
-	// valid copy, whether word w was modified since (and including) the
-	// store that invalidated q's copy.
-	modSince []uint64
+	// mod is the arena handle of modSince[w]: for every processor q that
+	// currently has no valid copy, whether word w was modified since (and
+	// including) the store that invalidated q's copy.
+	mod uint32
 }
 
 // NewEggers returns an Eggers classifier.
@@ -44,7 +46,8 @@ func NewEggers(procs int, g mem.Geometry) *Eggers {
 	return &Eggers{
 		geom:   g,
 		procs:  procs,
-		blocks: make(map[mem.Block]*eggersBlock),
+		blocks: dense.NewMap[eggersBlock](0),
+		slab:   dense.NewArena[uint64](g.WordsPerBlock()),
 	}
 }
 
@@ -58,14 +61,21 @@ func (e *Eggers) Ref(r trace.Ref) {
 	}
 }
 
+// RefBatch implements trace.BatchConsumer.
+func (e *Eggers) RefBatch(refs []trace.Ref) {
+	for _, r := range refs {
+		e.Ref(r)
+	}
+}
+
 func (e *Eggers) access(p int, a mem.Addr, store bool) {
 	e.dataRefs++
 	b := e.geom.BlockOf(a)
-	eb := e.blocks[b]
-	if eb == nil {
-		eb = &eggersBlock{modSince: make([]uint64, e.geom.WordsPerBlock())}
-		e.blocks[b] = eb
+	eb, existed := e.blocks.GetOrPut(uint64(b))
+	if !existed {
+		eb.mod = e.slab.Alloc()
 	}
+	modSince := e.slab.Slice(eb.mod)
 	bit := uint64(1) << uint(p)
 	off := e.geom.OffsetOf(a)
 
@@ -75,7 +85,7 @@ func (e *Eggers) access(p int, a mem.Addr, store bool) {
 		case eb.touched&bit == 0:
 			class = SharingCold
 			e.counts.Cold++
-		case eb.modSince[off]&bit != 0:
+		case modSince[off]&bit != 0:
 			class = SharingTrue
 			e.counts.True++
 		default:
@@ -88,8 +98,8 @@ func (e *Eggers) access(p int, a mem.Addr, store bool) {
 		eb.present |= bit
 		// The new copy is current: nothing is "modified since the
 		// invalidation" anymore for p.
-		for i := range eb.modSince {
-			eb.modSince[i] &^= bit
+		for i := range modSince {
+			modSince[i] &^= bit
 		}
 	}
 	eb.touched |= bit
@@ -104,12 +114,12 @@ func (e *Eggers) access(p int, a mem.Addr, store bool) {
 	others := othersMask(e.procs, p)
 	invalidated := eb.present & others
 	if invalidated != 0 {
-		for i := range eb.modSince {
-			eb.modSince[i] &^= invalidated
+		for i := range modSince {
+			modSince[i] &^= invalidated
 		}
 	}
 	eb.present = bit
-	eb.modSince[off] |= others
+	modSince[off] |= others
 }
 
 // DataRefs returns the number of data references classified.

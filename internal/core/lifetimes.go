@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"repro/internal/dense"
 	"repro/internal/mem"
 )
 
@@ -37,7 +38,12 @@ import (
 type Lifetimes struct {
 	geom   mem.Geometry
 	procs  int
-	blocks map[mem.Block]*lifeBlock
+	words  int // geom.WordsPerBlock()
+	blocks *dense.Map[lifeBlock]
+	// slab holds each block's state vector in one arena cell:
+	// [0:words) per-word definitions, [words:words+procs) commBase,
+	// [words+procs:words+2*procs) openTick.
+	slab   *dense.Arena[uint64]
 	counts Counts
 	tick   uint64 // advances on every RecordStore
 
@@ -124,6 +130,9 @@ func (s SharingClass) String() string {
 // Zero means never defined.
 type wordDef = uint64
 
+// lifeBlock is one block's inline map entry: the per-processor bitmasks live
+// in the probe table itself, and the variable-size vectors (per-word
+// definitions, commBase, openTick) live in one arena cell reached via state.
 type lifeBlock struct {
 	open     uint64 // procs with an open lifetime
 	em       uint64 // procs whose open lifetime is already essential
@@ -132,13 +141,26 @@ type lifeBlock struct {
 	replNext uint64 // procs whose next lifetime follows a replacement (finite caches)
 	replOpen uint64 // procs whose open lifetime followed a replacement
 	modified bool   // some processor has stored to this block
-	defs     []wordDef
-	// commBase[p]: values defined at or before this tick have been
-	// delivered to p by its kept (essential) misses.
-	commBase []uint64
-	// openTick[p]: the store tick at which p's current lifetime opened;
-	// the miss that opened it fetched all values defined up to then.
-	openTick []uint64
+	state    uint32 // arena cell: defs | commBase | openTick
+}
+
+// defs returns the block's per-word last-definition vector.
+func (l *Lifetimes) defs(lb *lifeBlock) []wordDef {
+	return l.slab.Slice(lb.state)[:l.words]
+}
+
+// commBase returns the block's per-processor communication bases:
+// commBase[p] is the tick up to which values have been delivered to p by
+// its kept (essential) misses.
+func (l *Lifetimes) commBase(lb *lifeBlock) []uint64 {
+	return l.slab.Slice(lb.state)[l.words : l.words+l.procs]
+}
+
+// openTick returns the block's per-processor lifetime-open ticks: the store
+// tick at which p's current lifetime opened; the miss that opened it
+// fetched all values defined up to then.
+func (l *Lifetimes) openTick(lb *lifeBlock) []uint64 {
+	return l.slab.Slice(lb.state)[l.words+l.procs : l.words+2*l.procs]
 }
 
 // NewLifetimes returns a Lifetimes engine for the given processor count and
@@ -147,10 +169,13 @@ func NewLifetimes(procs int, g mem.Geometry) *Lifetimes {
 	if procs <= 0 || procs > MaxProcs {
 		panic(fmt.Sprintf("core: processor count %d out of range (0,%d]", procs, MaxProcs))
 	}
+	w := g.WordsPerBlock()
 	return &Lifetimes{
 		geom:   g,
 		procs:  procs,
-		blocks: make(map[mem.Block]*lifeBlock),
+		words:  w,
+		blocks: dense.NewMap[lifeBlock](0),
+		slab:   dense.NewArena[uint64](w + 2*procs),
 	}
 }
 
@@ -161,14 +186,9 @@ func (l *Lifetimes) Geometry() mem.Geometry { return l.geom }
 func (l *Lifetimes) NumProcs() int { return l.procs }
 
 func (l *Lifetimes) block(b mem.Block) *lifeBlock {
-	lb := l.blocks[b]
-	if lb == nil {
-		lb = &lifeBlock{
-			defs:     make([]wordDef, l.geom.WordsPerBlock()),
-			commBase: make([]uint64, l.procs),
-			openTick: make([]uint64, l.procs),
-		}
-		l.blocks[b] = lb
+	lb, existed := l.blocks.GetOrPut(uint64(b))
+	if !existed {
+		lb.state = l.slab.Alloc()
 	}
 	return lb
 }
@@ -186,7 +206,7 @@ func (l *Lifetimes) OpenMiss(p int, a mem.Addr) {
 	}
 	lb.open |= bit
 	lb.em &^= bit
-	lb.openTick[p] = l.tick
+	l.openTick(lb)[p] = l.tick
 	lb.replOpen = lb.replOpen&^bit | lb.replNext&bit
 	lb.replNext &^= bit
 	if lb.fr&bit == 0 && lb.modified {
@@ -202,7 +222,7 @@ func (l *Lifetimes) OpenMiss(p int, a mem.Addr) {
 // miss (OpenMiss) first when the access missed; accesses without an open
 // lifetime are ignored.
 func (l *Lifetimes) Access(p int, a mem.Addr) {
-	lb := l.blocks[l.geom.BlockOf(a)]
+	lb := l.blocks.Get(uint64(l.geom.BlockOf(a)))
 	if lb == nil {
 		return
 	}
@@ -210,13 +230,14 @@ func (l *Lifetimes) Access(p int, a mem.Addr) {
 	if lb.open&bit == 0 {
 		return
 	}
-	def := lb.defs[l.geom.OffsetOf(a)]
-	if def == 0 || int(def&(MaxProcs-1)) == p || def>>6 <= lb.commBase[p] {
+	def := l.defs(lb)[l.geom.OffsetOf(a)]
+	commBase := l.commBase(lb)
+	if def == 0 || int(def&(MaxProcs-1)) == p || def>>6 <= commBase[p] {
 		return
 	}
 	lb.em |= bit
-	if lb.openTick[p] > lb.commBase[p] {
-		lb.commBase[p] = lb.openTick[p]
+	if tick := l.openTick(lb)[p]; tick > commBase[p] {
+		commBase[p] = tick
 	}
 }
 
@@ -227,7 +248,7 @@ func (l *Lifetimes) RecordStore(p int, a mem.Addr) {
 	lb := l.block(l.geom.BlockOf(a))
 	lb.modified = true
 	l.tick++
-	lb.defs[l.geom.OffsetOf(a)] = l.tick<<6 | uint64(p)
+	l.defs(lb)[l.geom.OffsetOf(a)] = l.tick<<6 | uint64(p)
 }
 
 // CloseInvalidate ends p's lifetime on block b because the caller's schedule
@@ -236,7 +257,7 @@ func (l *Lifetimes) RecordStore(p int, a mem.Addr) {
 // that was evicted and then invalidated would miss even with an infinite
 // cache, so the next miss is a coherence miss, not a replacement miss.
 func (l *Lifetimes) CloseInvalidate(p int, b mem.Block) {
-	lb := l.blocks[b]
+	lb := l.blocks.Get(uint64(b))
 	if lb == nil {
 		return
 	}
@@ -256,7 +277,7 @@ func (l *Lifetimes) CloseInvalidate(p int, b mem.Block) {
 // miss — essential by definition, since the program still needs the values.
 // Calling it without an open lifetime is a no-op.
 func (l *Lifetimes) CloseReplace(p int, b mem.Block) {
-	lb := l.blocks[b]
+	lb := l.blocks.Get(uint64(b))
 	if lb == nil {
 		return
 	}
@@ -282,8 +303,8 @@ func (l *Lifetimes) classify(lb *lifeBlock, b mem.Block, p int, bit uint64) {
 		// copy implies an earlier lifetime, so FR is already set.
 		class = ClassRepl
 		l.counts.Repl++
-		if lb.openTick[p] > lb.commBase[p] {
-			lb.commBase[p] = lb.openTick[p]
+		if commBase, tick := l.commBase(lb), l.openTick(lb)[p]; tick > commBase[p] {
+			commBase[p] = tick
 		}
 	case lb.fr&bit == 0: // first lifetime: a cold miss
 		switch {
@@ -301,8 +322,8 @@ func (l *Lifetimes) classify(lb *lifeBlock, b mem.Block, p int, bit uint64) {
 		// The cold miss is essential by definition, so it is kept:
 		// it delivered every value defined before it (§2). Later
 		// misses can only be essential for newer values.
-		if lb.openTick[p] > lb.commBase[p] {
-			lb.commBase[p] = lb.openTick[p]
+		if commBase, tick := l.commBase(lb), l.openTick(lb)[p]; tick > commBase[p] {
+			commBase[p] = tick
 		}
 	case lb.em&bit != 0:
 		class = ClassPTS
@@ -319,16 +340,16 @@ func (l *Lifetimes) classify(lb *lifeBlock, b mem.Block, p int, bit uint64) {
 // Finish classifies all still-open lifetimes (the paper's end_of_simulation
 // step) and returns the totals. The engine must not be used afterwards.
 func (l *Lifetimes) Finish() Counts {
-	for b, lb := range l.blocks {
+	l.blocks.Range(func(b uint64, lb *lifeBlock) {
 		open := lb.open
 		for open != 0 {
 			p := bits.TrailingZeros64(open)
 			open &^= 1 << uint(p)
-			l.classify(lb, b, p, 1<<uint(p))
+			l.classify(lb, mem.Block(b), p, 1<<uint(p))
 		}
 		lb.open = 0
 		lb.em = 0
-	}
+	})
 	return l.counts
 }
 

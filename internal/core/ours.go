@@ -3,6 +3,7 @@ package core
 import (
 	"math/bits"
 
+	"repro/internal/dense"
 	"repro/internal/mem"
 	"repro/internal/trace"
 )
@@ -18,7 +19,7 @@ import (
 // equals the miss count of a plain on-the-fly invalidation schedule.
 type Classifier struct {
 	life     *Lifetimes
-	present  map[mem.Block]uint64
+	present  *dense.Map[uint64]
 	dataRefs uint64
 }
 
@@ -27,7 +28,7 @@ type Classifier struct {
 func NewClassifier(procs int, g mem.Geometry) *Classifier {
 	return &Classifier{
 		life:    NewLifetimes(procs, g),
-		present: make(map[mem.Block]uint64),
+		present: dense.NewMap[uint64](0),
 	}
 }
 
@@ -41,16 +42,24 @@ func (c *Classifier) Ref(r trace.Ref) {
 	}
 }
 
+// RefBatch implements trace.BatchConsumer.
+func (c *Classifier) RefBatch(refs []trace.Ref) {
+	for _, r := range refs {
+		c.Ref(r)
+	}
+}
+
 // access is the paper's read_action/write_action pair.
 func (c *Classifier) access(p int, a mem.Addr, store bool) {
 	c.dataRefs++
 	b := c.life.Geometry().BlockOf(a)
 	bit := uint64(1) << uint(p)
 
+	present, _ := c.present.GetOrPut(uint64(b))
 	// read_action: a miss opens a new lifetime.
-	if c.present[b]&bit == 0 {
+	if *present&bit == 0 {
 		c.life.OpenMiss(p, a)
-		c.present[b] |= bit
+		*present |= bit
 	}
 	// read_action: accessing a communicated word makes the lifetime
 	// essential.
@@ -62,13 +71,13 @@ func (c *Classifier) access(p int, a mem.Addr, store bool) {
 	// write_action: classify every other present copy (their lifetimes
 	// end now, on the fly), then flag the new value as uncommunicated for
 	// every other processor.
-	others := c.present[b] &^ bit
+	others := *present &^ bit
 	for others != 0 {
 		q := bits.TrailingZeros64(others)
 		others &^= 1 << uint(q)
 		c.life.CloseInvalidate(q, b)
 	}
-	c.present[b] = bit
+	*present = bit
 	c.life.RecordStore(p, a)
 }
 

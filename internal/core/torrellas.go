@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/dense"
 	"repro/internal/mem"
 	"repro/internal/trace"
 )
@@ -18,8 +19,8 @@ import (
 type Torrellas struct {
 	geom     mem.Geometry
 	procs    int
-	blocks   map[mem.Block]uint64 // block-level presence (block-size system)
-	words    map[mem.Addr]*torrellasWord
+	blocks   *dense.Map[uint64] // block-level presence (block-size system)
+	words    *dense.Map[torrellasWord]
 	counts   SharingCounts
 	dataRefs uint64
 
@@ -41,8 +42,8 @@ func NewTorrellas(procs int, g mem.Geometry) *Torrellas {
 	return &Torrellas{
 		geom:   g,
 		procs:  procs,
-		blocks: make(map[mem.Block]uint64),
-		words:  make(map[mem.Addr]*torrellasWord),
+		blocks: dense.NewMap[uint64](0),
+		words:  dense.NewMap[torrellasWord](0),
 	}
 }
 
@@ -56,17 +57,21 @@ func (t *Torrellas) Ref(r trace.Ref) {
 	}
 }
 
+// RefBatch implements trace.BatchConsumer.
+func (t *Torrellas) RefBatch(refs []trace.Ref) {
+	for _, r := range refs {
+		t.Ref(r)
+	}
+}
+
 func (t *Torrellas) access(p int, a mem.Addr, store bool) {
 	t.dataRefs++
 	b := t.geom.BlockOf(a)
 	bit := uint64(1) << uint(p)
-	w := t.words[a]
-	if w == nil {
-		w = &torrellasWord{}
-		t.words[a] = w
-	}
+	w, _ := t.words.GetOrPut(uint64(a))
+	present, _ := t.blocks.GetOrPut(uint64(b))
 
-	if t.blocks[b]&bit == 0 { // miss in the block-size system
+	if *present&bit == 0 { // miss in the block-size system
 		var class SharingClass
 		switch {
 		case w.touched&bit == 0:
@@ -82,14 +87,14 @@ func (t *Torrellas) access(p int, a mem.Addr, store bool) {
 		if t.OnClassify != nil {
 			t.OnClassify(p, b, class)
 		}
-		t.blocks[b] |= bit
+		*present |= bit
 	}
 	w.touched |= bit
 
 	// Maintain both systems' write-invalidate state.
 	if store {
-		t.blocks[b] = bit // invalidate other block copies
-		w.valid = bit     // invalidate other word copies
+		*present = bit // invalidate other block copies
+		w.valid = bit  // invalidate other word copies
 	} else {
 		w.valid |= bit
 	}

@@ -1,0 +1,199 @@
+// Package dense provides the flat data structures behind the replay hot
+// path: an open-addressing hash map from uint64 keys (cache blocks, word
+// addresses) to inline values, and a slab arena for fixed-size per-block
+// state vectors.
+//
+// The classifiers and protocol simulators used to key their per-block state
+// as map[mem.Block]*blockState: every reference paid a runtime map probe
+// plus a pointer chase, and every newly touched block paid one heap
+// allocation for the state struct and more for its slices. Map stores the
+// values inline in the probe table (one cache line holds the key and the
+// hot bitmasks) and Arena packs the per-block vectors (per-word definitions,
+// per-processor bases, pending-invalidation masks) into a handful of large
+// slabs, so the steady-state replay loop allocates nothing.
+package dense
+
+// emptySlot marks an unoccupied map slot. Keys are stored as key+1 so that
+// key 0 (block 0, address 0) remains representable.
+const emptySlot = 0
+
+// minCapacity is the smallest probe-table size.
+const minCapacity = 16
+
+// Map is an open-addressing, linear-probing hash map from uint64 keys to
+// inline values of type V. The zero Map is not ready for use; call NewMap.
+//
+// Pointers returned by Get and GetOrPut are valid until the next insertion
+// (an insertion may grow and rehash the table); re-derive them after any
+// call that can insert. Map has no delete: the replay state it backs only
+// grows. Range iterates in table order, which is deterministic for a given
+// insertion sequence.
+type Map[V any] struct {
+	keys  []uint64 // key+1; emptySlot marks a free slot
+	vals  []V
+	n     int
+	mask  uint64
+	shift uint
+}
+
+// NewMap returns a Map sized for about hint entries (hint may be 0).
+func NewMap[V any](hint int) *Map[V] {
+	capacity := minCapacity
+	for capacity*3 < hint*4 { // keep the load factor under 3/4 at hint
+		capacity *= 2
+	}
+	m := &Map[V]{}
+	m.init(capacity)
+	return m
+}
+
+func (m *Map[V]) init(capacity int) {
+	m.keys = make([]uint64, capacity)
+	m.vals = make([]V, capacity)
+	m.mask = uint64(capacity - 1)
+	m.shift = 64 - log2(capacity)
+}
+
+func log2(n int) uint {
+	var s uint
+	for 1<<s < n {
+		s++
+	}
+	return s
+}
+
+// slot returns the preferred probe slot for key k: Fibonacci hashing spreads
+// the sequential block numbers produced by array-walking workloads across
+// the table instead of clustering them.
+func (m *Map[V]) slot(k uint64) uint64 {
+	return (k * 0x9E3779B97F4A7C15) >> m.shift
+}
+
+// Len returns the number of entries.
+func (m *Map[V]) Len() int { return m.n }
+
+// Get returns a pointer to k's value, or nil if k is absent. The pointer is
+// invalidated by the next insertion.
+func (m *Map[V]) Get(k uint64) *V {
+	sk := k + 1
+	for i := m.slot(k); ; i = (i + 1) & m.mask {
+		switch m.keys[i] {
+		case sk:
+			return &m.vals[i]
+		case emptySlot:
+			return nil
+		}
+	}
+}
+
+// GetOrPut returns a pointer to k's value, inserting a zero value first if k
+// is absent, and reports whether the key already existed. The pointer is
+// invalidated by the next insertion.
+func (m *Map[V]) GetOrPut(k uint64) (*V, bool) {
+	sk := k + 1
+	for i := m.slot(k); ; i = (i + 1) & m.mask {
+		switch m.keys[i] {
+		case sk:
+			return &m.vals[i], true
+		case emptySlot:
+			if m.n*4 >= len(m.keys)*3 { // load factor 3/4: grow and retry
+				m.grow()
+				return m.GetOrPut(k)
+			}
+			m.keys[i] = sk
+			m.n++
+			return &m.vals[i], false
+		}
+	}
+}
+
+func (m *Map[V]) grow() {
+	oldKeys, oldVals := m.keys, m.vals
+	m.init(len(oldKeys) * 2)
+	for i, sk := range oldKeys {
+		if sk == emptySlot {
+			continue
+		}
+		k := sk - 1
+		for j := m.slot(k); ; j = (j + 1) & m.mask {
+			if m.keys[j] == emptySlot {
+				m.keys[j] = sk
+				m.vals[j] = oldVals[i]
+				break
+			}
+		}
+	}
+}
+
+// Range calls fn for every entry, in table order. fn must not insert.
+func (m *Map[V]) Range(fn func(k uint64, v *V)) {
+	for i, sk := range m.keys {
+		if sk != emptySlot {
+			fn(sk-1, &m.vals[i])
+		}
+	}
+}
+
+// Arena is a slab allocator for fixed-size cells of T, used for the
+// per-block state vectors (per-word definition stamps, per-processor bases,
+// pending-invalidation masks). Cells are addressed by uint32 handles;
+// handle 0 is reserved as the "no cell" sentinel, so a zero-valued handle
+// field in a map entry means the vector was never allocated.
+//
+// Slices returned by Slice alias the slab and are invalidated by the next
+// Alloc (the slab may grow); re-derive them after any allocation.
+type Arena[T any] struct {
+	cell int
+	slab []T
+	free []uint32
+}
+
+// NewArena returns an Arena whose cells hold cell elements of T each.
+func NewArena[T any](cell int) *Arena[T] {
+	if cell <= 0 {
+		panic("dense: non-positive arena cell size")
+	}
+	return &Arena[T]{cell: cell, slab: make([]T, cell)} // cell 0 is the sentinel
+}
+
+// Alloc returns a handle to a zeroed cell.
+func (a *Arena[T]) Alloc() uint32 {
+	if n := len(a.free); n > 0 {
+		h := a.free[n-1]
+		a.free = a.free[:n-1]
+		clear(a.slab[int(h)*a.cell : (int(h)+1)*a.cell])
+		return h
+	}
+	h := uint32(len(a.slab) / a.cell)
+	n := len(a.slab) + a.cell
+	if n <= cap(a.slab) {
+		// The region between len and cap has never been written (the
+		// slab only grows), so it is still zeroed allocator memory.
+		a.slab = a.slab[:n]
+	} else {
+		var zero T
+		for len(a.slab) < n {
+			a.slab = append(a.slab, zero)
+		}
+	}
+	return h
+}
+
+// Free returns a cell to the arena's freelist. Freeing handle 0 panics.
+func (a *Arena[T]) Free(h uint32) {
+	if h == 0 {
+		panic("dense: free of the sentinel cell")
+	}
+	a.free = append(a.free, h)
+}
+
+// Slice returns cell h's backing slice (length = the cell size). The slice
+// is invalidated by the next Alloc.
+func (a *Arena[T]) Slice(h uint32) []T {
+	i := int(h) * a.cell
+	return a.slab[i : i+a.cell : i+a.cell]
+}
+
+// Cells returns the number of live cells ever allocated, excluding the
+// sentinel and cells currently on the freelist.
+func (a *Arena[T]) Cells() int { return len(a.slab)/a.cell - 1 - len(a.free) }

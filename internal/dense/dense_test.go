@@ -1,0 +1,196 @@
+package dense
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMapBasic(t *testing.T) {
+	m := NewMap[uint64](0)
+	if m.Len() != 0 {
+		t.Fatalf("new map has %d entries", m.Len())
+	}
+	if got := m.Get(0); got != nil {
+		t.Fatalf("Get(0) on empty map = %v, want nil", got)
+	}
+	v, existed := m.GetOrPut(0)
+	if existed {
+		t.Fatal("GetOrPut(0) reported an existing key on an empty map")
+	}
+	if *v != 0 {
+		t.Fatalf("fresh value = %d, want zero", *v)
+	}
+	*v = 42
+	if got := m.Get(0); got == nil || *got != 42 {
+		t.Fatalf("Get(0) = %v, want 42", got)
+	}
+	v, existed = m.GetOrPut(0)
+	if !existed || *v != 42 {
+		t.Fatalf("GetOrPut(0) = %d existed=%v, want 42 true", *v, existed)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", m.Len())
+	}
+}
+
+// TestMapAgainstBuiltin drives the dense map and a builtin map with the same
+// random key sequence (including key 0 and huge keys) through growth.
+func TestMapAgainstBuiltin(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewMap[uint64](0)
+	ref := map[uint64]uint64{}
+	keys := make([]uint64, 0, 4096)
+	for i := 0; i < 4096; i++ {
+		var k uint64
+		switch rng.Intn(4) {
+		case 0:
+			k = uint64(rng.Intn(64)) // clustered small keys
+		case 1:
+			k = rng.Uint64() >> 1 // sparse huge keys
+		default:
+			k = uint64(rng.Intn(1 << 20)) // block-number-like keys
+		}
+		v, existed := m.GetOrPut(k)
+		if _, ok := ref[k]; ok != existed {
+			t.Fatalf("key %d: existed=%v, builtin says %v", k, existed, ok)
+		}
+		if !existed {
+			keys = append(keys, k)
+		}
+		*v += k + 1
+		ref[k] += k + 1
+	}
+	if m.Len() != len(ref) {
+		t.Fatalf("Len = %d, want %d", m.Len(), len(ref))
+	}
+	for k, want := range ref {
+		got := m.Get(k)
+		if got == nil || *got != want {
+			t.Fatalf("Get(%d) = %v, want %d", k, got, want)
+		}
+	}
+	// Absent keys stay absent.
+	for i := 0; i < 1000; i++ {
+		k := rng.Uint64()>>1 | 1<<62
+		if _, ok := ref[k]; !ok && m.Get(k) != nil {
+			t.Fatalf("Get(%d) found a never-inserted key", k)
+		}
+	}
+	// Range visits every entry exactly once.
+	seen := map[uint64]uint64{}
+	m.Range(func(k uint64, v *uint64) { seen[k] = *v })
+	if len(seen) != len(ref) {
+		t.Fatalf("Range visited %d entries, want %d", len(seen), len(ref))
+	}
+	for k, v := range ref {
+		if seen[k] != v {
+			t.Fatalf("Range saw %d=%d, want %d", k, seen[k], v)
+		}
+	}
+	_ = keys
+}
+
+func TestMapHint(t *testing.T) {
+	m := NewMap[uint32](1000)
+	if len(m.keys) < 1334 { // 1000 entries must fit under a 3/4 load factor
+		t.Fatalf("hinted capacity %d too small for 1000 entries", len(m.keys))
+	}
+	for i := uint64(0); i < 1000; i++ {
+		v, existed := m.GetOrPut(i * 7)
+		if existed {
+			t.Fatalf("key %d reported existing", i*7)
+		}
+		*v = uint32(i)
+	}
+	for i := uint64(0); i < 1000; i++ {
+		if got := m.Get(i * 7); got == nil || *got != uint32(i) {
+			t.Fatalf("Get(%d) = %v, want %d", i*7, got, i)
+		}
+	}
+}
+
+func TestArena(t *testing.T) {
+	a := NewArena[uint64](4)
+	h1 := a.Alloc()
+	h2 := a.Alloc()
+	if h1 == 0 || h2 == 0 || h1 == h2 {
+		t.Fatalf("handles %d, %d: want distinct non-zero", h1, h2)
+	}
+	s1 := a.Slice(h1)
+	if len(s1) != 4 {
+		t.Fatalf("cell length %d, want 4", len(s1))
+	}
+	for i := range s1 {
+		if s1[i] != 0 {
+			t.Fatalf("fresh cell not zeroed: %v", s1)
+		}
+		s1[i] = uint64(100 + i)
+	}
+	if got := a.Slice(h2); got[0] != 0 {
+		t.Fatalf("cell 2 contaminated: %v", got)
+	}
+	if got := a.Slice(h1); got[3] != 103 {
+		t.Fatalf("cell 1 lost its values: %v", got)
+	}
+	if a.Cells() != 2 {
+		t.Fatalf("Cells = %d, want 2", a.Cells())
+	}
+
+	// Free and re-alloc: the recycled cell must come back zeroed.
+	a.Free(h1)
+	if a.Cells() != 1 {
+		t.Fatalf("Cells after Free = %d, want 1", a.Cells())
+	}
+	h3 := a.Alloc()
+	if h3 != h1 {
+		t.Fatalf("recycled handle %d, want %d", h3, h1)
+	}
+	for _, v := range a.Slice(h3) {
+		if v != 0 {
+			t.Fatalf("recycled cell not zeroed: %v", a.Slice(h3))
+		}
+	}
+}
+
+func TestArenaGrowthKeepsValues(t *testing.T) {
+	a := NewArena[uint32](3)
+	handles := make([]uint32, 1000)
+	for i := range handles {
+		handles[i] = a.Alloc()
+		a.Slice(handles[i])[0] = uint32(i + 1)
+		a.Slice(handles[i])[2] = uint32(i + 7)
+	}
+	for i, h := range handles {
+		s := a.Slice(h)
+		if s[0] != uint32(i+1) || s[1] != 0 || s[2] != uint32(i+7) {
+			t.Fatalf("cell %d corrupted after growth: %v", i, s)
+		}
+	}
+}
+
+func TestArenaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Free(0) did not panic")
+		}
+	}()
+	NewArena[uint8](2).Free(0)
+}
+
+// TestMapSteadyStateAllocs: once every key has been inserted, probing and
+// value updates allocate nothing.
+func TestMapSteadyStateAllocs(t *testing.T) {
+	m := NewMap[uint64](0)
+	for i := uint64(0); i < 300; i++ {
+		m.GetOrPut(i * 13)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := uint64(0); i < 300; i++ {
+			v, _ := m.GetOrPut(i * 13)
+			*v++
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state GetOrPut allocated %v times per run", allocs)
+	}
+}

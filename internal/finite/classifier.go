@@ -2,6 +2,7 @@ package finite
 
 import (
 	"repro/internal/core"
+	"repro/internal/dense"
 	"repro/internal/mem"
 	"repro/internal/trace"
 )
@@ -16,7 +17,7 @@ type Classifier struct {
 	life     *core.Lifetimes
 	geom     mem.Geometry
 	caches   []*Cache
-	present  map[mem.Block]uint64 // procs whose cached copy is coherent
+	present  *dense.Map[uint64] // procs whose cached copy is coherent
 	dataRefs uint64
 }
 
@@ -36,7 +37,7 @@ func NewClassifier(procs int, g mem.Geometry, cfg Config) (*Classifier, error) {
 		life:    core.NewLifetimes(procs, g),
 		geom:    g,
 		caches:  make([]*Cache, procs),
-		present: make(map[mem.Block]uint64),
+		present: dense.NewMap[uint64](0),
 	}
 	for p := range c.caches {
 		cache, err := NewCache(cfg.CapacityBytes, cfg.Assoc, g, cfg.Policy)
@@ -71,7 +72,9 @@ func (c *Classifier) access(p int, a mem.Addr, store bool) {
 		if evicted, ok := cache.Insert(b); ok {
 			c.evict(p, evicted)
 		}
-		c.present[b] |= bit
+		// Re-resolve after evict: its insert may have grown the table.
+		pb, _ := c.present.GetOrPut(uint64(b))
+		*pb |= bit
 	}
 	c.life.Access(p, a)
 
@@ -82,24 +85,33 @@ func (c *Classifier) access(p int, a mem.Addr, store bool) {
 	// their lifetimes classified; already-evicted copies lose a pending
 	// replacement mark (the next miss would happen regardless of cache
 	// size, so it is a coherence miss).
+	pb, _ := c.present.GetOrPut(uint64(b))
 	for q := 0; q < len(c.caches); q++ {
 		if q == p {
 			continue
 		}
 		c.life.CloseInvalidate(q, b)
-		if c.present[b]&(1<<uint(q)) != 0 {
+		if *pb&(1<<uint(q)) != 0 {
 			c.caches[q].Invalidate(b)
 		}
 	}
-	c.present[b] = bit
+	*pb = bit
 	c.life.RecordStore(p, a)
+}
+
+// RefBatch implements trace.BatchConsumer.
+func (c *Classifier) RefBatch(refs []trace.Ref) {
+	for _, r := range refs {
+		c.Ref(r)
+	}
 }
 
 // evict closes the lifetime of a replaced block so the processor's next
 // miss on it counts as a replacement miss.
 func (c *Classifier) evict(p int, b mem.Block) {
-	bit := uint64(1) << uint(p)
-	c.present[b] &^= bit
+	if pb := c.present.Get(uint64(b)); pb != nil {
+		*pb &^= uint64(1) << uint(p)
+	}
 	c.life.CloseReplace(p, b)
 }
 

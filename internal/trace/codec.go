@@ -135,6 +135,19 @@ func (d *Decoder) Next() (Ref, error) {
 	return Ref{Kind: k, Proc: uint16(proc), Addr: mem.Addr(addr)}, nil
 }
 
+// NextBatch implements BatchReader: it decodes up to len(buf) records,
+// returning the decoded prefix together with any terminal error.
+func (d *Decoder) NextBatch(buf []Ref) (int, error) {
+	for n := range buf {
+		ref, err := d.Next()
+		if err != nil {
+			return n, err
+		}
+		buf[n] = ref
+	}
+	return len(buf), nil
+}
+
 func truncated(err error) error {
 	if err == io.EOF {
 		return io.ErrUnexpectedEOF

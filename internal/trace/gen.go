@@ -119,6 +119,28 @@ func (g *GenReader) Next() (Ref, error) {
 	return r, nil
 }
 
+// NextBatch implements BatchReader by copying out of the current generator
+// batch; at most one channel receive per call.
+func (g *GenReader) NextBatch(buf []Ref) (int, error) {
+	if g.closed {
+		return 0, ErrStopped
+	}
+	for g.pos >= len(g.cur) {
+		if g.done {
+			return 0, io.EOF
+		}
+		batch, ok := <-g.out
+		if !ok {
+			g.done = true
+			return 0, io.EOF
+		}
+		g.cur, g.pos = batch, 0
+	}
+	n := copy(buf, g.cur[g.pos:])
+	g.pos += n
+	return n, nil
+}
+
 // Close stops the generator goroutine. Subsequent Next calls return
 // ErrStopped. Closing an exhausted or already-closed reader is a no-op.
 func (g *GenReader) Close() error {

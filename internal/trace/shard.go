@@ -139,43 +139,55 @@ func (d *Demux) pump(r Reader, key ShardFunc) {
 		}
 	}
 
+	br, batched := r.(BatchReader)
+	buf := make([]Ref, driveBatch)
+
 loop:
 	for {
-		ref, e := r.Next()
+		var cnt int
+		var e error
+		if batched {
+			cnt, e = br.NextBatch(buf)
+		} else {
+			cnt, e = fill(r, buf)
+		}
+		for _, ref := range buf[:cnt] {
+			if ref.Kind.IsData() {
+				i := key(ref)
+				if uint(i) >= uint(n) {
+					err = fmt.Errorf("trace: ShardFunc returned %d for %d shards", i, n)
+					break loop
+				}
+				if d.shards[i].dead {
+					continue
+				}
+				batches[i] = append(batches[i], ref)
+				if len(batches[i]) >= demuxBatch && !flush(i) {
+					err = ErrStopped
+					break loop
+				}
+				continue
+			}
+			// Synchronization and phase references are broadcast:
+			// appended to every shard's batch so each shard sees them in
+			// stream order.
+			for i := range batches {
+				if d.shards[i].dead {
+					continue
+				}
+				batches[i] = append(batches[i], ref)
+				if len(batches[i]) >= demuxBatch && !flush(i) {
+					err = ErrStopped
+					break loop
+				}
+			}
+		}
 		if e == io.EOF {
 			break
 		}
 		if e != nil {
 			err = e
 			break
-		}
-		if ref.Kind.IsData() {
-			i := key(ref)
-			if uint(i) >= uint(n) {
-				err = fmt.Errorf("trace: ShardFunc returned %d for %d shards", i, n)
-				break
-			}
-			if d.shards[i].dead {
-				continue
-			}
-			batches[i] = append(batches[i], ref)
-			if len(batches[i]) >= demuxBatch && !flush(i) {
-				err = ErrStopped
-				break loop
-			}
-			continue
-		}
-		// Synchronization and phase references are broadcast: appended to
-		// every shard's batch so each shard sees them in stream order.
-		for i := range batches {
-			if d.shards[i].dead {
-				continue
-			}
-			batches[i] = append(batches[i], ref)
-			if len(batches[i]) >= demuxBatch && !flush(i) {
-				err = ErrStopped
-				break loop
-			}
 		}
 	}
 
@@ -231,6 +243,24 @@ func (s *demuxShard) Next() (Ref, error) {
 		}
 		s.cur, s.pos = batch, 0
 	}
+}
+
+// NextBatch implements BatchReader by copying out of the current demux
+// batch; at most one channel receive per call.
+func (s *demuxShard) NextBatch(buf []Ref) (int, error) {
+	for s.pos >= len(s.cur) {
+		batch, ok := <-s.ch
+		if !ok {
+			if s.err != nil {
+				return 0, s.err
+			}
+			return 0, io.EOF
+		}
+		s.cur, s.pos = batch, 0
+	}
+	n := copy(buf, s.cur[s.pos:])
+	s.pos += n
+	return n, nil
 }
 
 // Close implements io.Closer: it detaches the shard from the demux. The

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"repro/internal/dense"
 	"repro/internal/mem"
 )
 
@@ -22,7 +23,7 @@ type Stats struct {
 	PerProc   []uint64 // all references per processor
 	critical  uint64   // sum over phases of max per-proc work
 	phaseWork []uint64 // work per proc in the current phase
-	words     map[mem.Addr]struct{}
+	words     *dense.Map[struct{}]
 }
 
 // NewStats returns a Stats consumer. If trackFootprint is set, every
@@ -35,7 +36,7 @@ func NewStats(procs int, trackFootprint bool) *Stats {
 		phaseWork: make([]uint64, procs),
 	}
 	if trackFootprint {
-		s.words = make(map[mem.Addr]struct{})
+		s.words = dense.NewMap[struct{}](0)
 	}
 	return s
 }
@@ -58,7 +59,14 @@ func (s *Stats) Ref(r Ref) {
 	s.PerProc[r.Proc]++
 	s.phaseWork[r.Proc]++
 	if s.words != nil && r.Kind.IsData() {
-		s.words[r.Addr] = struct{}{}
+		s.words.GetOrPut(uint64(r.Addr))
+	}
+}
+
+// RefBatch implements BatchConsumer.
+func (s *Stats) RefBatch(refs []Ref) {
+	for _, r := range refs {
+		s.Ref(r)
 	}
 }
 
@@ -85,7 +93,10 @@ func (s *Stats) TotalRefs() uint64 { return s.DataRefs() + s.SyncRefs() }
 // DataSetBytes returns the footprint in bytes, or 0 when footprint tracking
 // was disabled.
 func (s *Stats) DataSetBytes() uint64 {
-	return uint64(len(s.words)) * mem.WordBytes
+	if s.words == nil {
+		return 0
+	}
+	return uint64(s.words.Len()) * mem.WordBytes
 }
 
 // Speedup returns the modeled speedup: serial reference count over the

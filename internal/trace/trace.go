@@ -25,6 +25,40 @@ func CloseReader(r Reader) error {
 	return nil
 }
 
+// BatchReader is a Reader that can deliver references many at a time,
+// amortizing the per-reference interface dispatch of Next over whole
+// batches. The in-memory trace reader, the workload generators, the binary
+// decoder and the demux shards all implement it; Drive uses it when
+// available.
+type BatchReader interface {
+	Reader
+	// NextBatch fills buf with the next references of the stream and
+	// returns how many were written (at most len(buf), possibly fewer).
+	// The filled prefix is valid even when err != nil: a reader may
+	// return its last references together with io.EOF or a decode error.
+	// End of stream is n == 0 with io.EOF.
+	NextBatch(buf []Ref) (n int, err error)
+}
+
+// driveBatch is the reference-batch size used by Drive and the demux pump.
+// Large enough to amortize dispatch, small enough that a batch of 16-byte
+// refs stays well inside the L1 cache.
+const driveBatch = 1024
+
+// fill reads up to len(buf) references from r into buf using plain Next
+// calls; it is the BatchReader fallback for legacy readers. Like NextBatch,
+// the filled prefix is valid even when err != nil.
+func fill(r Reader, buf []Ref) (int, error) {
+	for n := 0; n < len(buf); n++ {
+		ref, err := r.Next()
+		if err != nil {
+			return n, err
+		}
+		buf[n] = ref
+	}
+	return len(buf), nil
+}
+
 // Trace is an in-memory trace.
 type Trace struct {
 	Procs int
@@ -94,20 +128,22 @@ func (r *sliceReader) Next() (Ref, error) {
 	return ref, nil
 }
 
-// Collect drains a Reader into an in-memory Trace and closes it.
-func Collect(r Reader) (*Trace, error) {
-	t := New(r.NumProcs())
-	defer CloseReader(r) //nolint:errcheck // best-effort close after drain
-	for {
-		ref, err := r.Next()
-		if err == io.EOF {
-			return t, nil
-		}
-		if err != nil {
-			return nil, err
-		}
-		t.Refs = append(t.Refs, ref)
+// NextBatch implements BatchReader by copying straight out of the backing
+// slice.
+func (r *sliceReader) NextBatch(buf []Ref) (int, error) {
+	n := copy(buf, r.refs[r.pos:])
+	r.pos += n
+	if n == 0 {
+		return 0, io.EOF
 	}
+	return n, nil
+}
+
+// Collect drains a Reader into an in-memory Trace and closes it, reporting
+// the close error if the drain itself succeeded.
+func Collect(r Reader) (t *Trace, err error) {
+	t, _, err = collect(r, -1)
+	return t, err
 }
 
 // CollectN drains at most maxRefs references from r into an in-memory
@@ -117,20 +153,50 @@ func Collect(r Reader) (*Trace, error) {
 // the materialize-once primitive behind the sweep engine's trace cache:
 // a materialized Trace serves any number of concurrent replay Readers.
 func CollectN(r Reader, maxRefs int64) (*Trace, bool, error) {
-	t := New(r.NumProcs())
-	defer CloseReader(r) //nolint:errcheck // best-effort close after drain
-	for {
-		ref, err := r.Next()
-		if err == io.EOF {
-			return t, true, nil
+	if maxRefs < 0 {
+		maxRefs = 0
+	}
+	return collect(r, maxRefs)
+}
+
+// collect is the batched drain behind Collect and CollectN; maxRefs < 0
+// means unbounded.
+func collect(r Reader, maxRefs int64) (t *Trace, all bool, err error) {
+	t = New(r.NumProcs())
+	defer func() {
+		cerr := CloseReader(r)
+		if err == nil {
+			err = cerr
 		}
 		if err != nil {
-			return nil, false, err
+			t, all = nil, false
 		}
-		if int64(len(t.Refs)) >= maxRefs {
-			return t, false, nil
+	}()
+	br, batched := r.(BatchReader)
+	buf := make([]Ref, driveBatch)
+	for {
+		var n int
+		var e error
+		if batched {
+			n, e = br.NextBatch(buf)
+		} else {
+			n, e = fill(r, buf)
 		}
-		t.Refs = append(t.Refs, ref)
+		if maxRefs >= 0 {
+			if room := maxRefs - int64(len(t.Refs)); int64(n) > room {
+				// The stream holds more than maxRefs references: keep
+				// the capped prefix and report a partial drain.
+				t.Refs = append(t.Refs, buf[:room]...)
+				return t, false, nil
+			}
+		}
+		t.Refs = append(t.Refs, buf[:n]...)
+		if e == io.EOF {
+			return t, true, nil
+		}
+		if e != nil {
+			return nil, false, e
+		}
 	}
 }
 
@@ -140,21 +206,66 @@ type Consumer interface {
 	Ref(Ref)
 }
 
-// Drive feeds every reference from r to each consumer, in order, in a single
-// pass, then closes r. It allows one (possibly expensive to regenerate)
-// stream to feed several simulators at once.
-func Drive(r Reader, consumers ...Consumer) error {
-	defer CloseReader(r) //nolint:errcheck // best-effort close after drain
+// BatchConsumer is a Consumer that accepts references a batch at a time.
+// RefBatch(refs) must be equivalent to calling Ref for each reference in
+// order; it exists so the replay loop pays one interface dispatch per batch
+// instead of one per reference. All the classifiers and protocol simulators
+// implement it.
+type BatchConsumer interface {
+	Consumer
+	RefBatch(refs []Ref)
+}
+
+// Drive feeds every reference from r to each consumer, in a single pass,
+// then closes r, reporting the reader's close error when the stream itself
+// ended cleanly. It allows one (possibly expensive to regenerate) stream to
+// feed several simulators at once.
+//
+// Each consumer sees the full reference sequence in stream order. Delivery
+// is batched: consumers implementing BatchConsumer receive whole batches,
+// and a consumer receives batch k entirely before the next consumer does —
+// consumers are independent state machines, so relative interleaving
+// between consumers does not affect any result.
+func Drive(r Reader, consumers ...Consumer) (err error) {
+	defer func() {
+		if cerr := CloseReader(r); err == nil {
+			err = cerr
+		}
+	}()
+	br, batched := r.(BatchReader)
+	buf := make([]Ref, driveBatch)
+	// Resolve each consumer's delivery mode once, outside the hot loop.
+	batchers := make([]BatchConsumer, len(consumers))
+	for i, c := range consumers {
+		if bc, ok := c.(BatchConsumer); ok {
+			batchers[i] = bc
+		}
+	}
 	for {
-		ref, err := r.Next()
-		if err == io.EOF {
+		var n int
+		var e error
+		if batched {
+			n, e = br.NextBatch(buf)
+		} else {
+			n, e = fill(r, buf)
+		}
+		if n > 0 {
+			batch := buf[:n]
+			for i, c := range consumers {
+				if bc := batchers[i]; bc != nil {
+					bc.RefBatch(batch)
+					continue
+				}
+				for _, ref := range batch {
+					c.Ref(ref)
+				}
+			}
+		}
+		if e == io.EOF {
 			return nil
 		}
-		if err != nil {
-			return err
-		}
-		for _, c := range consumers {
-			c.Ref(ref)
+		if e != nil {
+			return e
 		}
 	}
 }
