@@ -5,7 +5,7 @@ BENCHTIME ?= 1x
 # the floor was set; drops below the floor fail `make cover` (and ci).
 COVERFLOOR ?= 85.0
 
-.PHONY: all build test race vet fmt golden golden-check cover fuzz bench bench-save bench-compare ci
+.PHONY: all build test race vet fmt golden golden-check metrics-check cover fuzz bench bench-save bench-compare ci
 
 # Where bench-save snapshots benchmark output and bench-compare reads it.
 BENCHDIR ?= results
@@ -43,6 +43,15 @@ golden:
 # block-sharded pipeline (-shards 1 and -shards 8).
 golden-check:
 	$(GO) test ./cmd/uselessmiss -run TestGoldenOutputs -count=1
+
+# The metrics determinism matrix: drive fig5 through the real CLI with
+# -metrics at -j 1 and -j 8 and diff the deterministic section of the run
+# reports (the timings section is excluded by construction), then check the
+# work-total counters are invariant across -shards 1 and 8 for both a
+# classifier and a protocol experiment.
+metrics-check:
+	$(GO) test ./cmd/uselessmiss -count=1 \
+		-run 'TestMetricsDeterministicAcrossParallelism|TestMetricsInvariantAcrossShards|TestMetricsFileIsDeterministic'
 
 # Enforce the aggregate statement-coverage floor: fails if the whole-repo
 # total drops below $(COVERFLOOR)%.
@@ -87,4 +96,4 @@ bench-compare:
 	fi; \
 	rm -f "$$new"
 
-ci: build vet fmt test race golden-check cover
+ci: build vet fmt test race golden-check metrics-check cover

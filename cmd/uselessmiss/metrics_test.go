@@ -1,0 +1,170 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// runWithMetrics invokes run() with a -metrics file appended, returning
+// the rendered report bytes and the parsed metrics JSON.
+func runWithMetrics(t *testing.T, args ...string) (string, obs.RunReport) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	var sb strings.Builder
+	if err := run(append(args, "-metrics", path), &sb); err != nil {
+		t.Fatalf("run(%v) = %v", args, err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading metrics file: %v", err)
+	}
+	var rep obs.RunReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("parsing metrics JSON: %v", err)
+	}
+	if rep.Schema != obs.ReportSchema {
+		t.Fatalf("schema = %q, want %q", rep.Schema, obs.ReportSchema)
+	}
+	return sb.String(), rep
+}
+
+// TestMetricsDeterministicAcrossParallelism: the full deterministic
+// section of the run report — every counter and histogram — is identical
+// at -j 1 and -j 8 for the same inputs, and so is the rendered output.
+// Worker scheduling must only move timings.
+func TestMetricsDeterministicAcrossParallelism(t *testing.T) {
+	base := []string{"fig5", "-quick", "-workloads", "JACOBI"}
+	out1, rep1 := runWithMetrics(t, append(base, "-j", "1")...)
+	out8, rep8 := runWithMetrics(t, append(base, "-j", "8")...)
+	if out1 != out8 {
+		t.Error("rendered output differs between -j 1 and -j 8")
+	}
+	if !reflect.DeepEqual(rep1.Deterministic, rep8.Deterministic) {
+		t.Errorf("deterministic metrics differ between -j 1 and -j 8:\n-j 1: %+v\n-j 8: %+v",
+			rep1.Deterministic, rep8.Deterministic)
+	}
+	if rep1.Deterministic.Counters[obs.NameOursRefs] == 0 {
+		t.Error("fig5 run recorded no classified references")
+	}
+	if rep1.Deterministic.Counters[obs.NameCellsFinished] == 0 {
+		t.Error("fig5 run recorded no finished sweep cells")
+	}
+}
+
+// shardInvariantNames is the subset of deterministic counters whose totals
+// must not move when a cell's replay is block-sharded: work totals
+// (classified references, protocol references and misses, sweep cells,
+// cache effectiveness). Demux-level counters are excluded on purpose —
+// sync and phase references are broadcast to every shard, so per-shard
+// replay legitimately re-delivers them.
+var shardInvariantNames = []string{
+	obs.NameOursRefs,
+	obs.NameEggersRefs,
+	obs.NameTorrellasRefs,
+	obs.NameCoherenceRefs,
+	obs.NameCoherenceMiss,
+	obs.NameFiniteRefs,
+	obs.NameCellsPlanned,
+	obs.NameCellsStarted,
+	obs.NameCellsFinished,
+	obs.NameCacheHits,
+	obs.NameCacheMisses,
+	obs.NameCacheStreamed,
+}
+
+// TestMetricsInvariantAcrossShards: the work-total counters are identical
+// whether each cell replays serially or block-sharded 8 ways, for both a
+// classifier experiment (fig5) and a protocol experiment (fig6).
+func TestMetricsInvariantAcrossShards(t *testing.T) {
+	for _, tc := range [][]string{
+		{"fig5", "-quick", "-workloads", "JACOBI"},
+		{"fig6", "-quick", "-workloads", "JACOBI"},
+	} {
+		t.Run(tc[0], func(t *testing.T) {
+			out1, rep1 := runWithMetrics(t, append(tc, "-shards", "1")...)
+			out8, rep8 := runWithMetrics(t, append(tc, "-shards", "8")...)
+			if out1 != out8 {
+				t.Error("rendered output differs between -shards 1 and -shards 8")
+			}
+			for _, name := range shardInvariantNames {
+				v1 := rep1.Deterministic.Counters[name]
+				v8 := rep8.Deterministic.Counters[name]
+				if v1 != v8 {
+					t.Errorf("%s: %d at -shards 1, %d at -shards 8", name, v1, v8)
+				}
+			}
+			refs := rep1.Deterministic.Counters[obs.NameOursRefs] +
+				rep1.Deterministic.Counters[obs.NameCoherenceRefs]
+			if refs == 0 {
+				t.Error("run recorded no classified or simulated references")
+			}
+		})
+	}
+}
+
+// TestMetricsFileIsDeterministic: two identical runs write byte-identical
+// metrics files (the timings section is excluded by comparing only the
+// deterministic section's serialized form).
+func TestMetricsFileIsDeterministic(t *testing.T) {
+	serialize := func(rep obs.RunReport) string {
+		data, err := json.MarshalIndent(rep.Deterministic, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	_, repA := runWithMetrics(t, "fig5", "-quick", "-workloads", "JACOBI")
+	_, repB := runWithMetrics(t, "fig5", "-quick", "-workloads", "JACOBI")
+	if a, b := serialize(repA), serialize(repB); a != b {
+		t.Errorf("deterministic sections of identical runs differ:\n%s\n---\n%s", a, b)
+	}
+}
+
+// TestMetricsReportDelta: sequential runs in one process report only their
+// own work — the second run's counters must not include the first's.
+func TestMetricsReportDelta(t *testing.T) {
+	_, rep1 := runWithMetrics(t, "fig5", "-quick", "-workloads", "JACOBI")
+	_, rep2 := runWithMetrics(t, "fig5", "-quick", "-workloads", "JACOBI")
+	r1 := rep1.Deterministic.Counters[obs.NameOursRefs]
+	r2 := rep2.Deterministic.Counters[obs.NameOursRefs]
+	if r1 == 0 || r1 != r2 {
+		t.Errorf("per-run deltas wrong: run1 %d refs, run2 %d refs (must be equal and nonzero)", r1, r2)
+	}
+}
+
+// TestLogLevelFlagRejectsGarbage: a bad -log value is a flag error, not a
+// silent default.
+func TestLogLevelFlagRejectsGarbage(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"fig5", "-quick", "-workloads", "JACOBI", "-log", "shouty"}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "unknown log level") {
+		t.Fatalf("run with -log shouty = %v, want an unknown-log-level error", err)
+	}
+}
+
+// TestTimingMetricsPresent: the timings section carries the run gauges.
+func TestTimingMetricsPresent(t *testing.T) {
+	_, rep := runWithMetrics(t, "fig5", "-quick", "-workloads", "JACOBI")
+	for _, name := range []string{obs.NameRunWallSeconds, obs.NameRunRefsPerSec} {
+		if _, ok := rep.Timings.Gauges[name]; !ok {
+			t.Errorf("timings section missing gauge %s (have %v)", name, gaugeNames(rep))
+		}
+	}
+	if rep.Timings.Gauges[obs.NameRunWallSeconds] <= 0 {
+		t.Error("run.wall_seconds gauge not positive")
+	}
+}
+
+func gaugeNames(rep obs.RunReport) []string {
+	names := make([]string, 0, len(rep.Timings.Gauges))
+	for name := range rep.Timings.Gauges {
+		names = append(names, name)
+	}
+	return names
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+
+	"repro/internal/obs"
+)
+
+// instruments carries the observability flag values shared by the
+// experiment subcommands and regen: where to write the run-metrics JSON,
+// whether to render the live progress line, the debug-server address and
+// the slog level.
+type instruments struct {
+	metricsPath string
+	progress    bool
+	debugAddr   string
+	logLevel    string
+}
+
+// addObsFlags registers the observability flags on fs.
+func addObsFlags(fs *flag.FlagSet) *instruments {
+	in := &instruments{}
+	fs.StringVar(&in.metricsPath, "metrics", "", "write the run-metrics JSON report to this file")
+	fs.BoolVar(&in.progress, "progress", false, "render a live progress line on stderr")
+	fs.StringVar(&in.debugAddr, "debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :6060)")
+	fs.StringVar(&in.logLevel, "log", "warn", "slog level: debug, info, warn or error")
+	return in
+}
+
+// parseLevel maps the -log flag value to a slog level.
+func parseLevel(s string) (slog.Level, error) {
+	switch s {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn", "":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("unknown log level %q (want debug, info, warn or error)", s)
+	}
+}
+
+// around wraps fn with the instrumentation lifecycle: slog setup, the
+// optional debug server and progress line, the run timer, and — after fn
+// returns — the snapshot-delta metrics report. Everything it prints goes
+// to stderr or to -metrics' file, never to the experiment's Out writer, so
+// report bytes are untouched. The run error wins over reporting errors.
+func (in *instruments) around(fn func() error) func() error {
+	return func() error {
+		level, err := parseLevel(in.logLevel)
+		if err != nil {
+			return err
+		}
+		slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})))
+
+		if in.debugAddr != "" {
+			srv, err := obs.ServeDebug(in.debugAddr)
+			if err != nil {
+				return err
+			}
+			defer srv.Close() //nolint:errcheck // best-effort shutdown
+			slog.Info("debug server listening", "addr", srv.Addr())
+		}
+
+		before := obs.Default.Report()
+		timer := obs.StartRunTimer(obs.Default)
+		var prog *obs.Progress
+		if in.progress {
+			prog = obs.StartProgress(os.Stderr, obs.Default, 0)
+		}
+
+		runErr := fn()
+
+		elapsed := timer.Stop()
+		if prog != nil {
+			prog.Stop()
+		}
+		delta := obs.Delta(before, obs.Default.Report())
+		slog.Info("run finished", "elapsed", elapsed, "report", delta.String())
+
+		if in.metricsPath != "" {
+			if err := in.writeReport(delta); err != nil && runErr == nil {
+				runErr = err
+			}
+		}
+		return runErr
+	}
+}
+
+// writeReport writes the delta report to the -metrics file.
+func (in *instruments) writeReport(rep obs.RunReport) error {
+	f, err := os.Create(in.metricsPath)
+	if err != nil {
+		return err
+	}
+	err = rep.WriteJSON(f)
+	if closeErr := f.Close(); err == nil {
+		err = closeErr
+	}
+	if err != nil {
+		return fmt.Errorf("writing metrics report: %w", err)
+	}
+	slog.Debug("metrics report written", "path", in.metricsPath)
+	return nil
+}

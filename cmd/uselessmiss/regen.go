@@ -21,13 +21,14 @@ func cmdRegen(args []string, out io.Writer) error {
 	par := fs.Int("j", 0, "worker goroutines for the sweep grids (0 = GOMAXPROCS, 1 = serial)")
 	shards := fs.Int("shards", 0, "block shards per cell (0 or 1 = serial; output is identical at any value)")
 	prof := addProfileFlags(fs)
+	in := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
 		return err
 	}
-	return prof.around(func() error { return regenAll(*dir, *quick, *par, *shards, out) })
+	return prof.around(in.around(func() error { return regenAll(*dir, *quick, *par, *shards, out) }))
 }
 
 // regenAll replays every artifact; split out so profiling brackets exactly

@@ -106,7 +106,7 @@ func splitInts(s string) ([]int, error) {
 }
 
 // experimentFlags defines the flags shared by the experiment subcommands.
-func experimentFlags(fs *flag.FlagSet) (quick, csv *bool, workloads, protocols *string, par, shards *int, prof *profiler) {
+func experimentFlags(fs *flag.FlagSet) (quick, csv *bool, workloads, protocols *string, par, shards *int, prof *profiler, in *instruments) {
 	quick = fs.Bool("quick", false, "use the small data sets for the heavy runs")
 	csv = fs.Bool("csv", false, "emit CSV instead of aligned tables")
 	workloads = fs.String("workloads", "", "comma-separated workload list (default: the experiment's own)")
@@ -114,12 +114,13 @@ func experimentFlags(fs *flag.FlagSet) (quick, csv *bool, workloads, protocols *
 	par = fs.Int("j", 0, "worker goroutines for the sweep grid (0 = GOMAXPROCS, 1 = serial)")
 	shards = fs.Int("shards", 0, "block shards per cell (0 or 1 = serial; output is identical at any value)")
 	prof = addProfileFlags(fs)
+	in = addObsFlags(fs)
 	return
 }
 
 func cmdExperiment(args []string, out io.Writer, which string) error {
 	fs := flag.NewFlagSet(which, flag.ContinueOnError)
-	quick, csv, workloads, protocols, par, shards, prof := experimentFlags(fs)
+	quick, csv, workloads, protocols, par, shards, prof, in := experimentFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -130,7 +131,7 @@ func cmdExperiment(args []string, out io.Writer, which string) error {
 		Parallelism: *par,
 		Shards:      *shards,
 	}
-	return prof.around(func() error {
+	return prof.around(in.around(func() error {
 		switch which {
 		case "table1":
 			return experiment.Table1(o)
@@ -143,46 +144,46 @@ func cmdExperiment(args []string, out io.Writer, which string) error {
 		default:
 			return fmt.Errorf("internal: unknown experiment %q", which)
 		}
-	})
+	}))
 }
 
 func cmdCompare(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
-	_, csv, workloads, _, par, shards, prof := experimentFlags(fs)
+	_, csv, workloads, _, par, shards, prof, in := experimentFlags(fs)
 	block := fs.Int("block", 64, "block size in bytes")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	o := experiment.Options{Out: out, CSV: *csv, Workloads: splitList(*workloads), Parallelism: *par, Shards: *shards}
-	return prof.around(func() error { return experiment.Compare(o, *block) })
+	return prof.around(in.around(func() error { return experiment.Compare(o, *block) }))
 }
 
 func cmdPhases(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("phases", flag.ContinueOnError)
-	_, csv, workloads, _, par, shards, prof := experimentFlags(fs)
+	_, csv, workloads, _, par, shards, prof, in := experimentFlags(fs)
 	block := fs.Int("block", 64, "block size in bytes")
 	buckets := fs.Int("buckets", 10, "maximum rows per workload")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	o := experiment.Options{Out: out, CSV: *csv, Workloads: splitList(*workloads), Parallelism: *par, Shards: *shards}
-	return prof.around(func() error { return experiment.Phases(o, *block, *buckets) })
+	return prof.around(in.around(func() error { return experiment.Phases(o, *block, *buckets) }))
 }
 
 func cmdHotspots(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("hotspots", flag.ContinueOnError)
-	_, csv, workloads, _, par, shards, prof := experimentFlags(fs)
+	_, csv, workloads, _, par, shards, prof, in := experimentFlags(fs)
 	block := fs.Int("block", 64, "block size in bytes")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	o := experiment.Options{Out: out, CSV: *csv, Workloads: splitList(*workloads), Parallelism: *par, Shards: *shards}
-	return prof.around(func() error { return experiment.Hotspots(o, *block) })
+	return prof.around(in.around(func() error { return experiment.Hotspots(o, *block) }))
 }
 
 func cmdPenalty(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("penalty", flag.ContinueOnError)
-	_, csv, workloads, protocols, par, shards, prof := experimentFlags(fs)
+	_, csv, workloads, protocols, par, shards, prof, in := experimentFlags(fs)
 	block := fs.Int("block", 64, "block size in bytes")
 	missPenalty := fs.Uint64("miss-penalty", 30, "blocking cycles per miss")
 	syncCycles := fs.Uint64("sync-cycles", 3, "cycles per acquire/release")
@@ -195,31 +196,31 @@ func cmdPenalty(args []string, out io.Writer) error {
 		Parallelism: *par, Shards: *shards,
 	}
 	m := timing.Model{RefCycles: 1, MissPenalty: *missPenalty, SyncCycles: *syncCycles}
-	return prof.around(func() error { return experiment.Penalty(o, *block, m) })
+	return prof.around(in.around(func() error { return experiment.Penalty(o, *block, m) }))
 }
 
 func cmdFinite(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("finite", flag.ContinueOnError)
-	_, csv, workloads, _, par, shards, prof := experimentFlags(fs)
+	_, csv, workloads, _, par, shards, prof, in := experimentFlags(fs)
 	block := fs.Int("block", 64, "block size in bytes")
 	assoc := fs.Int("assoc", 4, "cache associativity")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	o := experiment.Options{Out: out, CSV: *csv, Workloads: splitList(*workloads), Parallelism: *par, Shards: *shards}
-	return prof.around(func() error { return experiment.FiniteSweep(o, *block, *assoc) })
+	return prof.around(in.around(func() error { return experiment.FiniteSweep(o, *block, *assoc) }))
 }
 
 func cmdAblate(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ablate", flag.ContinueOnError)
-	_, csv, workloads, _, par, shards, prof := experimentFlags(fs)
+	_, csv, workloads, _, par, shards, prof, in := experimentFlags(fs)
 	what := fs.String("what", "cu", "ablation to run: cu (competitive-update threshold), wbwi (invalidation buffer) or sector (coherence grain)")
 	block := fs.Int("block", 64, "block size in bytes")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	o := experiment.Options{Out: out, CSV: *csv, Workloads: splitList(*workloads), Parallelism: *par, Shards: *shards}
-	return prof.around(func() error {
+	return prof.around(in.around(func() error {
 		switch *what {
 		case "cu":
 			return experiment.AblationCU(o, *block)
@@ -230,12 +231,12 @@ func cmdAblate(args []string, out io.Writer) error {
 		default:
 			return fmt.Errorf("unknown ablation %q (want cu, wbwi or sector)", *what)
 		}
-	})
+	}))
 }
 
 func cmdFig5(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("fig5", flag.ContinueOnError)
-	quick, csv, workloads, _, par, shards, prof := experimentFlags(fs)
+	quick, csv, workloads, _, par, shards, prof, in := experimentFlags(fs)
 	blocks := fs.String("blocks", "", "comma-separated block sizes in bytes (default 4..2048)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -249,12 +250,12 @@ func cmdFig5(args []string, out io.Writer) error {
 		Workloads: splitList(*workloads), Blocks: blockList,
 		Parallelism: *par, Shards: *shards,
 	}
-	return prof.around(func() error { return experiment.Fig5(o) })
+	return prof.around(in.around(func() error { return experiment.Fig5(o) }))
 }
 
 func cmdFig6(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("fig6", flag.ContinueOnError)
-	quick, csv, workloads, protocols, par, shards, prof := experimentFlags(fs)
+	quick, csv, workloads, protocols, par, shards, prof, in := experimentFlags(fs)
 	block := fs.Int("block", 64, "block size in bytes (64 for Fig. 6a, 1024 for Fig. 6b)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -264,7 +265,7 @@ func cmdFig6(args []string, out io.Writer) error {
 		Workloads: splitList(*workloads), Protocols: splitList(*protocols),
 		Parallelism: *par, Shards: *shards,
 	}
-	return prof.around(func() error { return experiment.Fig6(o, *block) })
+	return prof.around(in.around(func() error { return experiment.Fig6(o, *block) }))
 }
 
 // openTrace returns a reader for either a named workload or a trace file.

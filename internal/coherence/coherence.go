@@ -135,6 +135,8 @@ func (b *base) invalidate(q int, blk mem.Block) {
 }
 
 func (b *base) result() Result {
+	mCoherenceRefs.Add(b.dataRefs)
+	mCoherenceMiss.Add(b.misses)
 	return Result{
 		Protocol:      b.name,
 		Counts:        b.life.Finish(),

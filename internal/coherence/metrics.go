@@ -1,0 +1,14 @@
+package coherence
+
+import (
+	"repro/internal/obs"
+)
+
+// Protocol-simulation counters, bumped once per simulator Finish via
+// base.result() (every protocol funnels through it). Sharded runs call
+// Finish once per shard and each data reference lands on exactly one
+// shard, so both totals are invariant across -j and -shards.
+var (
+	mCoherenceRefs = obs.Default.Counter(obs.NameCoherenceRefs)
+	mCoherenceMiss = obs.Default.Counter(obs.NameCoherenceMiss)
+)

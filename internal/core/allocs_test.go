@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -53,5 +54,37 @@ func TestEggersSteadyStateAllocs(t *testing.T) {
 	got := testing.AllocsPerRun(10, func() { c.RefBatch(refs) })
 	if got > ceiling {
 		t.Fatalf("Eggers steady state allocates %.1f allocs per pass, ceiling %.1f", got, ceiling)
+	}
+}
+
+// TestInstrumentedPassAllocs pins a fully instrumented classifier pass —
+// the batch delivery plus the per-batch metric updates Drive performs
+// (counter adds and a histogram observation) and the Finish-time counter —
+// to zero steady-state allocations. This is the regression guard for the
+// observability layer's "zero overhead" claim: instrumentation must not
+// reintroduce heap traffic on the replay path.
+func TestInstrumentedPassAllocs(t *testing.T) {
+	if !obs.Enabled() {
+		t.Fatal("instrumentation disabled; the test must measure the enabled path")
+	}
+	g := mem.MustGeometry(64)
+	refs := allocTestRefs(4, 64, g)
+	c := NewClassifier(4, g)
+	c.RefBatch(refs) // warm up: populate the block table
+
+	refsCtr := obs.Default.Counter(obs.NameDriveRefs)
+	batches := obs.Default.Counter(obs.NameDriveBatches)
+	sizes := obs.Default.Histogram(obs.NameDriveBatchSize, nil)
+
+	const ceiling = 0.0
+	got := testing.AllocsPerRun(10, func() {
+		refsCtr.Add(uint64(len(refs)))
+		batches.Inc()
+		sizes.Observe(uint64(len(refs)))
+		c.RefBatch(refs)
+		mOursRefs.Add(uint64(len(refs)))
+	})
+	if got > ceiling {
+		t.Fatalf("instrumented pass allocates %.1f allocs per pass, ceiling %.1f", got, ceiling)
 	}
 }

@@ -127,7 +127,10 @@ func (e *Eggers) DataRefs() uint64 { return e.dataRefs }
 
 // Finish returns the totals. Unlike the paper's scheme, Eggers'
 // classification is decided at miss time, so there is nothing to flush.
-func (e *Eggers) Finish() SharingCounts { return e.counts }
+func (e *Eggers) Finish() SharingCounts {
+	mEggersRefs.Add(e.dataRefs)
+	return e.counts
+}
 
 // ClassifyEggers runs Eggers' classification over a trace stream.
 func ClassifyEggers(r trace.Reader, g mem.Geometry) (SharingCounts, uint64, error) {

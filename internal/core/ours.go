@@ -98,7 +98,10 @@ func (c *Classifier) Snapshot() Counts { return c.life.Snapshot() }
 
 // Finish classifies the lifetimes still open at the end of the trace and
 // returns the totals. The classifier must not be used afterwards.
-func (c *Classifier) Finish() Counts { return c.life.Finish() }
+func (c *Classifier) Finish() Counts {
+	mOursRefs.Add(c.dataRefs)
+	return c.life.Finish()
+}
 
 // Classify runs the Appendix A algorithm over an entire trace stream and
 // returns the miss counts and the number of data references.

@@ -104,7 +104,10 @@ func (t *Torrellas) access(p int, a mem.Addr, store bool) {
 func (t *Torrellas) DataRefs() uint64 { return t.dataRefs }
 
 // Finish returns the totals; the verdicts are decided at miss time.
-func (t *Torrellas) Finish() SharingCounts { return t.counts }
+func (t *Torrellas) Finish() SharingCounts {
+	mTorrellasRefs.Add(t.dataRefs)
+	return t.counts
+}
 
 // ClassifyTorrellas runs Torrellas' classification over a trace stream.
 func ClassifyTorrellas(r trace.Reader, g mem.Geometry) (SharingCounts, uint64, error) {

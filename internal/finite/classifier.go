@@ -120,7 +120,10 @@ func (c *Classifier) DataRefs() uint64 { return c.dataRefs }
 
 // Finish classifies the remaining open lifetimes and returns the totals,
 // including the Repl component.
-func (c *Classifier) Finish() core.Counts { return c.life.Finish() }
+func (c *Classifier) Finish() core.Counts {
+	mFiniteRefs.Add(c.dataRefs)
+	return c.life.Finish()
+}
 
 // Classify runs the finite-cache classification over a trace stream.
 func Classify(r trace.Reader, g mem.Geometry, cfg Config) (core.Counts, uint64, error) {

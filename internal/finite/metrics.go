@@ -1,0 +1,11 @@
+package finite
+
+import (
+	"repro/internal/obs"
+)
+
+// Data references classified under the finite-cache model, added once per
+// classifier Finish. Invariant across -j and -shards for the same reason
+// the core counters are: each data reference is classified on exactly one
+// shard.
+var mFiniteRefs = obs.Default.Counter(obs.NameFiniteRefs)

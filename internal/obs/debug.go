@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// publishOnce guards the expvar registration: expvar.Publish panics on a
+// duplicate name, and tests start several debug servers per process.
+var publishOnce sync.Once
+
+// publishExpvar exposes the default registry's run report as one expvar
+// variable, so it appears in /debug/vars next to the runtime's memstats.
+func publishExpvar() {
+	publishOnce.Do(func() {
+		expvar.Publish("uselessmiss", expvar.Func(func() any {
+			return Default.Report()
+		}))
+	})
+}
+
+// DebugServer is the opt-in HTTP introspection endpoint behind the CLI's
+// -debug-addr flag. It serves:
+//
+//	/metrics          the default registry's run report as JSON
+//	/debug/vars       expvar (includes the registry under "uselessmiss")
+//	/debug/pprof/...  the full net/http/pprof suite
+//
+// so a long sweep that looks stuck can be inspected in flight: goroutine
+// dumps show where the pool is blocked, and successive /metrics snapshots
+// show whether cells are still finishing.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeDebug starts the introspection endpoint on addr (e.g. ":6060" or
+// "127.0.0.1:0") and serves until Close.
+func ServeDebug(addr string) (*DebugServer, error) {
+	publishExpvar()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		Default.Report().WriteJSON(w) //nolint:errcheck // best-effort response
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s := &DebugServer{
+		ln:  ln,
+		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+	}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (s *DebugServer) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the endpoint down.
+func (s *DebugServer) Close() error { return s.srv.Close() }

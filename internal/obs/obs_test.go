@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogramBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Add(3)
+	c.Inc()
+	if got := c.Value(); got != 4 {
+		t.Errorf("counter = %d, want 4", got)
+	}
+	if c2 := r.Counter("c"); c2 != c {
+		t.Error("Counter is not get-or-create")
+	}
+
+	g := r.Gauge("g")
+	g.Set(2.5)
+	if got := g.Value(); got != 2.5 {
+		t.Errorf("gauge = %v, want 2.5", got)
+	}
+
+	h := r.Histogram("h", []uint64{10, 100})
+	for _, v := range []uint64{1, 10, 11, 1000} {
+		h.Observe(v)
+	}
+	s := h.snapshot()
+	if want := []uint64{2, 1, 1}; len(s.Counts) != 3 || s.Counts[0] != want[0] || s.Counts[1] != want[1] || s.Counts[2] != want[2] {
+		t.Errorf("histogram counts = %v, want %v", s.Counts, want)
+	}
+	if s.Count != 4 || s.Sum != 1022 {
+		t.Errorf("histogram count/sum = %d/%d, want 4/1022", s.Count, s.Sum)
+	}
+}
+
+// TestNilHandlesAreNoOps: a nil metric handle must discard operations, so
+// optional instrumentation can hold nil without branching at every site.
+func TestNilHandlesAreNoOps(t *testing.T) {
+	var c *Counter
+	c.Add(1)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Error("nil counter not zero")
+	}
+	var g *Gauge
+	g.Set(1)
+	if g.Value() != 0 {
+		t.Error("nil gauge not zero")
+	}
+	var h *Histogram
+	h.Observe(1)
+}
+
+// TestSetEnabled: disabling collection freezes every metric; re-enabling
+// resumes from the frozen values.
+func TestSetEnabled(t *testing.T) {
+	defer SetEnabled(true)
+	r := NewRegistry()
+	c := r.Counter("c")
+	h := r.Histogram("h", []uint64{10})
+	g := r.Gauge("g")
+	c.Add(1)
+	SetEnabled(false)
+	c.Add(10)
+	h.Observe(5)
+	g.Set(9)
+	SetEnabled(true)
+	if c.Value() != 1 {
+		t.Errorf("disabled counter moved: %d", c.Value())
+	}
+	if h.snapshot().Count != 0 {
+		t.Error("disabled histogram moved")
+	}
+	if g.Value() != 0 {
+		t.Error("disabled gauge moved")
+	}
+	c.Inc()
+	if c.Value() != 2 {
+		t.Errorf("re-enabled counter = %d, want 2", c.Value())
+	}
+}
+
+// TestHotPathAllocs pins the instrumentation primitives to zero
+// allocations: the replay loop's per-batch adds must not touch the heap.
+func TestHotPathAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", []uint64{1, 8, 64, 512, 1024})
+	got := testing.AllocsPerRun(100, func() {
+		c.Add(1024)
+		g.Set(1.0)
+		h.Observe(512)
+	})
+	if got != 0 {
+		t.Fatalf("hot-path metric ops allocate %.1f per pass, want 0", got)
+	}
+}
+
+// TestConcurrentAdds exercises the atomics under the race detector.
+func TestConcurrentAdds(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	h := r.TimingHistogram("h", []uint64{10})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(uint64(i % 20))
+				_ = r.Counter("c") // registry lookups race with snapshots
+				_ = r.Report()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Value())
+	}
+	if got := h.snapshot().Count; got != 8000 {
+		t.Errorf("histogram count = %d, want 8000", got)
+	}
+}
+
+func TestReportSectionsAndDelta(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("det.c").Add(5)
+	r.TimingCounter("tim.c").Add(7)
+	r.Gauge("g").Set(1.5)
+	r.Histogram("det.h", []uint64{10}).Observe(3)
+	r.TimingHistogram("tim.h", []uint64{10}).Observe(3)
+
+	before := r.Report()
+	if before.Deterministic.Counters["det.c"] != 5 {
+		t.Error("deterministic counter missing")
+	}
+	if _, ok := before.Deterministic.Counters["tim.c"]; ok {
+		t.Error("timing counter leaked into deterministic section")
+	}
+	if before.Timings.Counters["tim.c"] != 7 {
+		t.Error("timing counter missing")
+	}
+	if _, ok := before.Timings.Histograms["tim.h"]; !ok {
+		t.Error("timing histogram missing")
+	}
+
+	r.Counter("det.c").Add(2)
+	r.Counter("new.c").Add(4)
+	r.Histogram("det.h", nil).Observe(100)
+	r.Gauge("g").Set(9)
+	d := Delta(before, r.Report())
+	if d.Deterministic.Counters["det.c"] != 2 {
+		t.Errorf("delta det.c = %d, want 2", d.Deterministic.Counters["det.c"])
+	}
+	if d.Deterministic.Counters["new.c"] != 4 {
+		t.Errorf("delta new.c = %d, want 4", d.Deterministic.Counters["new.c"])
+	}
+	if d.Timings.Gauges["g"] != 9 {
+		t.Errorf("delta gauge = %v, want latest value 9", d.Timings.Gauges["g"])
+	}
+	hs := d.Deterministic.Histograms["det.h"]
+	if hs.Count != 1 || hs.Sum != 100 {
+		t.Errorf("delta histogram = %+v, want count 1 sum 100", hs)
+	}
+}
+
+// TestReportJSONDeterministic: identical registry state must serialize to
+// identical bytes (sorted keys), and the schema tag must be present.
+func TestReportJSONDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b").Add(2)
+	r.Counter("a").Add(1)
+	r.Histogram("h", []uint64{1, 2}).Observe(1)
+	var buf1, buf2 bytes.Buffer
+	if err := r.Report().WriteJSON(&buf1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Report().WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf1.String() != buf2.String() {
+		t.Error("report serialization is not deterministic")
+	}
+	if !strings.Contains(buf1.String(), ReportSchema) {
+		t.Error("schema tag missing")
+	}
+	var parsed RunReport
+	if err := json.Unmarshal(buf1.Bytes(), &parsed); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if parsed.Deterministic.Counters["a"] != 1 || parsed.Deterministic.Counters["b"] != 2 {
+		t.Errorf("round-trip lost counters: %+v", parsed.Deterministic.Counters)
+	}
+	if got := parsed.DeterministicNames(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("DeterministicNames = %v", got)
+	}
+}

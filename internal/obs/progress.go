@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// defaultProgressPeriod throttles the live progress line.
+const defaultProgressPeriod = 250 * time.Millisecond
+
+// Progress renders a throttled single-line live status (cells done/total,
+// refs replayed, refs/s, ETA) to its writer from a background ticker. It
+// reads only atomic counters, so it never perturbs the replay, and it owns
+// its writer exclusively — the caller points it at stderr precisely so the
+// experiment's Options.Out stream is never touched.
+type Progress struct {
+	w      io.Writer
+	reg    *Registry
+	period time.Duration
+	start  time.Time
+
+	baseRefs, baseDone, basePlanned uint64
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+	mu   sync.Mutex // serializes Stop
+	done bool
+
+	lastLen int
+}
+
+// StartProgress begins rendering to w every period (0 selects the default
+// throttle) from reg's counters (nil means Default). Call Stop to render
+// the final state and release the goroutine.
+func StartProgress(w io.Writer, reg *Registry, period time.Duration) *Progress {
+	if reg == nil {
+		reg = Default
+	}
+	if period <= 0 {
+		period = defaultProgressPeriod
+	}
+	p := &Progress{
+		w:           w,
+		reg:         reg,
+		period:      period,
+		start:       time.Now(),
+		baseRefs:    reg.Counter(NameDriveRefs).Value(),
+		baseDone:    reg.Counter(NameCellsFinished).Value(),
+		basePlanned: reg.Counter(NameCellsPlanned).Value(),
+		stop:        make(chan struct{}),
+	}
+	p.wg.Add(1)
+	go p.loop()
+	return p
+}
+
+// loop is the render goroutine; all writes to p.w happen here, so the
+// writer needs no locking of its own.
+func (p *Progress) loop() {
+	defer p.wg.Done()
+	tick := time.NewTicker(p.period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			p.render(false)
+		case <-p.stop:
+			p.render(true)
+			return
+		}
+	}
+}
+
+// Stop renders the final line, terminates it with a newline, and waits for
+// the render goroutine to exit. It is idempotent.
+func (p *Progress) Stop() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.done {
+		return
+	}
+	p.done = true
+	close(p.stop)
+	p.wg.Wait()
+}
+
+// render writes one status line. Carriage-return rewriting keeps it on a
+// single terminal row; the final render appends a newline instead.
+func (p *Progress) render(final bool) {
+	elapsed := time.Since(p.start)
+	refs := p.reg.Counter(NameDriveRefs).Value() - p.baseRefs
+	done := p.reg.Counter(NameCellsFinished).Value() - p.baseDone
+	planned := p.reg.Counter(NameCellsPlanned).Value() - p.basePlanned
+
+	var rate float64
+	if s := elapsed.Seconds(); s > 0 {
+		rate = float64(refs) / s
+	}
+	line := fmt.Sprintf("cells %d/%d  refs %s  %s refs/s  elapsed %s",
+		done, planned, human(refs), human(uint64(rate)), elapsed.Truncate(time.Millisecond))
+	if !final && done > 0 && planned > done {
+		eta := time.Duration(float64(elapsed) / float64(done) * float64(planned-done))
+		line += fmt.Sprintf("  ETA %s", eta.Truncate(time.Second))
+	}
+
+	// Pad to overwrite any longer previous line.
+	pad := p.lastLen - len(line)
+	p.lastLen = len(line)
+	if pad > 0 {
+		line += strings.Repeat(" ", pad)
+	}
+	if final {
+		fmt.Fprintf(p.w, "\r%s\n", line)
+	} else {
+		fmt.Fprintf(p.w, "\r%s", line)
+	}
+}
+
+// human formats a count with a metric suffix (1.2k, 3.4M, 5.6G).
+func human(n uint64) string {
+	switch {
+	case n >= 1e9:
+		return fmt.Sprintf("%.1fG", float64(n)/1e9)
+	case n >= 1e6:
+		return fmt.Sprintf("%.1fM", float64(n)/1e6)
+	case n >= 1e3:
+		return fmt.Sprintf("%.1fk", float64(n)/1e3)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}

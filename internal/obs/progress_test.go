@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer lets the test read what the render goroutine wrote without a
+// data race (Progress itself writes from exactly one goroutine).
+type syncBuffer struct {
+	mu sync.Mutex
+	sb strings.Builder
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.String()
+}
+
+func TestProgressRendersAndStops(t *testing.T) {
+	reg := NewRegistry()
+	var buf syncBuffer
+	p := StartProgress(&buf, reg, 5*time.Millisecond)
+	reg.Counter(NameCellsPlanned).Add(10)
+	reg.Counter(NameCellsFinished).Add(4)
+	reg.Counter(NameDriveRefs).Add(2_500_000)
+	time.Sleep(30 * time.Millisecond)
+	p.Stop()
+	p.Stop() // idempotent
+
+	out := buf.String()
+	if !strings.Contains(out, "cells 4/10") {
+		t.Errorf("progress line missing cell progress:\n%q", out)
+	}
+	if !strings.Contains(out, "refs 2.5M") {
+		t.Errorf("progress line missing refs:\n%q", out)
+	}
+	if !strings.Contains(out, "refs/s") {
+		t.Errorf("progress line missing rate:\n%q", out)
+	}
+	if !strings.HasPrefix(out, "\r") {
+		t.Errorf("progress does not rewrite in place:\n%q", out)
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Errorf("final render not newline-terminated:\n%q", out)
+	}
+}
+
+// TestProgressCountsOnlyItsRun: a progress bar started mid-process must
+// show deltas from its own start, not process-lifetime totals.
+func TestProgressCountsOnlyItsRun(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(NameCellsPlanned).Add(100)
+	reg.Counter(NameCellsFinished).Add(100)
+	var buf syncBuffer
+	p := StartProgress(&buf, reg, time.Hour) // only the final render fires
+	reg.Counter(NameCellsPlanned).Add(3)
+	reg.Counter(NameCellsFinished).Add(2)
+	p.Stop()
+	if out := buf.String(); !strings.Contains(out, "cells 2/3") {
+		t.Errorf("progress shows stale totals:\n%q", out)
+	}
+}
+
+func TestHuman(t *testing.T) {
+	cases := []struct {
+		in   uint64
+		want string
+	}{
+		{5, "5"}, {1500, "1.5k"}, {2_500_000, "2.5M"}, {7_200_000_000, "7.2G"},
+	}
+	for _, c := range cases {
+		if got := human(c.in); got != c.want {
+			t.Errorf("human(%d) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

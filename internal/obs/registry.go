@@ -1,0 +1,230 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Registry is a named collection of metrics. Lookups are get-or-create and
+// safe for concurrent use; handles are stable for the life of the registry,
+// so instrumented packages resolve them once at init and the hot path never
+// touches the registry lock.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*counterEntry
+	gauges     map[string]*Gauge
+	histograms map[string]*histogramEntry
+}
+
+type counterEntry struct {
+	c      *Counter
+	timing bool
+}
+
+type histogramEntry struct {
+	h      *Histogram
+	timing bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*counterEntry),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*histogramEntry),
+	}
+}
+
+// Default is the process-wide registry every instrumented package reports
+// into (the expvar model: instrumentation points are package-level, so
+// threading a registry through every replay-loop signature is not needed).
+// Run reports are snapshot deltas, so several sequential runs in one
+// process each see only their own work.
+var Default = NewRegistry()
+
+// Counter returns the named deterministic counter, creating it if needed.
+func (r *Registry) Counter(name string) *Counter { return r.counter(name, false) }
+
+// TimingCounter returns the named counter reported in the timings section:
+// its value depends on scheduling or wall time, not only on the inputs.
+func (r *Registry) TimingCounter(name string) *Counter { return r.counter(name, true) }
+
+func (r *Registry) counter(name string, timing bool) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.counters[name]; ok {
+		return e.c
+	}
+	e := &counterEntry{c: new(Counter), timing: timing}
+	r.counters[name] = e
+	return e.c
+}
+
+// Gauge returns the named gauge, creating it if needed. Gauges always
+// report in the timings section.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g := new(Gauge)
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named deterministic histogram over the given
+// ascending bucket upper bounds, creating it if needed (the bounds of an
+// existing histogram win).
+func (r *Registry) Histogram(name string, bounds []uint64) *Histogram {
+	return r.histogram(name, bounds, false)
+}
+
+// TimingHistogram is Histogram for scheduling- or time-dependent values;
+// it reports in the timings section.
+func (r *Registry) TimingHistogram(name string, bounds []uint64) *Histogram {
+	return r.histogram(name, bounds, true)
+}
+
+func (r *Registry) histogram(name string, bounds []uint64, timing bool) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.histograms[name]; ok {
+		return e.h
+	}
+	e := &histogramEntry{h: newHistogram(bounds), timing: timing}
+	r.histograms[name] = e
+	return e.h
+}
+
+// Section is one class of a report's metrics, keyed by metric name.
+type Section struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// TimingSection extends Section with gauges; everything in it is excluded
+// from golden comparison.
+type TimingSection struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// ReportSchema identifies the run-report JSON layout.
+const ReportSchema = "uselessmiss/metrics/v1"
+
+// RunReport is a point-in-time snapshot of a registry, split into the
+// deterministic section (identical for identical inputs and flags, and
+// invariant across -j) and the timings section (wall-clock and
+// scheduling-dependent values). encoding/json sorts map keys, so the
+// serialized form is deterministic given deterministic values.
+type RunReport struct {
+	Schema        string        `json:"schema"`
+	Deterministic Section       `json:"deterministic"`
+	Timings       TimingSection `json:"timings"`
+}
+
+// Report snapshots the registry.
+func (r *Registry) Report() RunReport {
+	rep := RunReport{
+		Schema: ReportSchema,
+		Deterministic: Section{
+			Counters:   map[string]uint64{},
+			Histograms: map[string]HistogramSnapshot{},
+		},
+		Timings: TimingSection{
+			Counters:   map[string]uint64{},
+			Gauges:     map[string]float64{},
+			Histograms: map[string]HistogramSnapshot{},
+		},
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, e := range r.counters {
+		if e.timing {
+			rep.Timings.Counters[name] = e.c.Value()
+		} else {
+			rep.Deterministic.Counters[name] = e.c.Value()
+		}
+	}
+	for name, g := range r.gauges {
+		rep.Timings.Gauges[name] = g.Value()
+	}
+	for name, e := range r.histograms {
+		if e.timing {
+			rep.Timings.Histograms[name] = e.h.snapshot()
+		} else {
+			rep.Deterministic.Histograms[name] = e.h.snapshot()
+		}
+	}
+	return rep
+}
+
+// Delta returns the per-run report after - before: counters and histograms
+// subtract, gauges keep their latest value. Metrics that appeared after the
+// "before" snapshot subtract from zero.
+func Delta(before, after RunReport) RunReport {
+	out := after
+	out.Deterministic = Section{
+		Counters:   subCounters(after.Deterministic.Counters, before.Deterministic.Counters),
+		Histograms: subHistograms(after.Deterministic.Histograms, before.Deterministic.Histograms),
+	}
+	out.Timings = TimingSection{
+		Counters:   subCounters(after.Timings.Counters, before.Timings.Counters),
+		Gauges:     after.Timings.Gauges,
+		Histograms: subHistograms(after.Timings.Histograms, before.Timings.Histograms),
+	}
+	return out
+}
+
+func subCounters(after, before map[string]uint64) map[string]uint64 {
+	out := make(map[string]uint64, len(after))
+	for name, v := range after {
+		out[name] = v - before[name]
+	}
+	return out
+}
+
+func subHistograms(after, before map[string]HistogramSnapshot) map[string]HistogramSnapshot {
+	out := make(map[string]HistogramSnapshot, len(after))
+	for name, s := range after {
+		if prev, ok := before[name]; ok {
+			s = s.Sub(prev)
+		}
+		out[name] = s
+	}
+	return out
+}
+
+// WriteJSON writes the report as indented JSON with a trailing newline.
+// Map keys serialize sorted, so the bytes are deterministic.
+func (rep RunReport) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// DeterministicNames returns the sorted deterministic counter names, for
+// tests and debugging dumps.
+func (rep RunReport) DeterministicNames() []string {
+	names := make([]string, 0, len(rep.Deterministic.Counters))
+	for name := range rep.Deterministic.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// String renders a compact one-line summary (counter totals only), for
+// slog payloads.
+func (rep RunReport) String() string {
+	return fmt.Sprintf("RunReport{%d deterministic counters, %d timing counters, %d gauges}",
+		len(rep.Deterministic.Counters), len(rep.Timings.Counters), len(rep.Timings.Gauges))
+}

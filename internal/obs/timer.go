@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"time"
+)
+
+// RunTimer brackets one run (one experiment driver call, one regen) and
+// derives the run-level rate gauges from counter deltas when stopped:
+// wall seconds, replayed refs/s, and sweep-pool utilization (cell-busy
+// seconds per wall second; values above 1 mean the parallel pool paid off).
+type RunTimer struct {
+	reg      *Registry
+	start    time.Time
+	baseRefs uint64
+	baseBusy uint64
+}
+
+// StartRunTimer begins timing a run against reg (nil means Default).
+func StartRunTimer(reg *Registry) *RunTimer {
+	if reg == nil {
+		reg = Default
+	}
+	return &RunTimer{
+		reg:      reg,
+		start:    time.Now(),
+		baseRefs: reg.Counter(NameDriveRefs).Value(),
+		baseBusy: reg.TimingCounter(NameSweepBusyNs).Value(),
+	}
+}
+
+// Stop computes the run's wall time and rates and publishes them as gauges.
+// It returns the wall-clock duration.
+func (t *RunTimer) Stop() time.Duration {
+	elapsed := time.Since(t.start)
+	wall := elapsed.Seconds()
+	t.reg.Gauge(NameRunWallSeconds).Set(wall)
+	if wall > 0 {
+		refs := t.reg.Counter(NameDriveRefs).Value() - t.baseRefs
+		t.reg.Gauge(NameRunRefsPerSec).Set(float64(refs) / wall)
+		busy := t.reg.TimingCounter(NameSweepBusyNs).Value() - t.baseBusy
+		t.reg.Gauge(NameRunUtilization).Set(float64(busy) / 1e9 / wall)
+	}
+	return elapsed
+}

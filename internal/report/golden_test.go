@@ -1,0 +1,73 @@
+package report
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden file from the current output")
+
+// TestClassTableGolden renders a classification table covering every miss
+// class the suite reports — the paper's five (PC, CTS, CFS, PTS, PFS) plus
+// the finite-cache Repl extension — with a metrics footer note, and
+// compares it byte-for-byte against the golden file. The values are
+// arbitrary but fixed; what the golden locks down is the rendering:
+// column alignment, the rule line, and notes printed verbatim after the
+// rows without disturbing the columns.
+func TestClassTableGolden(t *testing.T) {
+	tb := NewTable("class", "misses", "rate%")
+	tb.Rowf("PC", 123456, "1.235")
+	tb.Rowf("CTS", 7890, "0.079")
+	tb.Rowf("CFS", 42, "0.000")
+	tb.Rowf("PTS", 99999, "1.000")
+	tb.Rowf("PFS", 3, "0.000")
+	tb.Rowf("Repl", 1048576, "10.486")
+	tb.Notef("refs %d  cells %d/%d  cache hits %d misses %d",
+		10000000, 10, 10, 9, 1)
+	tb.Note("metrics: see -metrics for the full run report")
+
+	var sb strings.Builder
+	tb.Fprint(&sb)
+	got := sb.String()
+
+	path := filepath.Join("testdata", "class_table.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("render diverges from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	// Column alignment: every row fills all three columns with the last
+	// column right-aligned, so all row lines end at the same column, and
+	// the rule line's dash groups sit exactly under the widest cells.
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	const headerLines, ruleLine = 1, 1
+	rows := lines[headerLines+ruleLine : len(lines)-2] // strip the two notes
+	if len(rows) != 6 {
+		t.Fatalf("expected 6 class rows, got %d:\n%s", len(rows), got)
+	}
+	ruleLen := len(lines[1])
+	for _, row := range rows {
+		if len(row) != ruleLen {
+			t.Errorf("row %q is %d columns wide, rule is %d (misaligned)", row, len(row), ruleLen)
+		}
+	}
+	for _, group := range strings.Split(lines[1], "  ") {
+		if strings.Trim(group, "-") != "" {
+			t.Errorf("rule line %q contains non-dash group %q", lines[1], group)
+		}
+	}
+}

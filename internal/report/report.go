@@ -14,6 +14,7 @@ import (
 type Table struct {
 	headers []string
 	rows    [][]string
+	notes   []string
 }
 
 // NewTable returns a table with the given column headers.
@@ -24,6 +25,18 @@ func NewTable(headers ...string) *Table {
 // Row appends a row; missing cells render empty, extra cells are kept.
 func (t *Table) Row(cells ...string) {
 	t.rows = append(t.rows, cells)
+}
+
+// Note appends a footer line, rendered verbatim after the rows (run
+// metadata, metrics summaries). Notes do not participate in column
+// alignment and are omitted from CSV output.
+func (t *Table) Note(line string) {
+	t.notes = append(t.notes, line)
+}
+
+// Notef appends a formatted footer line.
+func (t *Table) Notef(format string, args ...any) {
+	t.Note(fmt.Sprintf(format, args...))
 }
 
 // Rowf appends a row of formatted cells: each argument is rendered with %v.
@@ -80,6 +93,9 @@ func (t *Table) Fprint(out io.Writer) {
 	line(rule)
 	for _, row := range t.rows {
 		line(row)
+	}
+	for _, note := range t.notes {
+		fmt.Fprintln(out, note)
 	}
 }
 

@@ -4,8 +4,30 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
+
+// Cache metric handles. Hits, misses and streamed fallbacks are
+// deterministic: misses count one materialization attempt per distinct
+// name, and every other reader is either a hit (fits the budget) or a
+// streamed fallback, regardless of scheduling. Coalesced is a timing
+// metric — how many of the hits arrived while the materialization was
+// still in flight depends on worker interleaving. Evictions exists for
+// forward compatibility and is always 0 today: the cache admits whole
+// traces within a fixed budget and never evicts (over-budget traces are
+// streamed instead).
+var (
+	mCacheHits      = obs.Default.Counter(obs.NameCacheHits)
+	mCacheMisses    = obs.Default.Counter(obs.NameCacheMisses)
+	mCacheStreamed  = obs.Default.Counter(obs.NameCacheStreamed)
+	mCacheEvictions = obs.Default.Counter(obs.NameCacheEvictions)
+	mCacheCoalesced = obs.Default.TimingCounter(obs.NameCacheCoalesced)
+)
+
+// The evictions counter is registered (and reported as 0) even though the
+// current cache never evicts; assert it stays referenced.
+var _ = mCacheEvictions
 
 // DefaultCacheRefs is the default TraceCache budget: the total number of
 // references the cache may hold in memory across all workloads. At 16
@@ -66,15 +88,24 @@ func (c *TraceCache) Reader(name string) (trace.Reader, error) {
 	e, ok := c.entries[name]
 	if ok {
 		c.mu.Unlock()
-		<-e.ready
+		select {
+		case <-e.ready:
+		default:
+			// The materialization is still in flight: this reader's load
+			// is being coalesced onto it (the singleflight path).
+			mCacheCoalesced.Inc()
+			<-e.ready
+		}
 		if e.err != nil {
 			return nil, e.err
 		}
 		if e.tr == nil {
 			c.streamed.Add(1)
+			mCacheStreamed.Inc()
 			return c.open(name)
 		}
 		c.hits.Add(1)
+		mCacheHits.Inc()
 		return e.tr.Reader(), nil
 	}
 
@@ -84,6 +115,7 @@ func (c *TraceCache) Reader(name string) (trace.Reader, error) {
 	c.mu.Unlock()
 
 	c.misses.Add(1)
+	mCacheMisses.Inc()
 	tr, complete, err := c.materialize(name, remaining)
 	switch {
 	case err != nil:
@@ -102,6 +134,7 @@ func (c *TraceCache) Reader(name string) (trace.Reader, error) {
 		// Over budget: the partial materialization was abandoned, so this
 		// caller streams a fresh generation like every later one.
 		c.streamed.Add(1)
+		mCacheStreamed.Inc()
 		return c.open(name)
 	}
 	return e.tr.Reader(), nil

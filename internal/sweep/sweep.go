@@ -13,7 +13,41 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
+
+// Metric handles, resolved once. Cell counts are deterministic (they depend
+// only on the grid, never on scheduling); the per-cell wall-time histogram
+// and the pool-busy time are timing metrics. The busy counter feeds the
+// run-level utilization gauge: busy seconds per wall second, where values
+// near the worker count mean the pool is saturated.
+var (
+	mCellsPlanned  = obs.Default.Counter(obs.NameCellsPlanned)
+	mCellsStarted  = obs.Default.Counter(obs.NameCellsStarted)
+	mCellsFinished = obs.Default.Counter(obs.NameCellsFinished)
+	mCellNs        = obs.Default.TimingHistogram(obs.NameCellNs, cellNsBounds)
+	mBusyNs        = obs.Default.TimingCounter(obs.NameSweepBusyNs)
+)
+
+// cellNsBounds spans 1ms to 100s of per-cell wall time.
+var cellNsBounds = []uint64{1e6, 1e7, 1e8, 1e9, 1e10, 1e11}
+
+// runCell evaluates one cell with its timing instrumentation: one
+// time.Now pair per cell, amortized over an entire experiment replay.
+func runCell[T any](ctx context.Context, i int, fn func(ctx context.Context, i int) (T, error)) (T, error) {
+	mCellsStarted.Inc()
+	t0 := time.Now()
+	r, err := fn(ctx, i)
+	ns := uint64(time.Since(t0))
+	mBusyNs.Add(ns)
+	mCellNs.Observe(ns)
+	if err == nil {
+		mCellsFinished.Inc()
+	}
+	return r, err
+}
 
 // Options configures Run.
 type Options struct {
@@ -44,6 +78,7 @@ func Run[T any](ctx context.Context, n int, o Options, fn func(ctx context.Conte
 	if n <= 0 {
 		return nil, nil
 	}
+	mCellsPlanned.Add(uint64(n))
 	results := make([]T, n)
 	p := o.workers(n)
 	if p == 1 {
@@ -51,7 +86,7 @@ func Run[T any](ctx context.Context, n int, o Options, fn func(ctx context.Conte
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			r, err := fn(ctx, i)
+			r, err := runCell(ctx, i, fn)
 			if err != nil {
 				return nil, err
 			}
@@ -75,7 +110,7 @@ func Run[T any](ctx context.Context, n int, o Options, fn func(ctx context.Conte
 				if i >= n || ctx.Err() != nil {
 					return
 				}
-				r, err := fn(ctx, i)
+				r, err := runCell(ctx, i, fn)
 				if err != nil {
 					errs[i] = err
 					cancel()

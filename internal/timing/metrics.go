@@ -1,0 +1,9 @@
+package timing
+
+import (
+	"repro/internal/obs"
+)
+
+// References replayed through the timing model, added once per Run (the
+// loop counts into a local; the single atomic add happens at the end).
+var mTimingRefs = obs.Default.Counter(obs.NameTimingRefs)

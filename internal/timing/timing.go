@@ -115,11 +115,13 @@ func Run(protocol string, r trace.Reader, g mem.Geometry, m Model) (Times, error
 	}
 
 	defer trace.CloseReader(r) //nolint:errcheck // best-effort close after drain
+	var refsReplayed uint64
 	for {
 		ref, err := r.Next()
 		if err != nil {
 			break
 		}
+		refsReplayed++
 		if ref.Kind == trace.Phase {
 			// Barrier: everyone waits for the slowest.
 			var max uint64
@@ -149,6 +151,7 @@ func Run(protocol string, r trace.Reader, g mem.Geometry, m Model) (Times, error
 		}
 	}
 
+	mTimingRefs.Add(refsReplayed)
 	res := sim.Finish()
 	t := Times{
 		Protocol: protocol,

@@ -1,0 +1,47 @@
+package trace
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestCloseErrorsCarryConsumerContext: close errors surfaced by Drive and
+// Collect are wrapped with the consumer-side call site so a log line says
+// *which* drain hit the failing reader, while errors.Is still matches the
+// underlying cause through %w (regression for the wrap).
+func TestCloseErrorsCarryConsumerContext(t *testing.T) {
+	closeErr := errors.New("close failed")
+
+	err := Drive(&errCloser{Reader: New(1, L(0, 1)).Reader(), err: closeErr}, consumerFunc(func(Ref) {}))
+	if !errors.Is(err, closeErr) {
+		t.Fatalf("Drive = %v, errors.Is lost the close error through the wrap", err)
+	}
+	if want := "trace: drive: closing reader"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("Drive error %q missing context %q", err, want)
+	}
+
+	_, err = Collect(&errCloser{Reader: New(1, L(0, 1)).Reader(), err: closeErr})
+	if !errors.Is(err, closeErr) {
+		t.Fatalf("Collect = %v, errors.Is lost the close error through the wrap", err)
+	}
+	if want := "trace: collect: closing reader"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("Collect error %q missing context %q", err, want)
+	}
+}
+
+// TestCloseErrorCounterIncrements: every surfaced close error bumps the
+// trace.drive.close_errors counter exactly once.
+func TestCloseErrorCounterIncrements(t *testing.T) {
+	closeErr := errors.New("close failed")
+	c := obs.Default.Counter(obs.NameDriveCloseErrs)
+
+	before := c.Value()
+	_ = Drive(&errCloser{Reader: New(1, L(0, 1)).Reader(), err: closeErr}, consumerFunc(func(Ref) {}))
+	_, _ = Collect(&errCloser{Reader: New(1, L(0, 1)).Reader(), err: closeErr})
+	if got := c.Value() - before; got != 2 {
+		t.Fatalf("close-error counter advanced by %d, want 2", got)
+	}
+}

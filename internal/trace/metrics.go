@@ -1,0 +1,34 @@
+package trace
+
+import (
+	"repro/internal/obs"
+)
+
+// Metric handles for the replay hot path, resolved once at package init so
+// Drive/Collect and the demux pump pay only pre-resolved atomic adds — a
+// handful per 1024-reference batch, never per reference. The demux pump
+// goes further: it accumulates plain-integer locals and flushes them to
+// the counters once per demux, because it already iterates per reference
+// for routing and must not add atomics inside that loop.
+var (
+	mDriveRefs      = obs.Default.Counter(obs.NameDriveRefs)
+	mDriveBatches   = obs.Default.Counter(obs.NameDriveBatches)
+	mDriveBatchSize = obs.Default.Histogram(obs.NameDriveBatchSize, batchSizeBounds)
+	mDriveCloseErrs = obs.Default.Counter(obs.NameDriveCloseErrs)
+	mCollectRefs    = obs.Default.Counter(obs.NameCollectRefs)
+
+	mDemuxRefsIn     = obs.Default.Counter(obs.NameDemuxRefsIn)
+	mDemuxDataRouted = obs.Default.Counter(obs.NameDemuxDataRouted)
+	mDemuxBroadcasts = obs.Default.Counter(obs.NameDemuxBroadcasts)
+	mDemuxShardRefs  = obs.Default.Histogram(obs.NameDemuxShardRefs, shardRefsBounds)
+	mDemuxBlockedNs  = obs.Default.TimingCounter(obs.NameDemuxBlockedNs)
+)
+
+// batchSizeBounds covers the delivered-batch spectrum up to driveBatch;
+// anything larger lands in the overflow bucket.
+var batchSizeBounds = []uint64{1, 8, 64, 256, 512, driveBatch}
+
+// shardRefsBounds buckets the per-shard delivered-reference totals, one
+// observation per shard per demux, so skew in the block partition shows up
+// as spread across buckets.
+var shardRefsBounds = []uint64{1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000}

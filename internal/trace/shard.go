@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"repro/internal/mem"
 )
@@ -115,6 +116,21 @@ func (d *Demux) pump(r Reader, key ShardFunc) {
 	batches := make([][]Ref, n)
 	var err error
 
+	// Metric accumulators: plain locals inside the routing loop (which is
+	// necessarily per-reference), flushed to the atomic counters once when
+	// the pump exits.
+	var refsIn, dataRouted, broadcasts, blockedNs uint64
+	routed := make([]uint64, n)
+	defer func() {
+		mDemuxRefsIn.Add(refsIn)
+		mDemuxDataRouted.Add(dataRouted)
+		mDemuxBroadcasts.Add(broadcasts)
+		mDemuxBlockedNs.Add(blockedNs)
+		for _, perShard := range routed {
+			mDemuxShardRefs.Observe(perShard)
+		}
+	}()
+
 	flush := func(i int) bool {
 		if len(batches[i]) == 0 {
 			return true
@@ -124,17 +140,32 @@ func (d *Demux) pump(r Reader, key ShardFunc) {
 			batches[i] = nil
 			return true
 		}
+		// Fast path: the shard's channel has room. Only when the send
+		// would block does the pump pay for timestamps, so blocked-send
+		// time measures genuine backpressure from slow shard consumers.
 		select {
 		case s.ch <- batches[i]:
+			routed[i] += uint64(len(batches[i]))
+			batches[i] = nil
+			return true
+		default:
+		}
+		t0 := time.Now()
+		select {
+		case s.ch <- batches[i]:
+			blockedNs += uint64(time.Since(t0))
+			routed[i] += uint64(len(batches[i]))
 			batches[i] = nil
 			return true
 		case <-s.done:
 			// The consumer closed this shard: drop its refs and keep
 			// pumping the others.
+			blockedNs += uint64(time.Since(t0))
 			s.dead = true
 			batches[i] = nil
 			return true
 		case <-d.stop:
+			blockedNs += uint64(time.Since(t0))
 			return false
 		}
 	}
@@ -151,6 +182,7 @@ loop:
 		} else {
 			cnt, e = fill(r, buf)
 		}
+		refsIn += uint64(cnt)
 		for _, ref := range buf[:cnt] {
 			if ref.Kind.IsData() {
 				i := key(ref)
@@ -158,6 +190,7 @@ loop:
 					err = fmt.Errorf("trace: ShardFunc returned %d for %d shards", i, n)
 					break loop
 				}
+				dataRouted++
 				if d.shards[i].dead {
 					continue
 				}
@@ -171,6 +204,7 @@ loop:
 			// Synchronization and phase references are broadcast:
 			// appended to every shard's batch so each shard sees them in
 			// stream order.
+			broadcasts++
 			for i := range batches {
 				if d.shards[i].dead {
 					continue
