@@ -5,7 +5,7 @@ BENCHTIME ?= 1x
 # the floor was set; drops below the floor fail `make cover` (and ci).
 COVERFLOOR ?= 85.0
 
-.PHONY: all build test race vet fmt golden golden-check metrics-check cover fuzz bench bench-save bench-compare ci
+.PHONY: all build test race vet fmt golden golden-check metrics-check faults cover fuzz bench bench-save bench-compare ci
 
 # Where bench-save snapshots benchmark output and bench-compare reads it.
 BENCHDIR ?= results
@@ -53,6 +53,18 @@ metrics-check:
 	$(GO) test ./cmd/uselessmiss -count=1 \
 		-run 'TestMetricsDeterministicAcrossParallelism|TestMetricsInvariantAcrossShards|TestMetricsFileIsDeterministic'
 
+# The failure-model suite under the race detector: the fault injectors
+# (internal/fault) against every -j × -shards combination, plus the
+# cancellation race and codec corruption tests — typed errors must
+# propagate, nothing may deadlock or leak, and partial output must never
+# pass as complete.
+faults:
+	$(GO) test -race -count=1 ./internal/fault
+	$(GO) test -race -count=1 ./internal/trace \
+		-run 'TestCancelMidReplayRace|TestStallDrainsOnCancel|TestCorrupt|TestV1Stream|TestDriveContextAllocs'
+	$(GO) test -race -count=1 ./cmd/uselessmiss \
+		-run 'TestExitCode|TestTimeoutExpires|TestManifest|TestRegenResumeWithoutManifest'
+
 # Enforce the aggregate statement-coverage floor: fails if the whole-repo
 # total drops below $(COVERFLOOR)%.
 cover:
@@ -96,4 +108,4 @@ bench-compare:
 	fi; \
 	rm -f "$$new"
 
-ci: build vet fmt test race golden-check metrics-check cover
+ci: build vet fmt test race golden-check metrics-check faults cover

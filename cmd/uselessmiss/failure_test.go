@@ -1,0 +1,239 @@
+package main
+
+// End-to-end tests for the failure model: exit-code mapping, -timeout
+// expiry, and the interrupt → checkpoint → -resume cycle with
+// byte-identical goldens.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/experiment"
+)
+
+// TestExitCode pins the process exit-code contract: 0 ok, 1 error,
+// 3 partial, 130 interrupted — and cancellation outranks partial.
+func TestExitCode(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"nil", nil, exitOK},
+		{"plain", errors.New("boom"), exitErr},
+		{"canceled", context.Canceled, exitInterrupted},
+		{"deadline", context.DeadlineExceeded, exitInterrupted},
+		{"wrapped canceled", fmt.Errorf("regen: %w", context.Canceled), exitInterrupted},
+		{"partial", experiment.ErrPartial, exitPartial},
+		{"wrapped partial", fmt.Errorf("regen: %w", experiment.ErrPartial), exitPartial},
+		{"canceled outranks partial",
+			fmt.Errorf("%w: %w", context.Canceled, experiment.ErrPartial), exitInterrupted},
+	}
+	for _, tc := range cases {
+		if got := exitCode(tc.err); got != tc.want {
+			t.Errorf("%s: exitCode = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestTimeoutExpires: -timeout behaves like an interrupt — the run aborts
+// with context.DeadlineExceeded, which maps to the interrupted exit code.
+func TestTimeoutExpires(t *testing.T) {
+	for _, args := range [][]string{
+		{"table1", "-quick", "-workloads", "LU32", "-timeout", "1ns"},
+		{"regen", "-quick", "-o", t.TempDir(), "-timeout", "1ns"},
+	} {
+		var sb strings.Builder
+		err := run(args, &sb)
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Errorf("%v: err = %v, want DeadlineExceeded", args, err)
+		}
+		if code := exitCode(err); code != exitInterrupted {
+			t.Errorf("%v: exit code = %d, want %d", args, code, exitInterrupted)
+		}
+	}
+}
+
+// cancelOnWrote cancels a context the first time a "wrote " progress line
+// passes through it — a deterministic stand-in for SIGINT arriving between
+// regen artifacts.
+type cancelOnWrote struct {
+	w      io.Writer
+	cancel context.CancelFunc
+}
+
+func (c *cancelOnWrote) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	if bytes.Contains(p, []byte("wrote ")) {
+		c.cancel()
+	}
+	return n, err
+}
+
+// TestRegenInterruptResume is the end-to-end resumability golden check: a
+// regen interrupted after its first artifact leaves a checkpoint manifest
+// behind, and -resume completes the run — skipping the finished artifact —
+// to output byte-identical with an uninterrupted regen.
+func TestRegenInterruptResume(t *testing.T) {
+	if raceEnabled {
+		t.Skip("two full regen passes are prohibitively slow under -race; " +
+			"manifest semantics are race-tested on the synthetic artifact list")
+	}
+	straight, resumed := t.TempDir(), t.TempDir()
+
+	var sb strings.Builder
+	if err := run([]string{"regen", "-quick", "-o", straight}, &sb); err != nil {
+		t.Fatalf("straight regen: %v\n%s", err, sb.String())
+	}
+
+	// Interrupt the second run after its first artifact is checkpointed.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var interrupted strings.Builder
+	err := runContext(ctx, []string{"regen", "-quick", "-o", resumed},
+		&cancelOnWrote{w: &interrupted, cancel: cancel})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted regen: err = %v, want context.Canceled\n%s",
+			err, interrupted.String())
+	}
+	if _, err := os.Stat(filepath.Join(resumed, manifestName)); err != nil {
+		t.Fatalf("no checkpoint manifest after interrupt: %v", err)
+	}
+	if n := strings.Count(interrupted.String(), "wrote "); n != 1 {
+		t.Fatalf("interrupted regen wrote %d artifacts, want exactly 1:\n%s",
+			n, interrupted.String())
+	}
+
+	sb.Reset()
+	if err := run([]string{"regen", "-quick", "-o", resumed, "-resume"}, &sb); err != nil {
+		t.Fatalf("resumed regen: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "skipped") ||
+		!strings.Contains(sb.String(), "(up to date)") {
+		t.Errorf("resume did not skip the checkpointed artifact:\n%s", sb.String())
+	}
+
+	// Every artifact must be byte-identical to the uninterrupted run.
+	entries, err := os.ReadDir(straight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compared := 0
+	for _, e := range entries {
+		if e.Name() == manifestName {
+			continue
+		}
+		want, err := os.ReadFile(filepath.Join(straight, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(filepath.Join(resumed, e.Name()))
+		if err != nil {
+			t.Errorf("resumed run missing %s: %v", e.Name(), err)
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s differs between straight and interrupted+resumed runs", e.Name())
+		}
+		compared++
+	}
+	if compared == 0 {
+		t.Fatal("no artifacts compared")
+	}
+}
+
+// withSyntheticArtifacts substitutes a cheap two-artifact list for the real
+// regeneration, so manifest semantics can be tested without replaying the
+// paper (which is prohibitively slow under the race detector).
+func withSyntheticArtifacts(t *testing.T) {
+	t.Helper()
+	saved := regenArtifacts
+	regenArtifacts = []regenArtifact{
+		{"a.txt", func(o experiment.Options) error {
+			_, err := io.WriteString(o.Out, "artifact a\n")
+			return err
+		}},
+		{"b.txt", func(o experiment.Options) error {
+			_, err := io.WriteString(o.Out, "artifact b\n")
+			return err
+		}},
+	}
+	t.Cleanup(func() { regenArtifacts = saved })
+}
+
+// TestRegenResumeWithoutManifest: -resume against a fresh directory just
+// regenerates everything — no manifest is not an error.
+func TestRegenResumeWithoutManifest(t *testing.T) {
+	withSyntheticArtifacts(t)
+	dir := t.TempDir()
+	var sb strings.Builder
+	if err := run([]string{"regen", "-o", dir, "-resume"}, &sb); err != nil {
+		t.Fatalf("%v\n%s", err, sb.String())
+	}
+	if strings.Contains(sb.String(), "skipped") {
+		t.Errorf("fresh -resume skipped artifacts:\n%s", sb.String())
+	}
+	if n := strings.Count(sb.String(), "wrote "); n != len(regenArtifacts) {
+		t.Errorf("wrote %d artifacts, want %d:\n%s", n, len(regenArtifacts), sb.String())
+	}
+}
+
+// TestManifestRejectsStaleArtifact: a checkpointed artifact whose bytes
+// changed on disk is regenerated, not skipped — upToDate re-hashes content
+// rather than trusting the checkpoint — while untouched artifacts are
+// skipped.
+func TestManifestRejectsStaleArtifact(t *testing.T) {
+	withSyntheticArtifacts(t)
+	dir := t.TempDir()
+	var sb strings.Builder
+	if err := run([]string{"regen", "-o", dir}, &sb); err != nil {
+		t.Fatalf("%v\n%s", err, sb.String())
+	}
+	tampered := filepath.Join(dir, "a.txt")
+	if err := os.WriteFile(tampered, []byte("tampered\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if err := run([]string{"regen", "-o", dir, "-resume"}, &sb); err != nil {
+		t.Fatalf("%v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "wrote "+tampered) {
+		t.Errorf("tampered artifact was not regenerated:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "skipped "+filepath.Join(dir, "b.txt")) {
+		t.Errorf("untouched artifact was not skipped:\n%s", sb.String())
+	}
+	data, err := os.ReadFile(tampered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, []byte("artifact a\n")) {
+		t.Errorf("tampered artifact not restored: %q", data)
+	}
+}
+
+// TestManifestIgnoredAcrossQuickModes: a checkpoint written in one -quick
+// mode must not satisfy a -resume in the other — the artifact bytes differ
+// between modes even when a file happens to exist.
+func TestManifestIgnoredAcrossQuickModes(t *testing.T) {
+	withSyntheticArtifacts(t)
+	dir := t.TempDir()
+	var sb strings.Builder
+	if err := run([]string{"regen", "-quick", "-o", dir}, &sb); err != nil {
+		t.Fatalf("%v\n%s", err, sb.String())
+	}
+	sb.Reset()
+	if err := run([]string{"regen", "-o", dir, "-resume"}, &sb); err != nil {
+		t.Fatalf("%v\n%s", err, sb.String())
+	}
+	if strings.Contains(sb.String(), "skipped") {
+		t.Errorf("-resume trusted a checkpoint from the other -quick mode:\n%s", sb.String())
+	}
+}

@@ -30,16 +30,58 @@
 //	traceinfo  summarize a trace file
 //
 // Run 'uselessmiss <subcommand> -h' for the flags of each subcommand.
+//
+// Exit codes:
+//
+//	0    success
+//	1    error
+//	3    partial report: -keep-going rendered a table with FAILED cells
+//	130  interrupted: SIGINT/SIGTERM received or -timeout expired
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/experiment"
+)
+
+const (
+	exitOK          = 0
+	exitErr         = 1
+	exitPartial     = 3
+	exitInterrupted = 130
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "uselessmiss:", err)
-		os.Exit(1)
+	// The first SIGINT/SIGTERM cancels the run context: in-flight sweep
+	// cells stop at the next batch boundary, the pool drains, and the
+	// metrics report still flushes. A second signal kills the process via
+	// the restored default handler.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	code := exitCode(runContext(ctx, os.Args[1:], os.Stdout))
+	stop()
+	os.Exit(code)
+}
+
+// exitCode maps a run error onto the CLI's exit-code scheme: cancellation
+// (signal or -timeout) outranks a partial report, which outranks a plain
+// error.
+func exitCode(err error) int {
+	if err == nil {
+		return exitOK
 	}
+	fmt.Fprintln(os.Stderr, "uselessmiss:", err)
+	switch {
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return exitInterrupted
+	case errors.Is(err, experiment.ErrPartial):
+		return exitPartial
+	}
+	return exitErr
 }

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// The regen checkpoint manifest records, per artifact, the SHA-256 and size
+// of the bytes regen last wrote, so an interrupted run can -resume without
+// redoing finished artifacts and without ever trusting a file it cannot
+// verify. The manifest itself and every artifact are written via temp file
+// + rename, so an interrupt at any instant leaves either the old state or
+// the new — never a torn file that -resume would mistake for complete.
+
+const (
+	manifestName    = "manifest.json"
+	manifestVersion = 1
+)
+
+type manifest struct {
+	Version   int                      `json:"version"`
+	Quick     bool                     `json:"quick"`
+	Artifacts map[string]manifestEntry `json:"artifacts"`
+}
+
+type manifestEntry struct {
+	SHA256 string `json:"sha256"`
+	Bytes  int64  `json:"bytes"`
+}
+
+// loadManifest reads dir's manifest. A missing file, unreadable JSON, or a
+// configuration mismatch (manifest version or -quick setting) yields a
+// fresh manifest: resume degrades to regenerating everything rather than
+// mixing artifacts from incompatible runs.
+func loadManifest(dir string, quick bool) *manifest {
+	fresh := &manifest{Version: manifestVersion, Quick: quick, Artifacts: map[string]manifestEntry{}}
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return fresh
+	}
+	var m manifest
+	if json.Unmarshal(data, &m) != nil || m.Version != manifestVersion ||
+		m.Quick != quick || m.Artifacts == nil {
+		return fresh
+	}
+	return &m
+}
+
+// upToDate reports whether file exists in dir with exactly the content the
+// manifest recorded: a touched, truncated or corrupted artifact is
+// regenerated, not trusted.
+func (m *manifest) upToDate(dir, file string) bool {
+	e, ok := m.Artifacts[file]
+	if !ok {
+		return false
+	}
+	f, err := os.Open(filepath.Join(dir, file))
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	h := sha256.New()
+	n, err := io.Copy(h, f)
+	return err == nil && n == e.Bytes && hex.EncodeToString(h.Sum(nil)) == e.SHA256
+}
+
+// record checkpoints one completed artifact.
+func (m *manifest) record(file, sum string, n int64) {
+	m.Artifacts[file] = manifestEntry{SHA256: sum, Bytes: n}
+}
+
+// save writes the manifest atomically.
+func (m *manifest) save(dir string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return atomicWrite(filepath.Join(dir, manifestName), append(data, '\n'))
+}
+
+// atomicWrite replaces path with data via a temp file in the same
+// directory and a rename.
+func atomicWrite(path string, data []byte) error {
+	dir, base := filepath.Split(path)
+	tmp, err := os.CreateTemp(dir, base+".tmp-")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(data)
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return werr
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

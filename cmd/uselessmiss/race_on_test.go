@@ -1,0 +1,8 @@
+//go:build race
+
+package main
+
+// raceEnabled reports whether this test binary was built with the race
+// detector; tests whose replay volume is prohibitive under race
+// instrumentation consult it to skip.
+const raceEnabled = true

@@ -1,6 +1,10 @@
 package main
 
 import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -8,73 +12,168 @@ import (
 	"path/filepath"
 
 	"repro/internal/experiment"
+	"repro/internal/sweep"
 	"repro/internal/timing"
 )
 
 // cmdRegen regenerates every paper artifact (and the extension studies)
 // into one file per experiment under the output directory — the one-shot
-// reproduction entry point.
-func cmdRegen(args []string, out io.Writer) error {
+// reproduction entry point. Progress is checkpointed in a content-hashed
+// manifest after every artifact, so an interrupted run (SIGINT or
+// -timeout) can continue with -resume instead of starting over.
+func cmdRegen(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("regen", flag.ContinueOnError)
 	dir := fs.String("o", "results", "output directory")
 	quick := fs.Bool("quick", false, "substitute small data sets in the heavy runs")
 	par := fs.Int("j", 0, "worker goroutines for the sweep grids (0 = GOMAXPROCS, 1 = serial)")
 	shards := fs.Int("shards", 0, "block shards per cell (0 or 1 = serial; output is identical at any value)")
+	keepGoing := fs.Bool("keep-going", false, "render partial artifacts with failed sweep cells marked FAILED instead of aborting (exit code 3)")
+	resume := fs.Bool("resume", false, "skip artifacts whose manifest checkpoint matches the file on disk")
+	timeout := fs.Duration("timeout", 0, "abort the run after this duration, like an interrupt (0 = no limit)")
 	prof := addProfileFlags(fs)
 	in := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
 		return err
 	}
-	return prof.around(in.around(func() error { return regenAll(*dir, *quick, *par, *shards, out) }))
+	cfg := regenConfig{
+		dir: *dir, quick: *quick, par: *par, shards: *shards,
+		keepGoing: *keepGoing, resume: *resume,
+	}
+	return prof.around(in.around(func() error { return regenAll(ctx, cfg, out) }))
+}
+
+// regenConfig carries regen's flag values into the replay loop.
+type regenConfig struct {
+	dir              string
+	quick, keepGoing bool
+	resume           bool
+	par, shards      int
+}
+
+// regenArtifact is one entry of the regeneration list: the output file name
+// and the experiment driver that renders it.
+type regenArtifact struct {
+	file string
+	run  func(experiment.Options) error
+}
+
+// regenArtifacts is the full reproduction: every paper artifact and
+// extension study, in replay order. A package-level var so the manifest
+// tests can substitute a cheap synthetic list.
+var regenArtifacts = []regenArtifact{
+	{"table2.txt", experiment.Table2},
+	{"table1.txt", experiment.Table1},
+	{"fig5.txt", experiment.Fig5},
+	{"fig6a.txt", func(o experiment.Options) error { return experiment.Fig6(o, 64) }},
+	{"fig6b.txt", func(o experiment.Options) error { return experiment.Fig6(o, 1024) }},
+	{"large.txt", experiment.Large},
+	{"traffic.txt", experiment.Traffic},
+	{"finite.txt", func(o experiment.Options) error { return experiment.FiniteSweep(o, 64, 4) }},
+	{"compare.txt", func(o experiment.Options) error { return experiment.Compare(o, 64) }},
+	{"penalty.txt", func(o experiment.Options) error {
+		return experiment.Penalty(o, 1024, timing.DefaultModel())
+	}},
+	{"hotspots.txt", func(o experiment.Options) error { return experiment.Hotspots(o, 64) }},
+	{"phases.txt", func(o experiment.Options) error { return experiment.Phases(o, 64, 10) }},
+	{"ablate_cu.txt", func(o experiment.Options) error { return experiment.AblationCU(o, 64) }},
+	{"ablate_wbwi.txt", func(o experiment.Options) error { return experiment.AblationWBWI(o, 1024) }},
+	{"ablate_sector.txt", func(o experiment.Options) error { return experiment.AblationSector(o, 1024) }},
 }
 
 // regenAll replays every artifact; split out so profiling brackets exactly
-// the replay work.
-func regenAll(dir string, quick bool, par, shards int, out io.Writer) error {
-
-	artifacts := []struct {
-		file string
-		run  func(experiment.Options) error
-	}{
-		{"table2.txt", experiment.Table2},
-		{"table1.txt", experiment.Table1},
-		{"fig5.txt", experiment.Fig5},
-		{"fig6a.txt", func(o experiment.Options) error { return experiment.Fig6(o, 64) }},
-		{"fig6b.txt", func(o experiment.Options) error { return experiment.Fig6(o, 1024) }},
-		{"large.txt", experiment.Large},
-		{"traffic.txt", experiment.Traffic},
-		{"finite.txt", func(o experiment.Options) error { return experiment.FiniteSweep(o, 64, 4) }},
-		{"compare.txt", func(o experiment.Options) error { return experiment.Compare(o, 64) }},
-		{"penalty.txt", func(o experiment.Options) error {
-			return experiment.Penalty(o, 1024, timing.DefaultModel())
-		}},
-		{"hotspots.txt", func(o experiment.Options) error { return experiment.Hotspots(o, 64) }},
-		{"phases.txt", func(o experiment.Options) error { return experiment.Phases(o, 64, 10) }},
-		{"ablate_cu.txt", func(o experiment.Options) error { return experiment.AblationCU(o, 64) }},
-		{"ablate_wbwi.txt", func(o experiment.Options) error { return experiment.AblationWBWI(o, 1024) }},
-		{"ablate_sector.txt", func(o experiment.Options) error { return experiment.AblationSector(o, 1024) }},
-	}
+// the replay work. Each artifact is written to a temp file and renamed into
+// place only when its driver succeeds, then checkpointed in the manifest —
+// an interrupt can never leave a truncated artifact that looks complete.
+func regenAll(ctx context.Context, cfg regenConfig, out io.Writer) error {
+	m := loadManifest(cfg.dir, cfg.quick)
 	// One trace cache for the whole run: each workload's trace is
 	// materialized once and replayed by every artifact that wants it.
 	cache := experiment.NewTraceCache()
-	for _, a := range artifacts {
-		path := filepath.Join(dir, a.file)
-		f, err := os.Create(path)
-		if err != nil {
+	partial := false
+	for _, a := range regenArtifacts {
+		if err := ctx.Err(); err != nil {
 			return err
 		}
-		o := experiment.Options{Out: f, Quick: quick, Parallelism: par, Shards: shards, Cache: cache}
-		err = a.run(o)
-		if closeErr := f.Close(); err == nil {
-			err = closeErr
+		path := filepath.Join(cfg.dir, a.file)
+		if cfg.resume && m.upToDate(cfg.dir, a.file) {
+			fmt.Fprintf(out, "skipped %s (up to date)\n", path)
+			continue
+		}
+		sum, n, err := writeArtifact(ctx, path, cfg, cache, a.run)
+		if errors.Is(err, experiment.ErrPartial) {
+			// The partial report is on disk for inspection but is not
+			// checkpointed: -resume regenerates it.
+			partial = true
+			fmt.Fprintf(out, "wrote %s (PARTIAL)\n", path)
+			continue
 		}
 		if err != nil {
 			return fmt.Errorf("%s: %w", a.file, err)
 		}
+		m.record(a.file, sum, n)
+		if err := m.save(cfg.dir); err != nil {
+			return err
+		}
 		fmt.Fprintf(out, "wrote %s\n", path)
 	}
+	if partial {
+		return fmt.Errorf("regen: %w", experiment.ErrPartial)
+	}
 	return nil
+}
+
+// writeArtifact renders one artifact into a temp file (hashing the bytes as
+// they stream) and renames it into place unless the driver failed outright.
+// A keep-going partial report is renamed too — the table is valid, just
+// marked — and the ErrPartial comes back so the caller can skip the
+// checkpoint. Any other error removes the temp file and leaves the final
+// path untouched.
+func writeArtifact(ctx context.Context, path string, cfg regenConfig,
+	cache *sweep.TraceCache, run func(experiment.Options) error) (sum string, n int64, err error) {
+	dir, base := filepath.Split(path)
+	tmp, err := os.CreateTemp(dir, base+".tmp-")
+	if err != nil {
+		return "", 0, err
+	}
+	h := sha256.New()
+	count := &countingWriter{w: io.MultiWriter(tmp, h)}
+	o := experiment.Options{
+		Out: count, Quick: cfg.quick, Parallelism: cfg.par, Shards: cfg.shards,
+		Cache: cache, Ctx: ctx, KeepGoing: cfg.keepGoing,
+	}
+	runErr := run(o)
+	closeErr := tmp.Close()
+	if runErr != nil && !errors.Is(runErr, experiment.ErrPartial) {
+		os.Remove(tmp.Name())
+		return "", 0, runErr
+	}
+	if closeErr != nil {
+		os.Remove(tmp.Name())
+		return "", 0, closeErr
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return "", 0, err
+	}
+	return hex.EncodeToString(h.Sum(nil)), count.n, runErr
+}
+
+// countingWriter counts the bytes written through it.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
 }

@@ -1,12 +1,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/coherence"
 	"repro/internal/core"
@@ -18,8 +20,17 @@ import (
 	"repro/internal/workload"
 )
 
-// run dispatches a subcommand; it is the testable entry point.
+// run dispatches a subcommand under a background context; it is the
+// testable entry point for callers that never cancel.
 func run(args []string, out io.Writer) error {
+	return runContext(context.Background(), args, out)
+}
+
+// runContext dispatches a subcommand under ctx — the CLI's signal context,
+// tightened further by each subcommand's -timeout flag. Cancelling ctx
+// aborts in-flight sweep cells at batch granularity and surfaces
+// context.Canceled (or DeadlineExceeded) to the caller.
+func runContext(ctx context.Context, args []string, out io.Writer) error {
 	if len(args) == 0 {
 		return fmt.Errorf("missing subcommand (try 'list', 'table1', 'table2', 'fig5', 'fig6', 'large', 'traffic', 'finite', 'ablate', 'compare', 'penalty', 'hotspots', 'phases', 'regen', 'selfcheck', 'classify', 'protocols', 'tracegen', 'traceinfo')")
 	}
@@ -28,41 +39,41 @@ func run(args []string, out io.Writer) error {
 	case "list":
 		return cmdList(out)
 	case "table1":
-		return cmdExperiment(rest, out, "table1")
+		return cmdExperiment(ctx, rest, out, "table1")
 	case "table2":
-		return cmdExperiment(rest, out, "table2")
+		return cmdExperiment(ctx, rest, out, "table2")
 	case "fig5":
-		return cmdFig5(rest, out)
+		return cmdFig5(ctx, rest, out)
 	case "fig6":
-		return cmdFig6(rest, out)
+		return cmdFig6(ctx, rest, out)
 	case "large":
-		return cmdExperiment(rest, out, "large")
+		return cmdExperiment(ctx, rest, out, "large")
 	case "traffic":
-		return cmdExperiment(rest, out, "traffic")
+		return cmdExperiment(ctx, rest, out, "traffic")
 	case "finite":
-		return cmdFinite(rest, out)
+		return cmdFinite(ctx, rest, out)
 	case "ablate":
-		return cmdAblate(rest, out)
+		return cmdAblate(ctx, rest, out)
 	case "compare":
-		return cmdCompare(rest, out)
+		return cmdCompare(ctx, rest, out)
 	case "penalty":
-		return cmdPenalty(rest, out)
+		return cmdPenalty(ctx, rest, out)
 	case "hotspots":
-		return cmdHotspots(rest, out)
+		return cmdHotspots(ctx, rest, out)
 	case "phases":
-		return cmdPhases(rest, out)
+		return cmdPhases(ctx, rest, out)
 	case "regen":
-		return cmdRegen(rest, out)
+		return cmdRegen(ctx, rest, out)
 	case "selfcheck":
 		return cmdSelfcheck(rest, out)
 	case "classify":
-		return cmdClassify(rest, out)
+		return cmdClassify(ctx, rest, out)
 	case "protocols":
-		return cmdProtocols(rest, out)
+		return cmdProtocols(ctx, rest, out)
 	case "tracegen":
 		return cmdTracegen(rest, out)
 	case "traceinfo":
-		return cmdTraceinfo(rest, out)
+		return cmdTraceinfo(ctx, rest, out)
 	default:
 		return fmt.Errorf("unknown subcommand %q", cmd)
 	}
@@ -105,33 +116,72 @@ func splitInts(s string) ([]int, error) {
 	return out, nil
 }
 
-// experimentFlags defines the flags shared by the experiment subcommands.
-func experimentFlags(fs *flag.FlagSet) (quick, csv *bool, workloads, protocols *string, par, shards *int, prof *profiler, in *instruments) {
-	quick = fs.Bool("quick", false, "use the small data sets for the heavy runs")
-	csv = fs.Bool("csv", false, "emit CSV instead of aligned tables")
-	workloads = fs.String("workloads", "", "comma-separated workload list (default: the experiment's own)")
-	protocols = fs.String("protocols", "", "comma-separated protocol list (fig6/large only)")
-	par = fs.Int("j", 0, "worker goroutines for the sweep grid (0 = GOMAXPROCS, 1 = serial)")
-	shards = fs.Int("shards", 0, "block shards per cell (0 or 1 = serial; output is identical at any value)")
-	prof = addProfileFlags(fs)
-	in = addObsFlags(fs)
-	return
+// expFlags carries the flag values shared by the experiment subcommands.
+type expFlags struct {
+	quick, csv, keepGoing *bool
+	workloads, protocols  *string
+	par, shards           *int
+	timeout               *time.Duration
+	prof                  *profiler
+	in                    *instruments
 }
 
-func cmdExperiment(args []string, out io.Writer, which string) error {
+// experimentFlags registers the flags shared by the experiment subcommands.
+func experimentFlags(fs *flag.FlagSet) *expFlags {
+	ef := &expFlags{}
+	ef.quick = fs.Bool("quick", false, "use the small data sets for the heavy runs")
+	ef.csv = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	ef.workloads = fs.String("workloads", "", "comma-separated workload list (default: the experiment's own)")
+	ef.protocols = fs.String("protocols", "", "comma-separated protocol list (fig6/large only)")
+	ef.par = fs.Int("j", 0, "worker goroutines for the sweep grid (0 = GOMAXPROCS, 1 = serial)")
+	ef.shards = fs.Int("shards", 0, "block shards per cell (0 or 1 = serial; output is identical at any value)")
+	ef.keepGoing = fs.Bool("keep-going", false, "render a partial report with failed sweep cells marked FAILED instead of aborting (exit code 3)")
+	ef.timeout = fs.Duration("timeout", 0, "abort the run after this duration, like an interrupt (0 = no limit)")
+	ef.prof = addProfileFlags(fs)
+	ef.in = addObsFlags(fs)
+	return ef
+}
+
+// options builds the experiment Options for one invocation, deriving the
+// run context from ctx and -timeout. The caller must defer cancel so a
+// timeout timer never outlives its run.
+func (ef *expFlags) options(ctx context.Context, out io.Writer) (experiment.Options, context.CancelFunc) {
+	ctx, cancel := ef.withTimeout(ctx)
+	return experiment.Options{
+		Out: out, Quick: *ef.quick, CSV: *ef.csv,
+		Workloads:   splitList(*ef.workloads),
+		Protocols:   splitList(*ef.protocols),
+		Parallelism: *ef.par,
+		Shards:      *ef.shards,
+		Ctx:         ctx,
+		KeepGoing:   *ef.keepGoing,
+	}, cancel
+}
+
+// withTimeout tightens ctx with the -timeout flag. Expiry behaves exactly
+// like an interrupt: the sweep drains, the metrics report flushes (the obs
+// wrapper runs after the experiment returns) and the CLI exits 130.
+func (ef *expFlags) withTimeout(ctx context.Context) (context.Context, context.CancelFunc) {
+	if *ef.timeout > 0 {
+		return context.WithTimeout(ctx, *ef.timeout)
+	}
+	return ctx, func() {}
+}
+
+// around wraps fn in the profiling and instrumentation lifecycles.
+func (ef *expFlags) around(fn func() error) error {
+	return ef.prof.around(ef.in.around(fn))
+}
+
+func cmdExperiment(ctx context.Context, args []string, out io.Writer, which string) error {
 	fs := flag.NewFlagSet(which, flag.ContinueOnError)
-	quick, csv, workloads, protocols, par, shards, prof, in := experimentFlags(fs)
+	ef := experimentFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	o := experiment.Options{
-		Out: out, Quick: *quick, CSV: *csv,
-		Workloads:   splitList(*workloads),
-		Protocols:   splitList(*protocols),
-		Parallelism: *par,
-		Shards:      *shards,
-	}
-	return prof.around(in.around(func() error {
+	o, cancel := ef.options(ctx, out)
+	defer cancel()
+	return ef.around(func() error {
 		switch which {
 		case "table1":
 			return experiment.Table1(o)
@@ -144,83 +194,85 @@ func cmdExperiment(args []string, out io.Writer, which string) error {
 		default:
 			return fmt.Errorf("internal: unknown experiment %q", which)
 		}
-	}))
+	})
 }
 
-func cmdCompare(args []string, out io.Writer) error {
+func cmdCompare(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
-	_, csv, workloads, _, par, shards, prof, in := experimentFlags(fs)
+	ef := experimentFlags(fs)
 	block := fs.Int("block", 64, "block size in bytes")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	o := experiment.Options{Out: out, CSV: *csv, Workloads: splitList(*workloads), Parallelism: *par, Shards: *shards}
-	return prof.around(in.around(func() error { return experiment.Compare(o, *block) }))
+	o, cancel := ef.options(ctx, out)
+	defer cancel()
+	return ef.around(func() error { return experiment.Compare(o, *block) })
 }
 
-func cmdPhases(args []string, out io.Writer) error {
+func cmdPhases(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("phases", flag.ContinueOnError)
-	_, csv, workloads, _, par, shards, prof, in := experimentFlags(fs)
+	ef := experimentFlags(fs)
 	block := fs.Int("block", 64, "block size in bytes")
 	buckets := fs.Int("buckets", 10, "maximum rows per workload")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	o := experiment.Options{Out: out, CSV: *csv, Workloads: splitList(*workloads), Parallelism: *par, Shards: *shards}
-	return prof.around(in.around(func() error { return experiment.Phases(o, *block, *buckets) }))
+	o, cancel := ef.options(ctx, out)
+	defer cancel()
+	return ef.around(func() error { return experiment.Phases(o, *block, *buckets) })
 }
 
-func cmdHotspots(args []string, out io.Writer) error {
+func cmdHotspots(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("hotspots", flag.ContinueOnError)
-	_, csv, workloads, _, par, shards, prof, in := experimentFlags(fs)
+	ef := experimentFlags(fs)
 	block := fs.Int("block", 64, "block size in bytes")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	o := experiment.Options{Out: out, CSV: *csv, Workloads: splitList(*workloads), Parallelism: *par, Shards: *shards}
-	return prof.around(in.around(func() error { return experiment.Hotspots(o, *block) }))
+	o, cancel := ef.options(ctx, out)
+	defer cancel()
+	return ef.around(func() error { return experiment.Hotspots(o, *block) })
 }
 
-func cmdPenalty(args []string, out io.Writer) error {
+func cmdPenalty(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("penalty", flag.ContinueOnError)
-	_, csv, workloads, protocols, par, shards, prof, in := experimentFlags(fs)
+	ef := experimentFlags(fs)
 	block := fs.Int("block", 64, "block size in bytes")
 	missPenalty := fs.Uint64("miss-penalty", 30, "blocking cycles per miss")
 	syncCycles := fs.Uint64("sync-cycles", 3, "cycles per acquire/release")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	o := experiment.Options{
-		Out: out, CSV: *csv,
-		Workloads: splitList(*workloads), Protocols: splitList(*protocols),
-		Parallelism: *par, Shards: *shards,
-	}
+	o, cancel := ef.options(ctx, out)
+	defer cancel()
 	m := timing.Model{RefCycles: 1, MissPenalty: *missPenalty, SyncCycles: *syncCycles}
-	return prof.around(in.around(func() error { return experiment.Penalty(o, *block, m) }))
+	return ef.around(func() error { return experiment.Penalty(o, *block, m) })
 }
 
-func cmdFinite(args []string, out io.Writer) error {
+func cmdFinite(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("finite", flag.ContinueOnError)
-	_, csv, workloads, _, par, shards, prof, in := experimentFlags(fs)
+	ef := experimentFlags(fs)
 	block := fs.Int("block", 64, "block size in bytes")
 	assoc := fs.Int("assoc", 4, "cache associativity")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	o := experiment.Options{Out: out, CSV: *csv, Workloads: splitList(*workloads), Parallelism: *par, Shards: *shards}
-	return prof.around(in.around(func() error { return experiment.FiniteSweep(o, *block, *assoc) }))
+	o, cancel := ef.options(ctx, out)
+	defer cancel()
+	return ef.around(func() error { return experiment.FiniteSweep(o, *block, *assoc) })
 }
 
-func cmdAblate(args []string, out io.Writer) error {
+func cmdAblate(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ablate", flag.ContinueOnError)
-	_, csv, workloads, _, par, shards, prof, in := experimentFlags(fs)
+	ef := experimentFlags(fs)
 	what := fs.String("what", "cu", "ablation to run: cu (competitive-update threshold), wbwi (invalidation buffer) or sector (coherence grain)")
 	block := fs.Int("block", 64, "block size in bytes")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	o := experiment.Options{Out: out, CSV: *csv, Workloads: splitList(*workloads), Parallelism: *par, Shards: *shards}
-	return prof.around(in.around(func() error {
+	o, cancel := ef.options(ctx, out)
+	defer cancel()
+	return ef.around(func() error {
 		switch *what {
 		case "cu":
 			return experiment.AblationCU(o, *block)
@@ -231,12 +283,12 @@ func cmdAblate(args []string, out io.Writer) error {
 		default:
 			return fmt.Errorf("unknown ablation %q (want cu, wbwi or sector)", *what)
 		}
-	}))
+	})
 }
 
-func cmdFig5(args []string, out io.Writer) error {
+func cmdFig5(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("fig5", flag.ContinueOnError)
-	quick, csv, workloads, _, par, shards, prof, in := experimentFlags(fs)
+	ef := experimentFlags(fs)
 	blocks := fs.String("blocks", "", "comma-separated block sizes in bytes (default 4..2048)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -245,27 +297,22 @@ func cmdFig5(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	o := experiment.Options{
-		Out: out, Quick: *quick, CSV: *csv,
-		Workloads: splitList(*workloads), Blocks: blockList,
-		Parallelism: *par, Shards: *shards,
-	}
-	return prof.around(in.around(func() error { return experiment.Fig5(o) }))
+	o, cancel := ef.options(ctx, out)
+	defer cancel()
+	o.Blocks = blockList
+	return ef.around(func() error { return experiment.Fig5(o) })
 }
 
-func cmdFig6(args []string, out io.Writer) error {
+func cmdFig6(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("fig6", flag.ContinueOnError)
-	quick, csv, workloads, protocols, par, shards, prof, in := experimentFlags(fs)
+	ef := experimentFlags(fs)
 	block := fs.Int("block", 64, "block size in bytes (64 for Fig. 6a, 1024 for Fig. 6b)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	o := experiment.Options{
-		Out: out, Quick: *quick, CSV: *csv,
-		Workloads: splitList(*workloads), Protocols: splitList(*protocols),
-		Parallelism: *par, Shards: *shards,
-	}
-	return prof.around(in.around(func() error { return experiment.Fig6(o, *block) }))
+	o, cancel := ef.options(ctx, out)
+	defer cancel()
+	return ef.around(func() error { return experiment.Fig6(o, *block) })
 }
 
 // openTrace returns a reader for either a named workload or a trace file.
@@ -303,7 +350,7 @@ type closingReader struct {
 
 func (r *closingReader) Close() error { return r.c.Close() }
 
-func cmdClassify(args []string, out io.Writer) error {
+func cmdClassify(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("classify", flag.ContinueOnError)
 	workloadName := fs.String("workload", "", "workload name (see 'list')")
 	file := fs.String("trace", "", "binary trace file (alternative to -workload)")
@@ -338,7 +385,7 @@ func cmdClassify(args []string, out io.Writer) error {
 		trace.CloseReader(r) //nolint:errcheck // error path cleanup
 		return fmt.Errorf("unknown scheme %q", *scheme)
 	}
-	if err := trace.Drive(r, consumers...); err != nil {
+	if err := trace.DriveContext(ctx, r, consumers...); err != nil {
 		return err
 	}
 
@@ -375,7 +422,7 @@ func cmdClassify(args []string, out io.Writer) error {
 
 func pctf(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
 
-func cmdProtocols(args []string, out io.Writer) error {
+func cmdProtocols(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("protocols", flag.ContinueOnError)
 	workloadName := fs.String("workload", "", "workload name (see 'list')")
 	file := fs.String("trace", "", "binary trace file (alternative to -workload)")
@@ -407,7 +454,7 @@ func cmdProtocols(args []string, out io.Writer) error {
 		sims[i] = sim
 		consumers[i] = sim
 	}
-	if err := trace.Drive(r, consumers...); err != nil {
+	if err := trace.DriveContext(ctx, r, consumers...); err != nil {
 		return err
 	}
 	tb := report.NewTable("protocol", "misses", "miss%", "TRUE%", "COLD%", "FALSE%", "invalidations", "upgrades", "writethroughs")
@@ -467,7 +514,7 @@ func cmdTracegen(args []string, out io.Writer) error {
 	return nil
 }
 
-func cmdTraceinfo(args []string, out io.Writer) error {
+func cmdTraceinfo(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("traceinfo", flag.ContinueOnError)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -485,7 +532,7 @@ func cmdTraceinfo(args []string, out io.Writer) error {
 		return err
 	}
 	s := trace.NewStats(dec.NumProcs(), true)
-	if err := trace.Drive(dec, s); err != nil {
+	if err := trace.DriveContext(ctx, dec, s); err != nil {
 		return err
 	}
 	tb := report.NewTable("property", "value")

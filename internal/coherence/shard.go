@@ -1,6 +1,8 @@
 package coherence
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/mem"
 	"repro/internal/trace"
@@ -31,6 +33,12 @@ func MergeResults(a, b Result) Result {
 // schedule restricted to its blocks. The merged Result is identical to
 // RunWith's for every shard count; shards <= 1 is exactly RunWith.
 func RunSharded(name string, r trace.Reader, g mem.Geometry, shards int) (Result, error) {
+	return RunShardedContext(context.Background(), name, r, g, shards)
+}
+
+// RunShardedContext is RunSharded with a cancellation context; see
+// core.RunShardedContext.
+func RunShardedContext(ctx context.Context, name string, r trace.Reader, g mem.Geometry, shards int) (Result, error) {
 	if shards < 1 {
 		shards = 1
 	}
@@ -44,7 +52,7 @@ func RunSharded(name string, r trace.Reader, g mem.Geometry, shards int) (Result
 		}
 		sims[i] = sim
 	}
-	return core.RunSharded(r, shards, trace.BlockShard(g, shards),
+	return core.RunShardedContext(ctx, r, shards, trace.BlockShard(g, shards),
 		func(i int) Simulator { return sims[i] },
 		Simulator.Finish,
 		MergeResults)

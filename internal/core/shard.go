@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"sync"
 
@@ -40,9 +41,25 @@ func RunSharded[C trace.Consumer, R any](
 	finish func(C) R,
 	merge func(R, R) R,
 ) (R, error) {
+	return RunShardedContext(context.Background(), r, shards, key, newConsumer, finish, merge)
+}
+
+// RunShardedContext is RunSharded with a cancellation context, observed at
+// batch granularity by the demux pump and every shard drive. A canceled run
+// tears the pipeline down without leaking the pump or a shard goroutine and
+// returns ctx.Err().
+func RunShardedContext[C trace.Consumer, R any](
+	ctx context.Context,
+	r trace.Reader,
+	shards int,
+	key trace.ShardFunc,
+	newConsumer func(shard int) C,
+	finish func(C) R,
+	merge func(R, R) R,
+) (R, error) {
 	if shards <= 1 {
 		c := newConsumer(0)
-		if err := trace.Drive(r, c); err != nil {
+		if err := trace.DriveContext(ctx, r, c); err != nil {
 			var zero R
 			return zero, err
 		}
@@ -53,7 +70,7 @@ func RunSharded[C trace.Consumer, R any](
 	for i := range consumers {
 		consumers[i] = newConsumer(i)
 	}
-	d := trace.NewDemux(r, shards, key)
+	d := trace.NewDemuxContext(ctx, r, shards, key)
 	defer d.Close()
 
 	errs := make([]error, shards)
@@ -62,7 +79,7 @@ func RunSharded[C trace.Consumer, R any](
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			if err := trace.Drive(d.Shard(i), consumers[i]); err != nil {
+			if err := trace.DriveContext(ctx, d.Shard(i), consumers[i]); err != nil {
 				errs[i] = err
 				// First failure cancels the demux so the peers stop
 				// instead of classifying a stream that already failed.
@@ -73,7 +90,12 @@ func RunSharded[C trace.Consumer, R any](
 	wg.Wait()
 
 	// Report the most meaningful error: a real failure beats the
-	// ErrStopped the peers observe after the teardown.
+	// ErrStopped the peers observe after the teardown, and a canceled
+	// context reports ctx.Err() no matter which shard saw it first.
+	if e := ctx.Err(); e != nil {
+		var zero R
+		return zero, e
+	}
 	var stopped error
 	for _, err := range errs {
 		if err == nil {
@@ -112,8 +134,14 @@ type classifyResult[K any] struct {
 // and the data-reference count are identical to Classify's for every shard
 // count; shards <= 1 is exactly Classify.
 func ShardedClassify(r trace.Reader, g mem.Geometry, shards int) (Counts, uint64, error) {
+	return ShardedClassifyContext(context.Background(), r, g, shards)
+}
+
+// ShardedClassifyContext is ShardedClassify with a cancellation context; see
+// RunShardedContext.
+func ShardedClassifyContext(ctx context.Context, r trace.Reader, g mem.Geometry, shards int) (Counts, uint64, error) {
 	procs := r.NumProcs()
-	res, err := RunSharded(r, shards, trace.BlockShard(g, shards),
+	res, err := RunShardedContext(ctx, r, shards, trace.BlockShard(g, shards),
 		func(int) *Classifier { return NewClassifier(procs, g) },
 		func(c *Classifier) classifyResult[Counts] {
 			return classifyResult[Counts]{counts: c.Finish(), refs: c.DataRefs()}
@@ -130,8 +158,14 @@ func ShardedClassify(r trace.Reader, g mem.Geometry, shards int) (Counts, uint64
 // ShardedClassifyEggers runs Eggers' classification block-sharded; see
 // ShardedClassify.
 func ShardedClassifyEggers(r trace.Reader, g mem.Geometry, shards int) (SharingCounts, uint64, error) {
+	return ShardedClassifyEggersContext(context.Background(), r, g, shards)
+}
+
+// ShardedClassifyEggersContext is ShardedClassifyEggers with a cancellation
+// context; see RunShardedContext.
+func ShardedClassifyEggersContext(ctx context.Context, r trace.Reader, g mem.Geometry, shards int) (SharingCounts, uint64, error) {
 	procs := r.NumProcs()
-	res, err := RunSharded(r, shards, trace.BlockShard(g, shards),
+	res, err := RunShardedContext(ctx, r, shards, trace.BlockShard(g, shards),
 		func(int) *Eggers { return NewEggers(procs, g) },
 		func(c *Eggers) classifyResult[SharingCounts] {
 			return classifyResult[SharingCounts]{counts: c.Finish(), refs: c.DataRefs()}
@@ -149,8 +183,14 @@ func ShardedClassifyEggers(r trace.Reader, g mem.Geometry, shards int) (SharingC
 // see ShardedClassify. Torrellas' word-level state shards with the blocks
 // containing the words.
 func ShardedClassifyTorrellas(r trace.Reader, g mem.Geometry, shards int) (SharingCounts, uint64, error) {
+	return ShardedClassifyTorrellasContext(context.Background(), r, g, shards)
+}
+
+// ShardedClassifyTorrellasContext is ShardedClassifyTorrellas with a
+// cancellation context; see RunShardedContext.
+func ShardedClassifyTorrellasContext(ctx context.Context, r trace.Reader, g mem.Geometry, shards int) (SharingCounts, uint64, error) {
 	procs := r.NumProcs()
-	res, err := RunSharded(r, shards, trace.BlockShard(g, shards),
+	res, err := RunShardedContext(ctx, r, shards, trace.BlockShard(g, shards),
 		func(int) *Torrellas { return NewTorrellas(procs, g) },
 		func(c *Torrellas) classifyResult[SharingCounts] {
 			return classifyResult[SharingCounts]{counts: c.Finish(), refs: c.DataRefs()}

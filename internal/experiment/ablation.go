@@ -1,12 +1,14 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/coherence"
 	"repro/internal/core"
 	"repro/internal/mem"
 	"repro/internal/report"
+	"repro/internal/sweep"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -21,19 +23,19 @@ import (
 // engine, where newSim builds variant j's simulator, and returns the
 // results in (workload-major, variant) order.
 func runVariants(o Options, ws []*workload.Workload, variants int,
-	newSim func(w *workload.Workload, j int) (coherence.Simulator, error)) ([]coherence.Result, error) {
+	newSim func(w *workload.Workload, j int) (coherence.Simulator, error)) ([]coherence.Result, *sweep.Failures, error) {
 	cache := o.traceCache()
-	return mapCells(o, len(ws)*variants, func(i int) (coherence.Result, error) {
+	return mapCells(o, len(ws)*variants, func(ctx context.Context, i int) (coherence.Result, error) {
 		w, j := ws[i/variants], i%variants
 		sim, err := newSim(w, j)
 		if err != nil {
 			return coherence.Result{}, err
 		}
-		r, err := cache.Reader(w.Name)
+		r, err := cache.ReaderContext(ctx, w.Name)
 		if err != nil {
 			return coherence.Result{}, err
 		}
-		if err := trace.Drive(r, sim); err != nil {
+		if err := trace.DriveContext(ctx, r, sim); err != nil {
 			return coherence.Result{}, err
 		}
 		return sim.Finish(), nil
@@ -63,7 +65,7 @@ func AblationCU(o Options, blockBytes int) error {
 	for _, threshold := range CompetitiveThresholds {
 		labels = append(labels, fmt.Sprintf("CU-%d", threshold))
 	}
-	cells, err := runVariants(o, ws, len(labels),
+	cells, fails, err := runVariants(o, ws, len(labels),
 		func(w *workload.Workload, j int) (coherence.Simulator, error) {
 			switch j {
 			case 0:
@@ -82,6 +84,10 @@ func AblationCU(o Options, blockBytes int) error {
 	tb := report.NewTable("workload", "protocol", "miss%", "updates/ref", "traffic B/ref")
 	for wi, w := range ws {
 		for j, label := range labels {
+			if fails.Failed(wi*len(labels)+j) != nil {
+				tb.Rowf(w.Name, label, "FAILED")
+				continue
+			}
 			res := cells[wi*len(labels)+j]
 			refs := float64(res.DataRefs)
 			tb.Rowf(w.Name, label,
@@ -90,11 +96,17 @@ func AblationCU(o Options, blockBytes int) error {
 				fmt.Sprintf("%.2f", float64(TrafficOf(res, g))/refs))
 		}
 	}
+	failNote(tb, fails, func(i int) string {
+		return fmt.Sprintf("%s %s", ws[i/len(labels)].Name, labels[i%len(labels)])
+	})
 	if o.CSV {
-		return tb.CSV(o.Out)
+		if err := tb.CSV(o.Out); err != nil {
+			return err
+		}
+		return partialErr(fails)
 	}
 	tb.Fprint(o.Out)
-	return nil
+	return partialErr(fails)
 }
 
 // SectorSizes is the default coherence-grain sweep for AblationSector, in
@@ -124,7 +136,7 @@ func AblationSector(o Options, blockBytes int) error {
 			sectors = append(sectors, sector)
 		}
 	}
-	cells, err := runVariants(o, ws, len(sectors),
+	cells, fails, err := runVariants(o, ws, len(sectors),
 		func(w *workload.Workload, j int) (coherence.Simulator, error) {
 			return coherence.NewSectored(w.Procs, g, sectors[j])
 		})
@@ -136,6 +148,10 @@ func AblationSector(o Options, blockBytes int) error {
 	tb := report.NewTable("workload", "sector", "miss%", "TRUE%", "FALSE%")
 	for wi, w := range ws {
 		for j := range sectors {
+			if fails.Failed(wi*len(sectors)+j) != nil {
+				tb.Rowf(w.Name, fmt.Sprintf("SEC-%d", sectors[j]), "FAILED")
+				continue
+			}
 			res := cells[wi*len(sectors)+j]
 			tb.Rowf(w.Name, res.Protocol,
 				pct(res.MissRate()),
@@ -143,11 +159,17 @@ func AblationSector(o Options, blockBytes int) error {
 				pct(core.Rate(res.Counts.PFS, res.DataRefs)))
 		}
 	}
+	failNote(tb, fails, func(i int) string {
+		return fmt.Sprintf("%s SEC-%d", ws[i/len(sectors)].Name, sectors[i%len(sectors)])
+	})
 	if o.CSV {
-		return tb.CSV(o.Out)
+		if err := tb.CSV(o.Out); err != nil {
+			return err
+		}
+		return partialErr(fails)
 	}
 	tb.Fprint(o.Out)
-	return nil
+	return partialErr(fails)
 }
 
 // BufferSizes is the default sweep for AblationWBWI, in buffered words per
@@ -178,7 +200,7 @@ func AblationWBWI(o Options, blockBytes int) error {
 			labels[j] = fmt.Sprintf("%d words", entries)
 		}
 	}
-	cells, err := runVariants(o, ws, len(BufferSizes),
+	cells, fails, err := runVariants(o, ws, len(BufferSizes),
 		func(w *workload.Workload, j int) (coherence.Simulator, error) {
 			if BufferSizes[j] == 0 {
 				return coherence.NewWBWI(w.Procs, g), nil
@@ -193,9 +215,19 @@ func AblationWBWI(o Options, blockBytes int) error {
 		blockBytes, g.WordsPerBlock())
 	tb := report.NewTable("workload", "buffer", "miss%", "vs unlimited")
 	for wi, w := range ws {
-		results := cells[wi*len(BufferSizes) : (wi+1)*len(BufferSizes)]
-		unlimited := results[len(results)-1].MissRate()
+		base := wi * len(BufferSizes)
+		results := cells[base : base+len(BufferSizes)]
+		// The unlimited baseline is the last variant; if that cell failed,
+		// the relative column has no denominator for this workload.
+		unlimited := 0.0
+		if fails.Failed(base+len(BufferSizes)-1) == nil {
+			unlimited = results[len(results)-1].MissRate()
+		}
 		for j, res := range results {
+			if fails.Failed(base+j) != nil {
+				tb.Rowf(w.Name, labels[j], "FAILED")
+				continue
+			}
 			rel := "n/a"
 			if unlimited > 0 {
 				rel = fmt.Sprintf("%+.0f%%", 100*(res.MissRate()-unlimited)/unlimited)
@@ -203,9 +235,15 @@ func AblationWBWI(o Options, blockBytes int) error {
 			tb.Rowf(w.Name, labels[j], pct(res.MissRate()), rel)
 		}
 	}
+	failNote(tb, fails, func(i int) string {
+		return fmt.Sprintf("%s %s", ws[i/len(BufferSizes)].Name, labels[i%len(BufferSizes)])
+	})
 	if o.CSV {
-		return tb.CSV(o.Out)
+		if err := tb.CSV(o.Out); err != nil {
+			return err
+		}
+		return partialErr(fails)
 	}
 	tb.Fprint(o.Out)
-	return nil
+	return partialErr(fails)
 }

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -30,14 +31,14 @@ func Compare(o Options, blockBytes int) error {
 		return err
 	}
 	cache := o.traceCache()
-	cells, err := mapCells(o, len(ws), func(i int) (core.CrossCounts, error) {
+	cells, fails, err := mapCells(o, len(ws), func(ctx context.Context, i int) (core.CrossCounts, error) {
 		w := ws[i]
-		r, err := cache.Reader(w.Name)
+		r, err := cache.ReaderContext(ctx, w.Name)
 		if err != nil {
 			return core.CrossCounts{}, err
 		}
 		c := core.NewCrossClassifier(w.Procs, g)
-		if err := trace.Drive(r, c); err != nil {
+		if err := trace.DriveContext(ctx, r, c); err != nil {
 			return core.CrossCounts{}, err
 		}
 		matrix, _, _, _ := c.Finish()
@@ -49,6 +50,10 @@ func Compare(o Options, blockBytes int) error {
 
 	fmt.Fprintf(o.Out, "Joint classification of every miss (B=%d bytes): ours vs. the earlier schemes\n", blockBytes)
 	for wi, w := range ws {
+		if ce := fails.Failed(wi); ce != nil {
+			fmt.Fprintf(o.Out, "\n%s FAILED: %s\n", w.Name, firstErrLine(ce.Err))
+			continue
+		}
 		matrix := cells[wi]
 		fmt.Fprintf(o.Out, "\n%s (%d misses)\n", w.Name, matrix.Total())
 		for _, pair := range []struct {
@@ -77,5 +82,5 @@ func Compare(o Options, blockBytes int) error {
 			fmt.Fprintf(o.Out, "misses carrying needed values that Torrellas calls FSM or CM: %d\n", hidden)
 		}
 	}
-	return nil
+	return partialErr(fails)
 }

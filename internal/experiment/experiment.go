@@ -15,6 +15,7 @@ package experiment
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -62,6 +63,15 @@ type Options struct {
 	// (regen runs every artifact off one cache). Nil gives each driver
 	// its own cache for the duration of the call.
 	Cache *sweep.TraceCache
+	// Ctx is the run's cancellation context (the CLI's signal/timeout
+	// context); nil means context.Background(). Cancellation is observed
+	// at batch granularity inside every cell replay, so an interrupted
+	// driver returns ctx.Err() within one batch of references.
+	Ctx context.Context
+	// KeepGoing renders partial reports with failed cells marked FAILED
+	// (and a footer note naming the failures) instead of aborting the
+	// driver at the first cell error (the CLI's -keep-going flag).
+	KeepGoing bool
 }
 
 // Default returns Options writing to out.
@@ -85,7 +95,15 @@ func (o Options) blocks(def []int) []int {
 }
 
 func (o Options) sweepOpts() sweep.Options {
-	return sweep.Options{Parallelism: o.Parallelism}
+	return sweep.Options{Parallelism: o.Parallelism, KeepGoing: o.KeepGoing}
+}
+
+// ctx returns the run context, never nil.
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 // shardsPerCell bounds the per-cell shard count so the sweep pool and the
@@ -147,12 +165,68 @@ func openWorkloadTrace(name string) (trace.Reader, error) {
 	return w.Reader(), nil
 }
 
-// mapCells runs fn over every cell index in [0, n) on the sweep engine and
-// returns the results in deterministic cell order. Cell functions must not
-// touch Options.Out; rendering happens after mapCells returns.
-func mapCells[T any](o Options, n int, fn func(i int) (T, error)) ([]T, error) {
-	return sweep.Run(context.Background(), n, o.sweepOpts(),
-		func(_ context.Context, i int) (T, error) { return fn(i) })
+// mapCells runs fn over every cell index in [0, n) on the sweep engine,
+// under the run's cancellation context, and returns the results in
+// deterministic cell order. Cell functions receive the sweep's per-cell
+// context and must thread it into their replays; they must not touch
+// Options.Out — rendering happens after mapCells returns.
+//
+// In keep-going mode cell failures come back as the *sweep.Failures second
+// result (with the result slice intact at every non-failed index) so the
+// driver can render a partial report; any other error — including
+// cancellation — aborts the driver.
+func mapCells[T any](o Options, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, *sweep.Failures, error) {
+	res, err := sweep.Run(o.ctx(), n, o.sweepOpts(), fn)
+	if fails := sweep.AsFailures(err); fails != nil {
+		return res, fails, nil
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, nil, nil
+}
+
+// ErrPartial marks a keep-going run that finished with failed cells: the
+// report was rendered (with the failed cells marked FAILED), but it is not
+// the complete grid. The CLI maps it to a distinct exit code so scripts can
+// tell a partial report from a clean one; the underlying cell errors stay
+// reachable through sweep.AsFailures.
+var ErrPartial = errors.New("partial results: some sweep cells failed")
+
+// partialErr converts a keep-going failure set into the driver's return
+// value: nil for a complete grid, an error wrapping both ErrPartial and the
+// failures otherwise. Drivers return it after rendering, so the report is
+// on Out even when the error is non-nil.
+func partialErr(fails *sweep.Failures) error {
+	if fails.Len() == 0 {
+		return nil
+	}
+	return fmt.Errorf("%w: %w", ErrPartial, fails)
+}
+
+// failNote appends the standard partial-report footer for a keep-going run
+// with failures: one line naming the count, then one line per failed cell
+// with its grid coordinates and first error line. No-op when fails is nil.
+func failNote(t interface{ Notef(string, ...any) }, fails *sweep.Failures, cellName func(i int) string) {
+	if fails.Len() == 0 {
+		return
+	}
+	t.Notef("PARTIAL: %d of the sweep cells failed; failed cells are marked FAILED", fails.Len())
+	for _, ce := range fails.Cells {
+		t.Notef("  failed %s: %v", cellName(ce.Cell), firstErrLine(ce.Err))
+	}
+}
+
+// firstErrLine renders err's first line (panic CellErrors carry multi-line
+// stacks that belong in logs, not table footers).
+func firstErrLine(err error) string {
+	s := err.Error()
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			return s[:i]
+		}
+	}
+	return s
 }
 
 // getWorkloads resolves every name up front so validation errors surface
@@ -210,8 +284,8 @@ func mergeTriCounts(a, b triCounts) triCounts {
 // classifyAll drives the three classifiers over one replay of the workload
 // trace, block-sharded across shards consumers (shards <= 1 is the serial
 // single-pass path).
-func classifyAll(r trace.Reader, procs int, g mem.Geometry, shards int) (triCounts, error) {
-	return core.RunSharded(r, shards, trace.BlockShard(g, shards),
+func classifyAll(ctx context.Context, r trace.Reader, procs int, g mem.Geometry, shards int) (triCounts, error) {
+	return core.RunShardedContext(ctx, r, shards, trace.BlockShard(g, shards),
 		func(int) *triClassifier { return newTriClassifier(procs, g) },
 		func(c *triClassifier) triCounts {
 			return triCounts{ours: c.oc.Finish(), eggers: c.ec.Finish(), torr: c.tc.Finish(), refs: c.oc.DataRefs()}

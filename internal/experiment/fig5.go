@@ -1,11 +1,13 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/mem"
 	"repro/internal/report"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -39,13 +41,13 @@ func Fig5(o Options) error {
 	}
 
 	cache := o.traceCache()
-	cells, err := mapCells(o, len(ws)*len(blocks), func(i int) (fig5Cell, error) {
+	cells, fails, err := mapCells(o, len(ws)*len(blocks), func(ctx context.Context, i int) (fig5Cell, error) {
 		w, g := ws[i/len(blocks)], geos[i%len(blocks)]
-		r, err := cache.Reader(w.Name)
+		r, err := cache.ReaderContext(ctx, w.Name)
 		if err != nil {
 			return fig5Cell{}, err
 		}
-		counts, refs, err := core.ShardedClassify(r, g, o.shardsPerCell())
+		counts, refs, err := core.ShardedClassifyContext(ctx, r, g, o.shardsPerCell())
 		if err != nil {
 			return fig5Cell{}, err
 		}
@@ -60,7 +62,13 @@ func Fig5(o Options) error {
 		fmt.Fprintf(o.Out, "\n%s — %s\n", w.Name, w.Description)
 		tb := report.NewTable("B(bytes)", "PC", "CTS", "CFS", "PTS", "PFS", "essential", "total")
 		chart := &report.BarChart{Unit: "%"}
+		wFails := &sweep.Failures{}
 		for bi, b := range blocks {
+			if ce := fails.Failed(wi*len(blocks) + bi); ce != nil {
+				tb.Rowf(b, "FAILED")
+				wFails.Cells = append(wFails.Cells, ce)
+				continue
+			}
 			cell := cells[wi*len(blocks)+bi]
 			counts, refs := cell.counts, cell.refs
 			tb.Rowf(b,
@@ -78,6 +86,9 @@ func Fig5(o Options) error {
 				report.Segment{Label: "FALSE", Value: core.Rate(counts.PFS, refs)},
 			)
 		}
+		failNote(tb, wFails, func(i int) string {
+			return fmt.Sprintf("%s B=%d", ws[i/len(blocks)].Name, blocks[i%len(blocks)])
+		})
 		if o.CSV {
 			if err := tb.CSV(o.Out); err != nil {
 				return err
@@ -88,5 +99,5 @@ func Fig5(o Options) error {
 		fmt.Fprintln(o.Out)
 		chart.Fprint(o.Out)
 	}
-	return nil
+	return partialErr(fails)
 }

@@ -1,12 +1,14 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/coherence"
 	"repro/internal/core"
 	"repro/internal/mem"
 	"repro/internal/report"
+	"repro/internal/sweep"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -41,13 +43,13 @@ func Fig6(o Options, blockBytes int) error {
 	}
 
 	cache := o.traceCache()
-	cells, err := mapCells(o, len(ws)*len(protos), func(i int) (coherence.Result, error) {
+	cells, fails, err := mapCells(o, len(ws)*len(protos), func(ctx context.Context, i int) (coherence.Result, error) {
 		w, proto := ws[i/len(protos)], protos[i%len(protos)]
-		r, err := cache.Reader(w.Name)
+		r, err := cache.ReaderContext(ctx, w.Name)
 		if err != nil {
 			return coherence.Result{}, err
 		}
-		return coherence.RunSharded(proto, r, g, o.shardsPerCell())
+		return coherence.RunShardedContext(ctx, proto, r, g, o.shardsPerCell())
 	})
 	if err != nil {
 		return err
@@ -59,7 +61,13 @@ func Fig6(o Options, blockBytes int) error {
 		fmt.Fprintf(o.Out, "\n%s\n", w.Name)
 		tb := report.NewTable("protocol", "miss%", "TRUE%", "COLD%", "FALSE%", "invalidations", "upgrades")
 		chart := &report.BarChart{Unit: "%"}
-		for _, res := range results {
+		wFails := &sweep.Failures{}
+		for pi, res := range results {
+			if ce := fails.Failed(wi*len(protos) + pi); ce != nil {
+				tb.Rowf(protos[pi], "FAILED")
+				wFails.Cells = append(wFails.Cells, ce)
+				continue
+			}
 			c := res.Counts
 			tb.Rowf(res.Protocol,
 				pct(res.MissRate()),
@@ -78,6 +86,9 @@ func Fig6(o Options, blockBytes int) error {
 					report.Segment{Label: "FALSE", Value: core.Rate(c.PFS, res.DataRefs)})
 			}
 		}
+		failNote(tb, wFails, func(i int) string {
+			return fmt.Sprintf("%s %s", ws[i/len(protos)].Name, protos[i%len(protos)])
+		})
 		if o.CSV {
 			if err := tb.CSV(o.Out); err != nil {
 				return err
@@ -88,7 +99,7 @@ func Fig6(o Options, blockBytes int) error {
 		fmt.Fprintln(o.Out)
 		chart.Fprint(o.Out)
 	}
-	return nil
+	return partialErr(fails)
 }
 
 // runProtocols replays one generation of the workload trace through all the

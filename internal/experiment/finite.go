@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -38,14 +39,14 @@ func FiniteSweep(o Options, blockBytes, assoc int) error {
 		return err
 	}
 	cache := o.traceCache()
-	cells, err := mapCells(o, len(ws)*len(CacheSizes), func(i int) (finiteCell, error) {
+	cells, fails, err := mapCells(o, len(ws)*len(CacheSizes), func(ctx context.Context, i int) (finiteCell, error) {
 		w := ws[i/len(CacheSizes)]
 		capacity := CacheSizes[i%len(CacheSizes)]
-		r, err := cache.Reader(w.Name)
+		r, err := cache.ReaderContext(ctx, w.Name)
 		if err != nil {
 			return finiteCell{}, err
 		}
-		counts, refs, err := classifyAtCapacity(r, g, capacity, assoc, o.shardsPerCell())
+		counts, refs, err := classifyAtCapacity(ctx, r, g, capacity, assoc, o.shardsPerCell())
 		if err != nil {
 			return finiteCell{}, err
 		}
@@ -60,6 +61,10 @@ func FiniteSweep(o Options, blockBytes, assoc int) error {
 	tb := report.NewTable("workload", "cache", "cold%", "PTS%", "repl%", "PFS%", "total%", "essential frac")
 	for wi, w := range ws {
 		for ci, capacity := range CacheSizes {
+			if fails.Failed(wi*len(CacheSizes)+ci) != nil {
+				tb.Rowf(w.Name, capacityLabel(capacity), "FAILED")
+				continue
+			}
 			cell := cells[wi*len(CacheSizes)+ci]
 			counts, refs := cell.counts, cell.refs
 			frac := 0.0
@@ -75,25 +80,31 @@ func FiniteSweep(o Options, blockBytes, assoc int) error {
 				fmt.Sprintf("%.3f", frac))
 		}
 	}
+	failNote(tb, fails, func(i int) string {
+		return fmt.Sprintf("%s cache=%s", ws[i/len(CacheSizes)].Name, capacityLabel(CacheSizes[i%len(CacheSizes)]))
+	})
 	if o.CSV {
-		return tb.CSV(o.Out)
+		if err := tb.CSV(o.Out); err != nil {
+			return err
+		}
+		return partialErr(fails)
 	}
 	tb.Fprint(o.Out)
 	fmt.Fprintln(o.Out)
 	fmt.Fprintln(o.Out, "Paper §8: replacement misses are essential, so the essential fraction")
 	fmt.Fprintln(o.Out, "rises as the cache shrinks; cold/PTS/PFS follow the infinite-cache split.")
-	return nil
+	return partialErr(fails)
 }
 
 // classifyAtCapacity classifies one trace replay with the given
 // per-processor cache capacity, block-sharded across shards consumers;
 // capacity 0 means infinite.
-func classifyAtCapacity(r trace.Reader, g mem.Geometry, capacity, assoc, shards int) (core.Counts, uint64, error) {
+func classifyAtCapacity(ctx context.Context, r trace.Reader, g mem.Geometry, capacity, assoc, shards int) (core.Counts, uint64, error) {
 	if capacity == 0 {
-		return core.ShardedClassify(r, g, shards)
+		return core.ShardedClassifyContext(ctx, r, g, shards)
 	}
 	cfg := finite.Config{CapacityBytes: capacity, Assoc: assoc}
-	return finite.ShardedClassify(r, g, cfg, shards)
+	return finite.ShardedClassifyContext(ctx, r, g, cfg, shards)
 }
 
 func capacityLabel(capacity int) string {

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -36,9 +37,9 @@ func Hotspots(o Options, blockBytes int) error {
 		return err
 	}
 	cache := o.traceCache()
-	cells, err := mapCells(o, len(ws), func(i int) (hotspotCell, error) {
+	cells, fails, err := mapCells(o, len(ws), func(ctx context.Context, i int) (hotspotCell, error) {
 		w := ws[i]
-		r, err := cache.Reader(w.Name)
+		r, err := cache.ReaderContext(ctx, w.Name)
 		if err != nil {
 			return hotspotCell{}, err
 		}
@@ -66,7 +67,7 @@ func Hotspots(o Options, blockBytes int) error {
 				counts.Repl++
 			}
 		})
-		if err := trace.Drive(r, classifier); err != nil {
+		if err := trace.DriveContext(ctx, r, classifier); err != nil {
 			return hotspotCell{}, err
 		}
 		return hotspotCell{perRegion: perRegion, totals: classifier.Finish()}, nil
@@ -77,6 +78,10 @@ func Hotspots(o Options, blockBytes int) error {
 
 	fmt.Fprintf(o.Out, "Miss attribution by data structure (B=%d bytes)\n", blockBytes)
 	for wi, w := range ws {
+		if ce := fails.Failed(wi); ce != nil {
+			fmt.Fprintf(o.Out, "\n%s FAILED: %s\n", w.Name, firstErrLine(ce.Err))
+			continue
+		}
 		perRegion, totals := cells[wi].perRegion, cells[wi].totals
 
 		regions := make([]string, 0, len(perRegion))
@@ -111,5 +116,5 @@ func Hotspots(o Options, blockBytes int) error {
 		}
 		tb.Fprint(o.Out)
 	}
-	return nil
+	return partialErr(fails)
 }

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/coherence"
@@ -51,15 +52,15 @@ func Large(o Options) error {
 	cache := o.traceCache()
 	perBlock := len(protos)
 	perWorkload := len(largeBlocks) * perBlock
-	cells, err := mapCells(o, len(ws)*perWorkload, func(i int) (coherence.Result, error) {
+	cells, fails, err := mapCells(o, len(ws)*perWorkload, func(ctx context.Context, i int) (coherence.Result, error) {
 		w := ws[i/perWorkload]
 		g := geos[i%perWorkload/perBlock]
 		proto := protos[i%perBlock]
-		r, err := cache.Reader(w.Name)
+		r, err := cache.ReaderContext(ctx, w.Name)
 		if err != nil {
 			return coherence.Result{}, err
 		}
-		return coherence.RunSharded(proto, r, g, o.shardsPerCell())
+		return coherence.RunShardedContext(ctx, proto, r, g, o.shardsPerCell())
 	})
 	if err != nil {
 		return err
@@ -70,14 +71,19 @@ func Large(o Options) error {
 	tb := report.NewTable("workload", "B", "protocol", "miss%", "essential%", "vs MIN")
 	for wi, w := range ws {
 		for bi, b := range largeBlocks {
-			results := cells[wi*perWorkload+bi*perBlock : wi*perWorkload+(bi+1)*perBlock]
+			base := wi*perWorkload + bi*perBlock
+			results := cells[base : base+perBlock]
 			var minRate float64
-			for _, res := range results {
-				if res.Protocol == "MIN" {
+			for pi, res := range results {
+				if res.Protocol == "MIN" && fails.Failed(base+pi) == nil {
 					minRate = res.MissRate()
 				}
 			}
-			for _, res := range results {
+			for pi, res := range results {
+				if fails.Failed(base+pi) != nil {
+					tb.Rowf(w.Name, b, protos[pi], "FAILED")
+					continue
+				}
 				gap := "n/a"
 				if minRate > 0 {
 					gap = fmt.Sprintf("%+.0f%%", 100*(res.MissRate()-minRate)/minRate)
@@ -86,12 +92,18 @@ func Large(o Options) error {
 			}
 		}
 	}
+	failNote(tb, fails, func(i int) string {
+		return fmt.Sprintf("%s B=%d %s", ws[i/perWorkload].Name, largeBlocks[i%perWorkload/perBlock], protos[i%perBlock])
+	})
 	if o.CSV {
-		return tb.CSV(o.Out)
+		if err := tb.CSV(o.Out); err != nil {
+			return err
+		}
+		return partialErr(fails)
 	}
 	tb.Fprint(o.Out)
 	fmt.Fprintln(o.Out)
 	fmt.Fprintln(o.Out, "Paper §7: at B=64 every schedule lands within ~20% of the essential rate;")
 	fmt.Fprintln(o.Out, "at B=1024 false sharing dominates and MAX is far worse, especially for LU.")
-	return nil
+	return partialErr(fails)
 }

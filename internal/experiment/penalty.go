@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/coherence"
@@ -39,13 +40,13 @@ func Penalty(o Options, blockBytes int, m timing.Model) error {
 	}
 
 	cache := o.traceCache()
-	cells, err := mapCells(o, len(ws)*len(protos), func(i int) (timing.Times, error) {
+	cells, fails, err := mapCells(o, len(ws)*len(protos), func(ctx context.Context, i int) (timing.Times, error) {
 		w, proto := ws[i/len(protos)], protos[i%len(protos)]
-		r, err := cache.Reader(w.Name)
+		r, err := cache.ReaderContext(ctx, w.Name)
 		if err != nil {
 			return timing.Times{}, err
 		}
-		return timing.Run(proto, r, g, m)
+		return timing.RunContext(ctx, proto, r, g, m)
 	})
 	if err != nil {
 		return err
@@ -58,11 +59,15 @@ func Penalty(o Options, blockBytes int, m timing.Model) error {
 		results := cells[wi*len(protos) : (wi+1)*len(protos)]
 		var minCycles uint64
 		for pi, proto := range protos {
-			if proto == "MIN" {
+			if proto == "MIN" && fails.Failed(wi*len(protos)+pi) == nil {
 				minCycles = results[pi].Cycles
 			}
 		}
-		for _, times := range results {
+		for pi, times := range results {
+			if fails.Failed(wi*len(protos)+pi) != nil {
+				tb.Rowf(w.Name, protos[pi], "FAILED")
+				continue
+			}
 			vs := "n/a"
 			if minCycles > 0 {
 				vs = fmt.Sprintf("%+.1f%%", 100*(float64(times.Cycles)/float64(minCycles)-1))
@@ -78,12 +83,18 @@ func Penalty(o Options, blockBytes int, m timing.Model) error {
 				fmt.Sprintf("%.0f%%", 100*stallShare))
 		}
 	}
+	failNote(tb, fails, func(i int) string {
+		return fmt.Sprintf("%s %s", ws[i/len(protos)].Name, protos[i%len(protos)])
+	})
 	if o.CSV {
-		return tb.CSV(o.Out)
+		if err := tb.CSV(o.Out); err != nil {
+			return err
+		}
+		return partialErr(fails)
 	}
 	tb.Fprint(o.Out)
 	fmt.Fprintln(o.Out)
 	fmt.Fprintln(o.Out, "Useless misses translate directly into stall time: the gap between a")
 	fmt.Fprintln(o.Out, "schedule and MIN is the execution time the eliminated misses would cost.")
-	return nil
+	return partialErr(fails)
 }

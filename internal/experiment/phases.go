@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -36,14 +37,14 @@ func Phases(o Options, blockBytes, buckets int) error {
 		return err
 	}
 	cache := o.traceCache()
-	cells, err := mapCells(o, len(ws), func(i int) (phasesCell, error) {
+	cells, fails, err := mapCells(o, len(ws), func(ctx context.Context, i int) (phasesCell, error) {
 		w := ws[i]
-		r, err := cache.Reader(w.Name)
+		r, err := cache.ReaderContext(ctx, w.Name)
 		if err != nil {
 			return phasesCell{}, err
 		}
 		series := core.NewPhaseSeries(w.Procs, g)
-		if err := trace.Drive(r, series); err != nil {
+		if err := trace.DriveContext(ctx, r, series); err != nil {
 			return phasesCell{}, err
 		}
 		points, tail := series.Finish()
@@ -55,6 +56,10 @@ func Phases(o Options, blockBytes, buckets int) error {
 
 	fmt.Fprintf(o.Out, "Miss classification over computation phases (B=%d bytes)\n", blockBytes)
 	for wi, w := range ws {
+		if ce := fails.Failed(wi); ce != nil {
+			fmt.Fprintf(o.Out, "\n%s FAILED: %s\n", w.Name, firstErrLine(ce.Err))
+			continue
+		}
 		points, tail := cells[wi].points, cells[wi].tail
 		fmt.Fprintf(o.Out, "\n%s (%d phases)\n", w.Name, len(points))
 		tb := report.NewTable("phases", "refs", "cold", "PTS", "PFS", "miss%")
@@ -82,7 +87,7 @@ func Phases(o Options, blockBytes, buckets int) error {
 		}
 		tb.Fprint(o.Out)
 	}
-	return nil
+	return partialErr(fails)
 }
 
 type phaseBucket struct {

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -57,13 +58,13 @@ func Table1(o Options) error {
 	}
 
 	cache := o.traceCache()
-	cells, err := mapCells(o, len(ws)*len(blocks), func(i int) (table1Cell, error) {
+	cells, fails, err := mapCells(o, len(ws)*len(blocks), func(ctx context.Context, i int) (table1Cell, error) {
 		w, g := ws[i/len(blocks)], geos[i%len(blocks)]
-		r, err := cache.Reader(w.Name)
+		r, err := cache.ReaderContext(ctx, w.Name)
 		if err != nil {
 			return table1Cell{}, err
 		}
-		tri, err := classifyAll(r, w.Procs, g, o.shardsPerCell())
+		tri, err := classifyAll(ctx, r, w.Procs, g, o.shardsPerCell())
 		if err != nil {
 			return table1Cell{}, err
 		}
@@ -78,6 +79,10 @@ func Table1(o Options) error {
 	tb := report.NewTable("workload", "B", "class", "scheme", "misses", "paper")
 	for wi, w := range ws {
 		for bi, b := range blocks {
+			if fails.Failed(wi*len(blocks)+bi) != nil {
+				tb.Rowf(w.Name, b, "FAILED")
+				continue
+			}
 			cell := cells[wi*len(blocks)+bi]
 			ours, eggers, torr := cell.ours, cell.eggers, cell.torr
 			schemes := [3]struct {
@@ -100,12 +105,18 @@ func Table1(o Options) error {
 			}
 		}
 	}
+	failNote(tb, fails, func(i int) string {
+		return fmt.Sprintf("%s B=%d", ws[i/len(blocks)].Name, blocks[i%len(blocks)])
+	})
 	if o.CSV {
-		return tb.CSV(o.Out)
+		if err := tb.CSV(o.Out); err != nil {
+			return err
+		}
+		return partialErr(fails)
 	}
 	tb.Fprint(o.Out)
 	fmt.Fprintln(o.Out)
 	fmt.Fprintln(o.Out, "Eggers' scheme can only under-count true sharing relative to ours;")
 	fmt.Fprintln(o.Out, "Torrellas' counts many sharing misses as cold (word-grain first touch).")
-	return nil
+	return partialErr(fails)
 }

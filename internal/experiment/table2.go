@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/report"
@@ -38,14 +39,14 @@ func Table2(o Options) error {
 		return err
 	}
 	cache := o.traceCache()
-	cells, err := mapCells(o, len(ws), func(i int) (*trace.Stats, error) {
+	cells, fails, err := mapCells(o, len(ws), func(ctx context.Context, i int) (*trace.Stats, error) {
 		w := ws[i]
-		r, err := cache.Reader(w.Name)
+		r, err := cache.ReaderContext(ctx, w.Name)
 		if err != nil {
 			return nil, err
 		}
 		s := trace.NewStats(w.Procs, true)
-		if err := trace.Drive(r, s); err != nil {
+		if err := trace.DriveContext(ctx, r, s); err != nil {
 			return nil, err
 		}
 		return s, nil
@@ -59,6 +60,10 @@ func Table2(o Options) error {
 	tb := report.NewTable("benchmark", "speedup", "writes(k)", "reads(k)", "acq/rel(k)", "data(KB)")
 	for wi, w := range ws {
 		name := w.Name
+		if fails.Failed(wi) != nil {
+			tb.Row(name, "FAILED")
+			continue
+		}
 		s := cells[wi]
 		paper, ok := table2Paper[name]
 		cell := func(measured float64, idx int, format string) string {
@@ -75,9 +80,13 @@ func Table2(o Options) error {
 			cell(float64(s.DataSetBytes())/1024, 4, "%.0f"),
 		)
 	}
+	failNote(tb, fails, func(i int) string { return ws[i].Name })
 	if o.CSV {
-		return tb.CSV(o.Out)
+		if err := tb.CSV(o.Out); err != nil {
+			return err
+		}
+		return partialErr(fails)
 	}
 	tb.Fprint(o.Out)
-	return nil
+	return partialErr(fails)
 }

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/coherence"
@@ -61,7 +62,7 @@ func Traffic(o Options) error {
 	cache := o.traceCache()
 	perBlock := len(protos)
 	perWorkload := len(largeBlocks) * perBlock
-	cells, err := mapCells(o, len(ws)*perWorkload, func(i int) (coherence.Result, error) {
+	cells, fails, err := mapCells(o, len(ws)*perWorkload, func(ctx context.Context, i int) (coherence.Result, error) {
 		w := ws[i/perWorkload]
 		g := geos[i%perWorkload/perBlock]
 		proto := protos[i%perBlock]
@@ -69,11 +70,11 @@ func Traffic(o Options) error {
 		if err != nil {
 			return coherence.Result{}, err
 		}
-		r, err := cache.Reader(w.Name)
+		r, err := cache.ReaderContext(ctx, w.Name)
 		if err != nil {
 			return coherence.Result{}, err
 		}
-		if err := trace.Drive(r, sim); err != nil {
+		if err := trace.DriveContext(ctx, r, sim); err != nil {
 			return coherence.Result{}, err
 		}
 		return sim.Finish(), nil
@@ -88,8 +89,13 @@ func Traffic(o Options) error {
 	for wi, w := range ws {
 		for bi, b := range largeBlocks {
 			g := geos[bi]
-			results := cells[wi*perWorkload+bi*perBlock : wi*perWorkload+(bi+1)*perBlock]
-			for _, res := range results {
+			base := wi*perWorkload + bi*perBlock
+			results := cells[base : base+perBlock]
+			for pi, res := range results {
+				if fails.Failed(base+pi) != nil {
+					tb.Rowf(w.Name, b, protos[pi], "FAILED")
+					continue
+				}
 				refs := float64(res.DataRefs)
 				fetch := float64(res.Misses*fetchBytes(g)) / refs
 				msgs := float64(TrafficOf(res, g)-res.Misses*fetchBytes(g)) / refs
@@ -101,12 +107,18 @@ func Traffic(o Options) error {
 			}
 		}
 	}
+	failNote(tb, fails, func(i int) string {
+		return fmt.Sprintf("%s B=%d %s", ws[i/perWorkload].Name, largeBlocks[i%perWorkload/perBlock], protos[i%perBlock])
+	})
 	if o.CSV {
-		return tb.CSV(o.Out)
+		if err := tb.CSV(o.Out); err != nil {
+			return err
+		}
+		return partialErr(fails)
 	}
 	tb.Fprint(o.Out)
 	fmt.Fprintln(o.Out)
 	fmt.Fprintln(o.Out, "Paper §8: reduced miss rates reduce miss traffic, but page-sized blocks")
 	fmt.Fprintln(o.Out, "move so much data per miss that update-based protocols become attractive.")
-	return nil
+	return partialErr(fails)
 }

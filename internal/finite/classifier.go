@@ -1,6 +1,8 @@
 package finite
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/dense"
 	"repro/internal/mem"
@@ -127,11 +129,18 @@ func (c *Classifier) Finish() core.Counts {
 
 // Classify runs the finite-cache classification over a trace stream.
 func Classify(r trace.Reader, g mem.Geometry, cfg Config) (core.Counts, uint64, error) {
+	return ClassifyContext(context.Background(), r, g, cfg)
+}
+
+// ClassifyContext is Classify with a cancellation context, observed at batch
+// granularity by the replay pump.
+func ClassifyContext(ctx context.Context, r trace.Reader, g mem.Geometry, cfg Config) (core.Counts, uint64, error) {
 	c, err := NewClassifier(r.NumProcs(), g, cfg)
 	if err != nil {
+		trace.CloseReader(r) //nolint:errcheck // error path cleanup
 		return core.Counts{}, 0, err
 	}
-	if err := trace.Drive(r, c); err != nil {
+	if err := trace.DriveContext(ctx, r, c); err != nil {
 		return core.Counts{}, 0, err
 	}
 	return c.Finish(), c.DataRefs(), nil

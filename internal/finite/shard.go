@@ -1,6 +1,8 @@
 package finite
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/mem"
 	"repro/internal/trace"
@@ -19,8 +21,14 @@ import (
 // single xorshift stream across all sets, which no block partition can
 // reproduce; it (and shards <= 1) falls back to the serial Classify.
 func ShardedClassify(r trace.Reader, g mem.Geometry, cfg Config, shards int) (core.Counts, uint64, error) {
+	return ShardedClassifyContext(context.Background(), r, g, cfg, shards)
+}
+
+// ShardedClassifyContext is ShardedClassify with a cancellation context; see
+// core.RunShardedContext.
+func ShardedClassifyContext(ctx context.Context, r trace.Reader, g mem.Geometry, cfg Config, shards int) (core.Counts, uint64, error) {
 	if shards <= 1 || cfg.Policy == Random {
-		return Classify(r, g, cfg)
+		return ClassifyContext(ctx, r, g, cfg)
 	}
 	procs := r.NumProcs()
 	classifiers := make([]*Classifier, shards)
@@ -44,7 +52,7 @@ func ShardedClassify(r trace.Reader, g mem.Geometry, cfg Config, shards int) (co
 		counts core.Counts
 		refs   uint64
 	}
-	out, err := core.RunSharded(r, shards, key,
+	out, err := core.RunShardedContext(ctx, r, shards, key,
 		func(i int) *Classifier { return classifiers[i] },
 		func(c *Classifier) res { return res{counts: c.Finish(), refs: c.DataRefs()} },
 		func(a, b res) res { return res{counts: a.counts.Add(b.counts), refs: a.refs + b.refs} })

@@ -1,6 +1,8 @@
 package sweep
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 
@@ -84,6 +86,14 @@ func NewTraceCache(budgetRefs int64, open Opener) *TraceCache {
 // in-memory copy when the trace fits the budget, otherwise a fresh stream
 // from the Opener. Readers are independent and safe to drain concurrently.
 func (c *TraceCache) Reader(name string) (trace.Reader, error) {
+	return c.ReaderContext(context.Background(), name)
+}
+
+// ReaderContext is Reader with a cancellation context: a canceled caller
+// stops waiting on an in-flight materialization, and a materialization
+// aborted by cancellation does not poison the entry — the next caller
+// (e.g. a resumed run over the same cache) retries it.
+func (c *TraceCache) ReaderContext(ctx context.Context, name string) (trace.Reader, error) {
 	c.mu.Lock()
 	e, ok := c.entries[name]
 	if ok {
@@ -94,7 +104,11 @@ func (c *TraceCache) Reader(name string) (trace.Reader, error) {
 			// The materialization is still in flight: this reader's load
 			// is being coalesced onto it (the singleflight path).
 			mCacheCoalesced.Inc()
-			<-e.ready
+			select {
+			case <-e.ready:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
 		}
 		if e.err != nil {
 			return nil, e.err
@@ -116,10 +130,17 @@ func (c *TraceCache) Reader(name string) (trace.Reader, error) {
 
 	c.misses.Add(1)
 	mCacheMisses.Inc()
-	tr, complete, err := c.materialize(name, remaining)
+	tr, complete, err := c.materialize(ctx, name, remaining)
 	switch {
 	case err != nil:
 		e.err = err
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// The cancellation is this run's, not the trace's: drop the
+			// entry so a later run retries instead of inheriting the error.
+			c.mu.Lock()
+			delete(c.entries, name)
+			c.mu.Unlock()
+		}
 	case complete:
 		e.tr = tr
 		c.mu.Lock()
@@ -142,7 +163,7 @@ func (c *TraceCache) Reader(name string) (trace.Reader, error) {
 
 // materialize drains up to maxRefs references of a fresh stream into
 // memory.
-func (c *TraceCache) materialize(name string, maxRefs int64) (*trace.Trace, bool, error) {
+func (c *TraceCache) materialize(ctx context.Context, name string, maxRefs int64) (*trace.Trace, bool, error) {
 	if maxRefs <= 0 {
 		return nil, false, nil
 	}
@@ -150,7 +171,7 @@ func (c *TraceCache) materialize(name string, maxRefs int64) (*trace.Trace, bool
 	if err != nil {
 		return nil, false, err
 	}
-	return trace.CollectN(r, maxRefs)
+	return trace.CollectNContext(ctx, r, maxRefs)
 }
 
 // CacheStats reports cache effectiveness for logs and tests.

@@ -1,0 +1,139 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestKeepGoingSerial: keep-going on the serial path (Parallelism 1)
+// quarantines failing cells into *Failures while the other results land.
+func TestKeepGoingSerial(t *testing.T) {
+	boom := errors.New("boom")
+	for _, par := range []int{1, 4} {
+		t.Run(fmt.Sprintf("j%d", par), func(t *testing.T) {
+			res, err := Run(context.Background(), 5, Options{Parallelism: par, KeepGoing: true},
+				func(_ context.Context, i int) (int, error) {
+					if i == 1 || i == 3 {
+						return 0, fmt.Errorf("cell: %w", boom)
+					}
+					return i * 10, nil
+				})
+			fails := AsFailures(err)
+			if fails == nil {
+				t.Fatalf("want *Failures, got %v", err)
+			}
+			if fails.Len() != 2 {
+				t.Fatalf("Len() = %d, want 2", fails.Len())
+			}
+			if !errors.Is(err, boom) {
+				t.Errorf("underlying error lost: %v", err)
+			}
+			for i, want := range []int{0, 0, 20, 0, 40} {
+				if res[i] != want {
+					t.Errorf("res[%d] = %d, want %d", i, res[i], want)
+				}
+				failed := fails.Failed(i) != nil
+				if failed != (i == 1 || i == 3) {
+					t.Errorf("Failed(%d) = %v", i, failed)
+				}
+			}
+		})
+	}
+}
+
+// TestKeepGoingAllGreen: with keep-going and no failures, err is nil (not a
+// typed-nil *Failures), and the nil-safe accessors behave.
+func TestKeepGoingAllGreen(t *testing.T) {
+	res, err := Run(context.Background(), 3, Options{Parallelism: 2, KeepGoing: true},
+		func(_ context.Context, i int) (int, error) { return i, nil })
+	if err != nil {
+		t.Fatalf("err = %v", err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("res = %v", res)
+	}
+	var f *Failures
+	if f.Len() != 0 || f.Failed(0) != nil {
+		t.Error("nil *Failures accessors are not nil-safe")
+	}
+	if AsFailures(err) != nil {
+		t.Error("AsFailures(nil) != nil")
+	}
+	if AsFailures(errors.New("plain")) != nil {
+		t.Error("AsFailures(plain error) != nil")
+	}
+}
+
+// TestPanicRecoveredIntoCellError: a panicking cell comes back as a typed
+// CellError wrapping ErrCellPanic with the stack attached, in both
+// fail-fast and keep-going modes.
+func TestPanicRecoveredIntoCellError(t *testing.T) {
+	for _, keepGoing := range []bool{false, true} {
+		t.Run(fmt.Sprintf("keepGoing=%v", keepGoing), func(t *testing.T) {
+			_, err := Run(context.Background(), 3, Options{Parallelism: 2, KeepGoing: keepGoing},
+				func(_ context.Context, i int) (int, error) {
+					if i == 1 {
+						panic("kaboom")
+					}
+					return i, nil
+				})
+			if !errors.Is(err, ErrCellPanic) {
+				t.Fatalf("errors.Is(err, ErrCellPanic) = false for %v", err)
+			}
+			var ce *CellError
+			if !errors.As(err, &ce) {
+				t.Fatalf("errors.As(*CellError) = false for %v", err)
+			}
+			if ce.Cell != 1 {
+				t.Errorf("Cell = %d, want 1", ce.Cell)
+			}
+			if len(ce.Stack) == 0 {
+				t.Error("panic CellError has no stack")
+			}
+			if !strings.Contains(ce.Error(), "kaboom") {
+				t.Errorf("Error() = %q, want the panic value", ce.Error())
+			}
+		})
+	}
+}
+
+// TestFailuresErrorSummary: one failed cell renders its CellError directly;
+// several render the counted multi-line summary with first lines only.
+func TestFailuresErrorSummary(t *testing.T) {
+	one := &Failures{Cells: []*CellError{{Cell: 2, Err: errors.New("single")}}}
+	if got := one.Error(); !strings.Contains(got, "cell 2") || !strings.Contains(got, "single") {
+		t.Errorf("single-cell Error() = %q", got)
+	}
+	many := &Failures{Cells: []*CellError{
+		{Cell: 0, Err: errors.New("first line\nsecond line")},
+		{Cell: 4, Err: errors.New("other")},
+	}}
+	got := many.Error()
+	if !strings.Contains(got, "2 cells failed") {
+		t.Errorf("Error() = %q, want cell count", got)
+	}
+	if !strings.Contains(got, "first line") || strings.Contains(got, "second line") {
+		t.Errorf("Error() = %q, want first lines only", got)
+	}
+	if errs := many.Unwrap(); len(errs) != 2 {
+		t.Errorf("Unwrap() returned %d errors, want 2", len(errs))
+	}
+}
+
+// TestKeepGoingParentCancellationWins: parent-context cancellation is not a
+// cell failure — it aborts the keep-going sweep with the context error.
+func TestKeepGoingParentCancellationWins(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Run(ctx, 4, Options{Parallelism: 2, KeepGoing: true},
+		func(ctx context.Context, i int) (int, error) { return 0, ctx.Err() })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if AsFailures(err) != nil {
+		t.Errorf("cancellation reported as cell failures: %v", err)
+	}
+}

@@ -10,7 +10,10 @@ package sweep
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -34,19 +37,32 @@ var (
 // cellNsBounds spans 1ms to 100s of per-cell wall time.
 var cellNsBounds = []uint64{1e6, 1e7, 1e8, 1e9, 1e10, 1e11}
 
-// runCell evaluates one cell with its timing instrumentation: one
-// time.Now pair per cell, amortized over an entire experiment replay.
-func runCell[T any](ctx context.Context, i int, fn func(ctx context.Context, i int) (T, error)) (T, error) {
+// runCell evaluates one cell with its timing instrumentation (one time.Now
+// pair per cell, amortized over an entire experiment replay) and panic
+// containment: a panicking cell is recovered into a *CellError carrying the
+// worker stack, so one crashed cell can never take down the whole sweep
+// process.
+func runCell[T any](ctx context.Context, i int, fn func(ctx context.Context, i int) (T, error)) (r T, err error) {
 	mCellsStarted.Inc()
 	t0 := time.Now()
-	r, err := fn(ctx, i)
-	ns := uint64(time.Since(t0))
-	mBusyNs.Add(ns)
-	mCellNs.Observe(ns)
-	if err == nil {
-		mCellsFinished.Inc()
-	}
-	return r, err
+	defer func() {
+		if p := recover(); p != nil {
+			var zero T
+			r = zero
+			err = &CellError{
+				Cell:  i,
+				Err:   fmt.Errorf("%w: %v", ErrCellPanic, p),
+				Stack: debug.Stack(),
+			}
+		}
+		ns := uint64(time.Since(t0))
+		mBusyNs.Add(ns)
+		mCellNs.Observe(ns)
+		if err == nil {
+			mCellsFinished.Inc()
+		}
+	}()
+	return fn(ctx, i)
 }
 
 // Options configures Run.
@@ -55,6 +71,12 @@ type Options struct {
 	// GOMAXPROCS; 1 runs the cells inline on the calling goroutine,
 	// recovering the serial path exactly.
 	Parallelism int
+	// KeepGoing makes cell failures non-fatal: instead of cancelling the
+	// sweep at the first error, every cell runs, the failed ones are
+	// aggregated into a *Failures error, and the result slice stays valid
+	// at every index that succeeded. Context cancellation still aborts the
+	// sweep.
+	KeepGoing bool
 }
 
 // workers returns the effective pool size for n cells.
@@ -71,9 +93,16 @@ func (o Options) workers(n int) int {
 
 // Run evaluates fn(ctx, i) for every cell index in [0, n) on a bounded
 // worker pool and returns the results in index order, independent of the
-// parallelism and of scheduling. The first error (lowest cell index among
-// the cells that failed) cancels the context so outstanding cells can stop
-// early and unstarted cells are skipped; Run then reports that error.
+// parallelism and of scheduling. A panicking cell is recovered into a
+// *CellError instead of crashing the process.
+//
+// By default the first error (lowest cell index among the cells that
+// failed) cancels the context so outstanding cells can stop early and
+// unstarted cells are skipped; Run then reports that error. With
+// Options.KeepGoing every cell runs regardless, and Run returns the intact
+// results alongside a *Failures aggregating the failed cells (nil error if
+// all succeeded). Cancellation of the caller's context always aborts the
+// sweep with ctx.Err(), keep-going or not.
 func Run[T any](ctx context.Context, n int, o Options, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
@@ -82,15 +111,23 @@ func Run[T any](ctx context.Context, n int, o Options, fn func(ctx context.Conte
 	results := make([]T, n)
 	p := o.workers(n)
 	if p == 1 {
+		var fails Failures
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
 			r, err := runCell(ctx, i, fn)
 			if err != nil {
-				return nil, err
+				if !o.KeepGoing {
+					return nil, err
+				}
+				fails.Cells = append(fails.Cells, asCellError(i, err))
+				continue
 			}
 			results[i] = r
+		}
+		if len(fails.Cells) > 0 {
+			return results, &fails
 		}
 		return results, nil
 	}
@@ -113,6 +150,9 @@ func Run[T any](ctx context.Context, n int, o Options, fn func(ctx context.Conte
 				r, err := runCell(ctx, i, fn)
 				if err != nil {
 					errs[i] = err
+					if o.KeepGoing {
+						continue
+					}
 					cancel()
 					return
 				}
@@ -121,13 +161,40 @@ func Run[T any](ctx context.Context, n int, o Options, fn func(ctx context.Conte
 		}()
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
 	if err := parent.Err(); err != nil {
+		// The caller's cancellation outranks any per-cell failure: partial
+		// results of an interrupted sweep are not presented as complete.
 		return nil, err
+	}
+	if o.KeepGoing {
+		var fails Failures
+		for i, err := range errs {
+			if err != nil {
+				fails.Cells = append(fails.Cells, asCellError(i, err))
+			}
+		}
+		if len(fails.Cells) > 0 {
+			return results, &fails
+		}
+		return results, nil
+	}
+	// Fail-fast: report the lowest-index genuine failure; the cancellation
+	// errors its siblings observed after the teardown rank below it.
+	var canceled error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) {
+			if canceled == nil {
+				canceled = err
+			}
+			continue
+		}
+		return nil, err
+	}
+	if canceled != nil {
+		return nil, canceled
 	}
 	return results, nil
 }

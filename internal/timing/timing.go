@@ -12,7 +12,9 @@
 package timing
 
 import (
+	"context"
 	"fmt"
+	"io"
 
 	"repro/internal/coherence"
 	"repro/internal/mem"
@@ -73,6 +75,10 @@ func (t Times) CyclesPerRef() float64 {
 	return float64(t.Cycles) / float64(t.Result.DataRefs)
 }
 
+// timingCheckEvery is the cancellation-check period of the replay loop, in
+// references: the same batch granularity as the trace.Drive pump.
+const timingCheckEvery = 1024
+
 // missCounter is satisfied by every coherence simulator.
 type missCounter interface {
 	MissCount() uint64
@@ -83,12 +89,22 @@ type missCounter interface {
 // processor's blocking time under m. Phase markers act as barriers: every
 // processor advances to the slowest one's clock.
 func Run(protocol string, r trace.Reader, g mem.Geometry, m Model) (Times, error) {
+	return RunContext(context.Background(), protocol, r, g, m)
+}
+
+// RunContext is Run with a cancellation context, observed once every
+// timingCheckEvery references so the per-reference accounting loop stays
+// cheap. A reader error other than io.EOF aborts the run and propagates
+// (Run used to present such truncated replays as complete).
+func RunContext(ctx context.Context, protocol string, r trace.Reader, g mem.Geometry, m Model) (Times, error) {
 	sim, err := coherence.New(protocol, r.NumProcs(), g)
 	if err != nil {
+		trace.CloseReader(r) //nolint:errcheck // error path cleanup
 		return Times{}, err
 	}
 	counter, ok := sim.(missCounter)
 	if !ok {
+		trace.CloseReader(r) //nolint:errcheck // error path cleanup
 		return Times{}, fmt.Errorf("timing: protocol %s does not expose miss counts", protocol)
 	}
 
@@ -117,9 +133,19 @@ func Run(protocol string, r trace.Reader, g mem.Geometry, m Model) (Times, error
 	defer trace.CloseReader(r) //nolint:errcheck // best-effort close after drain
 	var refsReplayed uint64
 	for {
+		if refsReplayed%timingCheckEvery == 0 {
+			if e := ctx.Err(); e != nil {
+				mTimingRefs.Add(refsReplayed)
+				return Times{}, e
+			}
+		}
 		ref, err := r.Next()
-		if err != nil {
+		if err == io.EOF {
 			break
+		}
+		if err != nil {
+			mTimingRefs.Add(refsReplayed)
+			return Times{}, err
 		}
 		refsReplayed++
 		if ref.Kind == trace.Phase {

@@ -1,0 +1,202 @@
+package trace
+
+// Cancellation tests for the replay pumps: the allocation pin promised by
+// DriveContext's doc comment, and the randomized cancel-mid-replay race
+// suite over every worker/shard combination the CLI exposes (run it under
+// -race: the interesting failures are ordering windows in the demux
+// teardown, not deterministic logic).
+
+import (
+	"context"
+	"errors"
+	"io"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/mem"
+)
+
+// nopBatchConsumer is the cheapest possible BatchConsumer: the allocation
+// pin must measure the pump, not the consumer.
+type nopBatchConsumer struct{ refs uint64 }
+
+func (c *nopBatchConsumer) Ref(Ref)             { c.refs++ }
+func (c *nopBatchConsumer) RefBatch(refs []Ref) { c.refs += uint64(len(refs)) }
+
+// cancelTestTrace builds a deterministic mixed trace of n references.
+func cancelTestTrace(n int) *Trace {
+	const procs = 4
+	tr := New(procs)
+	for i := 0; tr.Len() < n; i++ {
+		p := i % procs
+		addr := mem.Addr(4 * (i % 1024))
+		tr.Append(L(p, addr), S(p, addr))
+		if i%256 == 255 {
+			tr.Append(A(p, 1<<30), R(p, 1<<30))
+		}
+	}
+	return tr
+}
+
+// TestDriveContextAllocs pins the zero-alloc steady state the DriveContext
+// doc comment promises: the per-batch ctx.Err() check adds no allocations
+// to the replay loop, so the per-call allocation count is a small constant
+// independent of trace length (only the batch buffer and the batcher table
+// are allocated, once per call).
+func TestDriveContextAllocs(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	c := &nopBatchConsumer{}
+	perCall := func(tr *Trace) float64 {
+		t.Helper()
+		return testing.AllocsPerRun(10, func() {
+			if err := DriveContext(ctx, tr.Reader(), c); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	small := perCall(cancelTestTrace(4 << 10))
+	large := perCall(cancelTestTrace(64 << 10))
+	if small != large {
+		t.Errorf("allocations grow with trace length: %v for 4k refs, %v for 64k refs",
+			small, large)
+	}
+	// The fixed per-call cost: reader, batch buffer, batcher table.
+	if large > 8 {
+		t.Errorf("DriveContext allocates %v per call, want <= 8", large)
+	}
+}
+
+// TestCollectContextCanceled: a pre-canceled collect returns ctx.Err() and
+// still closes the reader.
+func TestCollectContextCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	src := &closeTrackingReader{r: cancelTestTrace(1 << 10).Reader()}
+	if _, err := CollectContext(ctx, src); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !src.closed {
+		t.Error("reader not closed after canceled collect")
+	}
+}
+
+// closeTrackingReader records whether Close was called.
+type closeTrackingReader struct {
+	r      Reader
+	closed bool
+}
+
+func (c *closeTrackingReader) NumProcs() int      { return c.r.NumProcs() }
+func (c *closeTrackingReader) Next() (Ref, error) { return c.r.Next() }
+func (c *closeTrackingReader) Close() error {
+	c.closed = true
+	return CloseReader(c.r)
+}
+
+// TestCancelMidReplayRace is the cancellation race suite: for every
+// worker/shard combination, cancel the shared context at a randomized point
+// while the workers replay through demux pipelines, and require that every
+// path winds down — each worker returns either a clean result or the
+// context error (never ErrStopped, never a hang), the source readers are
+// closed, and no goroutine outlives the run.
+func TestCancelMidReplayRace(t *testing.T) {
+	tr := cancelTestTrace(32 << 10)
+	rng := rand.New(rand.NewSource(1))
+	for _, workers := range []int{1, 8} {
+		for _, shards := range []int{1, 8} {
+			name := ""
+			switch {
+			case workers == 1 && shards == 1:
+				name = "w1_s1"
+			case workers == 1:
+				name = "w1_s8"
+			case shards == 1:
+				name = "w8_s1"
+			default:
+				name = "w8_s8"
+			}
+			t.Run(name, func(t *testing.T) {
+				base := runtime.NumGoroutine()
+				for trial := 0; trial < 6; trial++ {
+					delay := time.Duration(rng.Intn(2000)) * time.Microsecond
+					runCancelTrial(t, tr, workers, shards, delay)
+				}
+				waitForGoroutines(t, base)
+			})
+		}
+	}
+}
+
+// runCancelTrial replays tr through `workers` concurrent demux pipelines of
+// `shards` shards each, cancelling the shared context after delay.
+func runCancelTrial(t *testing.T, tr *Trace, workers, shards int, delay time.Duration) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	timer := time.AfterFunc(delay, cancel)
+	defer timer.Stop()
+
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			src := &closeTrackingReader{r: tr.Reader()}
+			defer func() {
+				if !src.closed {
+					errs[w] = errors.New("source reader left open")
+				}
+			}()
+			if shards <= 1 {
+				errs[w] = DriveContext(ctx, src, &nopBatchConsumer{})
+				return
+			}
+			g, gerr := mem.NewGeometry(64)
+			if gerr != nil {
+				errs[w] = gerr
+				return
+			}
+			d := NewDemuxContext(ctx, src, shards, BlockShard(g, shards))
+			defer d.Close()
+			shardErrs := make([]error, shards)
+			var sw sync.WaitGroup
+			for s := 0; s < shards; s++ {
+				sw.Add(1)
+				go func(s int) {
+					defer sw.Done()
+					shardErrs[s] = DriveContext(ctx, d.Shard(s), &nopBatchConsumer{})
+				}(s)
+			}
+			sw.Wait()
+			for _, e := range shardErrs {
+				if e != nil {
+					errs[w] = e
+					break
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		buf := make([]byte, 1<<16)
+		t.Fatalf("replay deadlocked after cancel\n%s", buf[:runtime.Stack(buf, true)])
+	}
+	for w, err := range errs {
+		if err == nil || errors.Is(err, context.Canceled) {
+			continue
+		}
+		if err == io.EOF {
+			t.Errorf("worker %d: raw io.EOF escaped the pump", w)
+			continue
+		}
+		t.Errorf("worker %d: err = %v, want nil or context.Canceled", w, err)
+	}
+}

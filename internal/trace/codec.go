@@ -3,28 +3,53 @@ package trace
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"repro/internal/mem"
 )
 
-// Binary trace format:
+// Binary trace format, version 2 (CRC-framed):
 //
-//	magic "UMTR" | version byte (1) | uvarint numProcs |
-//	records: kind byte | uvarint proc | uvarint addr
+//	magic "UMTR" | version byte (2) | uvarint numProcs |
+//	chunks: uvarint payloadBytes | payload | crc32(IEEE, payload) LE |
+//	end marker: uvarint 0
 //
-// The stream ends at EOF; there is no length field so traces can be written
-// incrementally by generators.
+// Each payload is a run of records (kind byte | uvarint proc | uvarint
+// addr). The checksum lets the decoder reject corrupt or truncated chunks
+// with ErrCorrupt instead of misdecoding them, and the explicit end marker
+// distinguishes a cleanly finished stream from one cut off at a chunk
+// boundary. Version 1 (the same records, unframed and unchecksummed,
+// terminated by bare EOF) is still read for old trace files and corpora.
 
 var binaryMagic = [4]byte{'U', 'M', 'T', 'R'}
 
-const binaryVersion = 1
+const (
+	binaryVersion1 = 1
+	binaryVersion  = 2
+
+	// chunkTarget is the encoder's flush threshold in payload bytes.
+	chunkTarget = 32 << 10
+	// maxChunkBytes bounds a decoded chunk so corrupt length prefixes
+	// cannot force huge allocations.
+	maxChunkBytes = 1 << 20
+)
+
+// ErrCorrupt reports a binary trace whose framing failed validation: a
+// checksum mismatch, a truncated or oversized chunk, a malformed record
+// inside a verified chunk, or a missing end-of-stream marker. Decoder
+// errors wrap it, so callers test with errors.Is(err, ErrCorrupt).
+var ErrCorrupt = errors.New("trace: corrupt binary trace")
 
 // Encoder writes references to an underlying writer in the binary format.
+// Encode buffers records into a chunk; Close (not just Flush) finalizes the
+// stream with the end-of-stream marker the decoder requires.
 type Encoder struct {
-	w   *bufio.Writer
-	buf []byte
+	w      *bufio.Writer
+	chunk  []byte
+	closed bool
 }
 
 // NewEncoder writes the binary header for a trace of procs processors and
@@ -42,21 +67,68 @@ func NewEncoder(w io.Writer, procs int) (*Encoder, error) {
 	if _, err := bw.Write(hdr); err != nil {
 		return nil, err
 	}
-	return &Encoder{w: bw, buf: make([]byte, 0, 2*binary.MaxVarintLen64+1)}, nil
+	return &Encoder{w: bw, chunk: make([]byte, 0, chunkTarget+2*binary.MaxVarintLen64+1)}, nil
 }
 
 // Encode writes one reference.
 func (e *Encoder) Encode(r Ref) error {
-	e.buf = e.buf[:0]
-	e.buf = append(e.buf, byte(r.Kind))
-	e.buf = binary.AppendUvarint(e.buf, uint64(r.Proc))
-	e.buf = binary.AppendUvarint(e.buf, uint64(r.Addr))
-	_, err := e.w.Write(e.buf)
-	return err
+	e.chunk = append(e.chunk, byte(r.Kind))
+	e.chunk = binary.AppendUvarint(e.chunk, uint64(r.Proc))
+	e.chunk = binary.AppendUvarint(e.chunk, uint64(r.Addr))
+	if len(e.chunk) >= chunkTarget {
+		return e.writeChunk()
+	}
+	return nil
 }
 
-// Flush flushes buffered output to the underlying writer.
-func (e *Encoder) Flush() error { return e.w.Flush() }
+// writeChunk frames and emits the pending payload.
+func (e *Encoder) writeChunk() error {
+	if len(e.chunk) == 0 {
+		return nil
+	}
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(e.chunk)))
+	if _, err := e.w.Write(hdr[:n]); err != nil {
+		return err
+	}
+	if _, err := e.w.Write(e.chunk); err != nil {
+		return err
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(e.chunk))
+	if _, err := e.w.Write(crc[:]); err != nil {
+		return err
+	}
+	e.chunk = e.chunk[:0]
+	return nil
+}
+
+// Flush emits any pending chunk and flushes buffered output to the
+// underlying writer. The stream is not finished until Close writes the
+// end-of-stream marker.
+func (e *Encoder) Flush() error {
+	if err := e.writeChunk(); err != nil {
+		return err
+	}
+	return e.w.Flush()
+}
+
+// Close finalizes the stream: it emits the pending chunk, the end-of-stream
+// marker, and flushes. Close is idempotent and does not close the
+// underlying writer.
+func (e *Encoder) Close() error {
+	if e.closed {
+		return nil
+	}
+	if err := e.writeChunk(); err != nil {
+		return err
+	}
+	if err := e.w.WriteByte(0); err != nil { // uvarint(0) end marker
+		return err
+	}
+	e.closed = true
+	return e.w.Flush()
+}
 
 // WriteBinary encodes all references from r to w and closes r.
 func WriteBinary(w io.Writer, r Reader) error {
@@ -68,7 +140,7 @@ func WriteBinary(w io.Writer, r Reader) error {
 	for {
 		ref, err := r.Next()
 		if err == io.EOF {
-			return enc.Flush()
+			return enc.Close()
 		}
 		if err != nil {
 			return err
@@ -79,10 +151,20 @@ func WriteBinary(w io.Writer, r Reader) error {
 	}
 }
 
-// Decoder reads references in the binary format. It implements Reader.
+// Decoder reads references in the binary format (versions 1 and 2). It
+// implements Reader. For version-2 streams every chunk's checksum is
+// verified before any of its records are delivered; framing violations are
+// reported as errors wrapping ErrCorrupt.
 type Decoder struct {
-	r     *bufio.Reader
-	procs int
+	r       *bufio.Reader
+	procs   int
+	version byte
+
+	// Version-2 chunk state.
+	chunk    []byte
+	pos      int
+	chunkIdx int
+	finished bool
 }
 
 // NewDecoder validates the binary header and returns a streaming Decoder.
@@ -95,7 +177,7 @@ func NewDecoder(r io.Reader) (*Decoder, error) {
 	if [4]byte(magic[:4]) != binaryMagic {
 		return nil, fmt.Errorf("trace: bad magic %q", magic[:4])
 	}
-	if magic[4] != binaryVersion {
+	if magic[4] != binaryVersion1 && magic[4] != binaryVersion {
 		return nil, fmt.Errorf("trace: unsupported version %d", magic[4])
 	}
 	procs, err := binary.ReadUvarint(br)
@@ -105,7 +187,7 @@ func NewDecoder(r io.Reader) (*Decoder, error) {
 	if procs == 0 || procs > 1<<16 {
 		return nil, fmt.Errorf("trace: implausible processor count %d", procs)
 	}
-	return &Decoder{r: br, procs: int(procs)}, nil
+	return &Decoder{r: br, procs: int(procs), version: magic[4]}, nil
 }
 
 // NumProcs implements Reader.
@@ -113,6 +195,22 @@ func (d *Decoder) NumProcs() int { return d.procs }
 
 // Next implements Reader.
 func (d *Decoder) Next() (Ref, error) {
+	if d.version == binaryVersion1 {
+		return d.nextV1()
+	}
+	for d.pos >= len(d.chunk) {
+		if d.finished {
+			return Ref{}, io.EOF
+		}
+		if err := d.readChunk(); err != nil {
+			return Ref{}, err
+		}
+	}
+	return d.decodeRecord()
+}
+
+// nextV1 decodes one unframed version-1 record.
+func (d *Decoder) nextV1() (Ref, error) {
 	kind, err := d.r.ReadByte()
 	if err != nil {
 		return Ref{}, err // io.EOF at a record boundary is clean EOF
@@ -132,6 +230,71 @@ func (d *Decoder) Next() (Ref, error) {
 	if err != nil {
 		return Ref{}, truncated(err)
 	}
+	return Ref{Kind: k, Proc: uint16(proc), Addr: mem.Addr(addr)}, nil
+}
+
+// readChunk reads and checksum-verifies the next version-2 chunk, or
+// observes the end-of-stream marker.
+func (d *Decoder) readChunk() error {
+	n, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		// A version-2 stream must end with the explicit marker; bare
+		// EOF means the file was cut off at a chunk boundary.
+		if err == io.EOF {
+			return fmt.Errorf("trace: chunk %d: stream ends without end-of-stream marker: %w", d.chunkIdx, ErrCorrupt)
+		}
+		return fmt.Errorf("trace: chunk %d: reading length: %w (%v)", d.chunkIdx, ErrCorrupt, err)
+	}
+	if n == 0 {
+		d.finished = true
+		d.chunk, d.pos = nil, 0
+		return io.EOF
+	}
+	if n > maxChunkBytes {
+		return fmt.Errorf("trace: chunk %d: implausible length %d: %w", d.chunkIdx, n, ErrCorrupt)
+	}
+	if uint64(cap(d.chunk)) < n {
+		d.chunk = make([]byte, n)
+	}
+	d.chunk = d.chunk[:n]
+	if _, err := io.ReadFull(d.r, d.chunk); err != nil {
+		return fmt.Errorf("trace: chunk %d: truncated payload: %w (%v)", d.chunkIdx, ErrCorrupt, err)
+	}
+	var crc [4]byte
+	if _, err := io.ReadFull(d.r, crc[:]); err != nil {
+		return fmt.Errorf("trace: chunk %d: truncated checksum: %w (%v)", d.chunkIdx, ErrCorrupt, err)
+	}
+	want := binary.LittleEndian.Uint32(crc[:])
+	if got := crc32.ChecksumIEEE(d.chunk); got != want {
+		return fmt.Errorf("trace: chunk %d: checksum mismatch (got %08x, want %08x): %w", d.chunkIdx, got, want, ErrCorrupt)
+	}
+	d.pos = 0
+	d.chunkIdx++
+	return nil
+}
+
+// decodeRecord decodes one record from the verified chunk. A record that
+// overruns or malforms inside a checksummed chunk is corruption that the
+// CRC cannot see (or an encoder bug), so it is reported as ErrCorrupt.
+func (d *Decoder) decodeRecord() (Ref, error) {
+	k := Kind(d.chunk[d.pos])
+	d.pos++
+	if !k.Valid() {
+		return Ref{}, fmt.Errorf("trace: chunk %d: invalid kind byte %d: %w", d.chunkIdx-1, byte(k), ErrCorrupt)
+	}
+	proc, n := binary.Uvarint(d.chunk[d.pos:])
+	if n <= 0 {
+		return Ref{}, fmt.Errorf("trace: chunk %d: malformed proc varint: %w", d.chunkIdx-1, ErrCorrupt)
+	}
+	d.pos += n
+	if proc >= uint64(d.procs) {
+		return Ref{}, fmt.Errorf("trace: chunk %d: proc %d out of range [0,%d): %w", d.chunkIdx-1, proc, d.procs, ErrCorrupt)
+	}
+	addr, n := binary.Uvarint(d.chunk[d.pos:])
+	if n <= 0 {
+		return Ref{}, fmt.Errorf("trace: chunk %d: malformed addr varint: %w", d.chunkIdx-1, ErrCorrupt)
+	}
+	d.pos += n
 	return Ref{Kind: k, Proc: uint16(proc), Addr: mem.Addr(addr)}, nil
 }
 

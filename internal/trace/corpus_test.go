@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
 	"flag"
 	"fmt"
 	"os"
@@ -49,6 +50,22 @@ func seedCorpora(t testing.TB) map[string][]string {
 	mutated := bytes.Clone(valid)
 	mutated[6] ^= 0xff
 
+	// A version-1 stream built by hand (unframed records, bare-EOF
+	// terminated) keeps the legacy decode path in the fuzz corpus now that
+	// WriteBinary emits version 2.
+	v1 := []byte{'U', 'M', 'T', 'R', binaryVersion1, 2} // header, procs=2
+	for _, rec := range [][3]uint64{{uint64(Load), 0, 1}, {uint64(Store), 1, 1 << 20}, {uint64(Phase), 0, 0}} {
+		v1 = append(v1, byte(rec[0]))
+		v1 = binary.AppendUvarint(v1, rec[1])
+		v1 = binary.AppendUvarint(v1, rec[2])
+	}
+
+	// Version-2 framing corruptions: a flipped checksum byte and an
+	// implausible chunk length.
+	badCRC := bytes.Clone(valid)
+	badCRC[len(badCRC)-2] ^= 0xff // inside the final chunk's CRC
+	hugeLen := append(bytes.Clone(valid[:6]), binary.AppendUvarint(nil, maxChunkBytes+1)...)
+
 	var big bytes.Buffer
 	wide := New(64)
 	// Addresses clustered in one block's neighborhood so the decoder
@@ -71,6 +88,9 @@ func seedCorpora(t testing.TB) map[string][]string {
 			corpusEntry(mutated),
 			corpusEntry(big.Bytes()),
 			corpusEntry(append(bytes.Clone(valid), valid...)), // two headers back to back
+			corpusEntry(v1),
+			corpusEntry(badCRC),
+			corpusEntry(hugeLen),
 		},
 		"FuzzParseText": {
 			corpusEntry("procs 2\nP0 LD 1\nP1 ST 0x10\nPH\n"),

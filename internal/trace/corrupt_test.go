@@ -1,0 +1,141 @@
+package trace
+
+// Corruption-rejection tests for the CRC-framed binary codec: every way a
+// version-2 stream can go bad on disk — a flipped byte, a truncation, a
+// hostile chunk length — must surface as an error wrapping ErrCorrupt
+// rather than misdecoded references, while unframed version-1 streams keep
+// decoding for old trace files.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// corruptTestBytes encodes a deterministic multi-chunk trace and returns
+// the raw stream plus the header length (magic + version + procs varint).
+func corruptTestBytes(t *testing.T) (data []byte, header int) {
+	t.Helper()
+	const procs = 4
+	tr := New(procs)
+	for i := 0; i < 20_000; i++ {
+		p := i % procs
+		tr.Append(L(p, mem.Addr(4096+8*i)), S(p, mem.Addr(8*i)))
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr.Reader()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), 6 // "UMTR" + version byte + uvarint(4)
+}
+
+// drainBinary decodes the stream to exhaustion and returns the terminal
+// error (nil for a clean EOF).
+func drainBinary(data []byte) error {
+	dec, err := NewDecoder(bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	for {
+		if _, err := dec.Next(); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+	}
+}
+
+// TestCorruptBitFlipRejected flips one byte at a spread of positions past
+// the header; wherever the flip lands — length prefix, payload, checksum,
+// end marker — the decoder must report ErrCorrupt, never silently deliver
+// altered references.
+func TestCorruptBitFlipRejected(t *testing.T) {
+	data, header := corruptTestBytes(t)
+	if err := drainBinary(data); err != nil {
+		t.Fatalf("clean stream failed to decode: %v", err)
+	}
+	for _, pos := range []int{
+		header,        // first chunk's length prefix
+		header + 50,   // early payload
+		len(data) / 2, // mid-stream payload
+		len(data) - 5, // final chunk's checksum
+		len(data) - 1, // end-of-stream marker
+	} {
+		mutated := bytes.Clone(data)
+		mutated[pos] ^= 0x40
+		err := drainBinary(mutated)
+		if err == nil {
+			t.Errorf("flip at byte %d: corrupt stream decoded cleanly", pos)
+			continue
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("flip at byte %d: err = %v, want ErrCorrupt", pos, err)
+		}
+	}
+}
+
+// TestCorruptTruncationRejected cuts the stream off at a spread of points;
+// a version-2 stream without its end-of-stream marker is corrupt by
+// definition, so every truncation must be rejected.
+func TestCorruptTruncationRejected(t *testing.T) {
+	data, header := corruptTestBytes(t)
+	for _, cut := range []int{header, header + 1, header + 100, len(data) / 2, len(data) - 1} {
+		err := drainBinary(data[:cut])
+		if err == nil {
+			t.Errorf("truncation at byte %d: stream decoded cleanly", cut)
+			continue
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("truncation at byte %d: err = %v, want ErrCorrupt", cut, err)
+		}
+	}
+}
+
+// TestCorruptHugeLengthRejected: a hostile chunk length past maxChunkBytes
+// must be rejected up front (ErrCorrupt), not used as an allocation size.
+func TestCorruptHugeLengthRejected(t *testing.T) {
+	stream := []byte{'U', 'M', 'T', 'R', binaryVersion, 4}
+	stream = binary.AppendUvarint(stream, maxChunkBytes+1)
+	err := drainBinary(stream)
+	if err == nil {
+		t.Fatal("hostile chunk length accepted")
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Errorf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestV1StreamStillDecodes pins backward compatibility: an unframed
+// version-1 stream (records straight after the header, bare EOF terminator)
+// decodes to the same references the current encoder round-trips.
+func TestV1StreamStillDecodes(t *testing.T) {
+	want := New(3, L(0, 64), S(2, 128), A(1, 4096), R(1, 4096), P(), L(2, 192))
+	stream := []byte{'U', 'M', 'T', 'R', binaryVersion1, 3}
+	for _, ref := range want.Refs {
+		stream = append(stream, byte(ref.Kind))
+		stream = binary.AppendUvarint(stream, uint64(ref.Proc))
+		stream = binary.AppendUvarint(stream, uint64(ref.Addr))
+	}
+	dec, err := NewDecoder(bytes.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Procs != want.Procs || len(got.Refs) != len(want.Refs) {
+		t.Fatalf("decoded %d procs / %d refs, want %d / %d",
+			got.Procs, len(got.Refs), want.Procs, len(want.Refs))
+	}
+	for i := range want.Refs {
+		if got.Refs[i] != want.Refs[i] {
+			t.Errorf("ref %d = %+v, want %+v", i, got.Refs[i], want.Refs[i])
+		}
+	}
+}

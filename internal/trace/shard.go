@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -61,11 +62,21 @@ type Demux struct {
 	stop   chan struct{}
 	once   sync.Once
 	wg     sync.WaitGroup
+	ctx    context.Context
 }
 
 // NewDemux starts the demux of r into n shards routed by key. It panics if
 // n < 1 or key is nil.
 func NewDemux(r Reader, n int, key ShardFunc) *Demux {
+	return NewDemuxContext(context.Background(), r, n, key)
+}
+
+// NewDemuxContext is NewDemux with a cancellation context. Cancellation is
+// observed once per source batch and inside any blocked shard send, so a
+// canceled demux winds down even when a shard consumer has stopped reading.
+// Pending and later shard reads return ctx.Err() and the source reader is
+// closed by the pump on the way out.
+func NewDemuxContext(ctx context.Context, r Reader, n int, key ShardFunc) *Demux {
 	if n < 1 {
 		panic(fmt.Sprintf("trace: demux shard count %d < 1", n))
 	}
@@ -75,6 +86,7 @@ func NewDemux(r Reader, n int, key ShardFunc) *Demux {
 	d := &Demux{
 		shards: make([]*demuxShard, n),
 		stop:   make(chan struct{}),
+		ctx:    ctx,
 	}
 	for i := range d.shards {
 		d.shards[i] = &demuxShard{
@@ -111,7 +123,6 @@ func (d *Demux) Close() error {
 // finally publishes each shard's terminal status before closing its channel.
 func (d *Demux) pump(r Reader, key ShardFunc) {
 	defer d.wg.Done()
-	defer CloseReader(r) //nolint:errcheck // best-effort close after drain
 	n := len(d.shards)
 	batches := make([][]Ref, n)
 	var err error
@@ -130,6 +141,10 @@ func (d *Demux) pump(r Reader, key ShardFunc) {
 			mDemuxShardRefs.Observe(perShard)
 		}
 	}()
+
+	// ctxDone is nil for a Background context; a nil channel never fires in
+	// a select, so the uncancellable case costs nothing extra.
+	ctxDone := d.ctx.Done()
 
 	flush := func(i int) bool {
 		if len(batches[i]) == 0 {
@@ -167,7 +182,20 @@ func (d *Demux) pump(r Reader, key ShardFunc) {
 		case <-d.stop:
 			blockedNs += uint64(time.Since(t0))
 			return false
+		case <-ctxDone:
+			blockedNs += uint64(time.Since(t0))
+			return false
 		}
+	}
+
+	// stopErr resolves why a flush aborted: a canceled context wins over the
+	// demux's own stop channel so consumers see context.Canceled (or
+	// DeadlineExceeded) rather than the generic ErrStopped.
+	stopErr := func() error {
+		if e := d.ctx.Err(); e != nil {
+			return e
+		}
+		return ErrStopped
 	}
 
 	br, batched := r.(BatchReader)
@@ -175,6 +203,10 @@ func (d *Demux) pump(r Reader, key ShardFunc) {
 
 loop:
 	for {
+		if e := d.ctx.Err(); e != nil {
+			err = e
+			break
+		}
 		var cnt int
 		var e error
 		if batched {
@@ -196,7 +228,7 @@ loop:
 				}
 				batches[i] = append(batches[i], ref)
 				if len(batches[i]) >= demuxBatch && !flush(i) {
-					err = ErrStopped
+					err = stopErr()
 					break loop
 				}
 				continue
@@ -211,7 +243,7 @@ loop:
 				}
 				batches[i] = append(batches[i], ref)
 				if len(batches[i]) >= demuxBatch && !flush(i) {
-					err = ErrStopped
+					err = stopErr()
 					break loop
 				}
 			}
@@ -228,9 +260,18 @@ loop:
 	if err == nil {
 		for i := range batches {
 			if !flush(i) {
-				err = ErrStopped
+				err = stopErr()
 				break
 			}
+		}
+	}
+	// Close the source before publishing: like Drive, a clean drain still
+	// reports the reader's close error, so a shard consumer can never
+	// mistake a stream whose teardown failed for a complete one.
+	if cerr := CloseReader(r); cerr != nil {
+		mDriveCloseErrs.Inc()
+		if err == nil {
+			err = fmt.Errorf("trace: demux: closing source reader: %w", cerr)
 		}
 	}
 	// Publish the terminal status. Writing err before close(ch) orders it

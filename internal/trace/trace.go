@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -142,7 +143,14 @@ func (r *sliceReader) NextBatch(buf []Ref) (int, error) {
 // Collect drains a Reader into an in-memory Trace and closes it, reporting
 // the close error if the drain itself succeeded.
 func Collect(r Reader) (t *Trace, err error) {
-	t, _, err = collect(r, -1)
+	t, _, err = collect(context.Background(), r, -1)
+	return t, err
+}
+
+// CollectContext is Collect with a cancellation context, checked once per
+// batch: a canceled drain closes the reader and returns ctx.Err().
+func CollectContext(ctx context.Context, r Reader) (t *Trace, err error) {
+	t, _, err = collect(ctx, r, -1)
 	return t, err
 }
 
@@ -156,12 +164,22 @@ func CollectN(r Reader, maxRefs int64) (*Trace, bool, error) {
 	if maxRefs < 0 {
 		maxRefs = 0
 	}
-	return collect(r, maxRefs)
+	return collect(context.Background(), r, maxRefs)
+}
+
+// CollectNContext is CollectN with a cancellation context, checked once per
+// batch.
+func CollectNContext(ctx context.Context, r Reader, maxRefs int64) (*Trace, bool, error) {
+	if maxRefs < 0 {
+		maxRefs = 0
+	}
+	return collect(ctx, r, maxRefs)
 }
 
 // collect is the batched drain behind Collect and CollectN; maxRefs < 0
-// means unbounded.
-func collect(r Reader, maxRefs int64) (t *Trace, all bool, err error) {
+// means unbounded. Cancellation is observed at batch granularity so the
+// steady-state drain stays allocation-free.
+func collect(ctx context.Context, r Reader, maxRefs int64) (t *Trace, all bool, err error) {
 	t = New(r.NumProcs())
 	defer func() {
 		if cerr := CloseReader(r); cerr != nil {
@@ -183,6 +201,9 @@ func collect(r Reader, maxRefs int64) (t *Trace, all bool, err error) {
 	br, batched := r.(BatchReader)
 	buf := make([]Ref, driveBatch)
 	for {
+		if e := ctx.Err(); e != nil {
+			return nil, false, e
+		}
 		var n int
 		var e error
 		if batched {
@@ -234,7 +255,16 @@ type BatchConsumer interface {
 // and a consumer receives batch k entirely before the next consumer does —
 // consumers are independent state machines, so relative interleaving
 // between consumers does not affect any result.
-func Drive(r Reader, consumers ...Consumer) (err error) {
+func Drive(r Reader, consumers ...Consumer) error {
+	return DriveContext(context.Background(), r, consumers...)
+}
+
+// DriveContext is Drive with a cancellation context. Cancellation is
+// observed once per batch — the per-reference hot loop stays untouched and
+// the steady state stays allocation-free (pinned by TestDriveContextAllocs)
+// — so a canceled replay stops within one batch of references, closes the
+// reader, and returns ctx.Err().
+func DriveContext(ctx context.Context, r Reader, consumers ...Consumer) (err error) {
 	defer func() {
 		if cerr := CloseReader(r); cerr != nil {
 			mDriveCloseErrs.Inc()
@@ -255,6 +285,9 @@ func Drive(r Reader, consumers ...Consumer) (err error) {
 		}
 	}
 	for {
+		if e := ctx.Err(); e != nil {
+			return e
+		}
 		var n int
 		var e error
 		if batched {
