@@ -5,11 +5,18 @@ BENCHTIME ?= 1x
 # the floor was set; drops below the floor fail `make cover` (and ci).
 COVERFLOOR ?= 85.0
 
-.PHONY: all build test race vet fmt golden golden-check metrics-check faults cover fuzz bench bench-save bench-compare ci
+.PHONY: all build test race vet fmt golden golden-check metrics-check faults cover fuzz bench bench-save bench-compare bench-gate ci
 
 # Where bench-save snapshots benchmark output and bench-compare reads it.
 BENCHDIR ?= results
 BENCHFILE ?= $(BENCHDIR)/bench_baseline.txt
+
+# The machine-readable perf baseline the CI gate defends, written by
+# bench-save and compared by bench-gate ('uselessmiss bench', see DESIGN.md
+# §10). BENCHTOL is the allowed fractional refs/s drop; allocs/pass on
+# pinned paths hard-fails at any tolerance.
+BENCHJSON ?= $(BENCHDIR)/BENCH_baseline.json
+BENCHTOL ?= 0.10
 
 all: build test
 
@@ -82,20 +89,27 @@ fuzz:
 	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzClassifierRobustness -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzShardedEquivalence -fuzztime $(FUZZTIME)
 
+# All benchmarks across every package: the root paper-artifact benchmarks,
+# the perfbench harness workloads, and the internal/dense + internal/trace
+# microbenchmarks.
 bench:
-	$(GO) test -bench . -benchmem -benchtime $(BENCHTIME) -run '^$$' .
+	$(GO) test -bench . -benchmem -benchtime $(BENCHTIME) -run '^$$' ./...
 
-# Snapshot the current benchmark numbers as the comparison baseline.
+# Snapshot the current benchmark numbers as the comparison baselines: the
+# raw `go test -bench` text for benchstat, plus the machine-readable
+# BENCH_baseline.json the perf gate diffs against. Commit the JSON after an
+# intentional perf change (see README "Performance methodology").
 bench-save:
 	@mkdir -p $(BENCHDIR)
-	$(GO) test -bench . -benchmem -benchtime $(BENCHTIME) -run '^$$' . | tee $(BENCHFILE)
+	$(GO) test -bench . -benchmem -benchtime $(BENCHTIME) -run '^$$' ./... | tee $(BENCHFILE)
+	$(GO) run ./cmd/uselessmiss bench -o $(BENCHJSON) -log info
 
 # Compare a fresh run against the saved baseline: benchstat when installed,
 # otherwise a sorted side-by-side diff of the benchmark lines.
 bench-compare:
 	@test -f $(BENCHFILE) || { echo "no baseline at $(BENCHFILE); run 'make bench-save' first"; exit 1; }
 	@new=$$(mktemp); \
-	$(GO) test -bench . -benchmem -benchtime $(BENCHTIME) -run '^$$' . > "$$new" || { rm -f "$$new"; exit 1; }; \
+	$(GO) test -bench . -benchmem -benchtime $(BENCHTIME) -run '^$$' ./... > "$$new" || { rm -f "$$new"; exit 1; }; \
 	if command -v benchstat >/dev/null 2>&1; then \
 		benchstat $(BENCHFILE) "$$new"; \
 	else \
@@ -107,5 +121,14 @@ bench-compare:
 		rm -f "$$old_sorted" "$$new_sorted"; \
 	fi; \
 	rm -f "$$new"
+
+# The CI perf gate: run the profile-guided harness and fail (exit != 0 with
+# a regression table) when any workload is slower than the committed
+# baseline beyond BENCHTOL, a pinned path allocates per pass, or a baseline
+# workload went missing. The fresh BENCH_<host>_<date>.json lands in the
+# working directory for artifact upload.
+bench-gate:
+	@test -f $(BENCHJSON) || { echo "no baseline at $(BENCHJSON); run 'make bench-save' first"; exit 1; }
+	$(GO) run ./cmd/uselessmiss bench -baseline $(BENCHJSON) -tolerance $(BENCHTOL) -log info
 
 ci: build vet fmt test race golden-check metrics-check faults cover

@@ -22,6 +22,7 @@
 //	penalty    execution-time model of the schedules (miss penalties)
 //	hotspots   miss attribution by data structure (the §6 narrative)
 //	phases     miss classification over computation phases
+//	bench      profile-guided benchmark harness (BENCH_*.json + perf gate)
 //	regen      write every experiment's report into a directory
 //	selfcheck  verify the paper's structural identities on any trace
 //	classify   classify one workload or trace file at one block size

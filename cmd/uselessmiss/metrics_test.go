@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"sort"
 	"strings"
 	"testing"
 
@@ -106,6 +107,86 @@ func TestMetricsInvariantAcrossShards(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestMetricsShapeMatrix runs the full -j {1,8} × -shards {1,8} matrix and
+// pins the run-report contract end to end:
+//
+//   - the rendered report is byte-identical across all four combinations;
+//   - the report *shape* — the set of metric names in every section — is
+//     identical across all four (no counter appears or vanishes because of
+//     scheduling or sharding);
+//   - the shard-invariant work counters are identical across all four;
+//   - at -shards 1 the deterministic section is byte-identical across -j.
+//     At -shards 8 it is not required to be: shardsPerCell divides the
+//     goroutine budget by the worker count, so -j changes the *effective*
+//     per-cell shard count and with it the demux routing counters, which is
+//     exactly why the invariance contract is stated over the work totals.
+func TestMetricsShapeMatrix(t *testing.T) {
+	base := []string{"fig5", "-quick", "-workloads", "JACOBI"}
+	type combo struct{ j, shards string }
+	combos := []combo{{"1", "1"}, {"8", "1"}, {"1", "8"}, {"8", "8"}}
+
+	outputs := make(map[combo]string)
+	detBytes := make(map[combo]string)
+	shapes := make(map[combo]string)
+	counters := make(map[combo]map[string]uint64)
+	for _, c := range combos {
+		out, rep := runWithMetrics(t, append(base, "-j", c.j, "-shards", c.shards)...)
+		outputs[c] = out
+		data, err := json.MarshalIndent(rep.Deterministic, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		detBytes[c] = string(data)
+		shapes[c] = reportShape(rep)
+		counters[c] = rep.Deterministic.Counters
+	}
+
+	ref := combos[0]
+	for _, c := range combos[1:] {
+		if outputs[c] != outputs[ref] {
+			t.Errorf("rendered output differs between -j %s -shards %s and -j %s -shards %s",
+				ref.j, ref.shards, c.j, c.shards)
+		}
+		if shapes[c] != shapes[ref] {
+			t.Errorf("report shape differs between -j %s -shards %s and -j %s -shards %s:\n%s\n---\n%s",
+				ref.j, ref.shards, c.j, c.shards, shapes[ref], shapes[c])
+		}
+		for _, name := range shardInvariantNames {
+			if counters[c][name] != counters[ref][name] {
+				t.Errorf("%s: %d at -j %s -shards %s, %d at -j %s -shards %s", name,
+					counters[ref][name], ref.j, ref.shards, counters[c][name], c.j, c.shards)
+			}
+		}
+	}
+	if detBytes[combo{"1", "1"}] != detBytes[combo{"8", "1"}] {
+		t.Error("-shards 1: deterministic section differs between -j 1 and -j 8")
+	}
+}
+
+// reportShape serializes just the metric names of every report section, one
+// per line, sorted — the report's key structure with the values erased.
+func reportShape(rep obs.RunReport) string {
+	var names []string
+	add := func(section, name string) { names = append(names, section+"/"+name) }
+	for name := range rep.Deterministic.Counters {
+		add("det.counters", name)
+	}
+	for name := range rep.Deterministic.Histograms {
+		add("det.histograms", name)
+	}
+	for name := range rep.Timings.Counters {
+		add("tim.counters", name)
+	}
+	for name := range rep.Timings.Gauges {
+		add("tim.gauges", name)
+	}
+	for name := range rep.Timings.Histograms {
+		add("tim.histograms", name)
+	}
+	sort.Strings(names)
+	return strings.Join(names, "\n")
 }
 
 // TestMetricsFileIsDeterministic: two identical runs write byte-identical

@@ -32,7 +32,7 @@ func run(args []string, out io.Writer) error {
 // context.Canceled (or DeadlineExceeded) to the caller.
 func runContext(ctx context.Context, args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("missing subcommand (try 'list', 'table1', 'table2', 'fig5', 'fig6', 'large', 'traffic', 'finite', 'ablate', 'compare', 'penalty', 'hotspots', 'phases', 'regen', 'selfcheck', 'classify', 'protocols', 'tracegen', 'traceinfo')")
+		return fmt.Errorf("missing subcommand (try 'list', 'table1', 'table2', 'fig5', 'fig6', 'large', 'traffic', 'finite', 'ablate', 'compare', 'penalty', 'hotspots', 'phases', 'bench', 'regen', 'selfcheck', 'classify', 'protocols', 'tracegen', 'traceinfo')")
 	}
 	cmd, rest := args[0], args[1:]
 	switch cmd {
@@ -62,6 +62,8 @@ func runContext(ctx context.Context, args []string, out io.Writer) error {
 		return cmdHotspots(ctx, rest, out)
 	case "phases":
 		return cmdPhases(ctx, rest, out)
+	case "bench":
+		return cmdBench(rest, out)
 	case "regen":
 		return cmdRegen(ctx, rest, out)
 	case "selfcheck":

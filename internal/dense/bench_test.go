@@ -1,0 +1,88 @@
+package dense
+
+// Microbenchmarks for the flat replay structures, so `make bench` (which
+// sweeps ./...) tracks the probe-table and arena costs the classifiers are
+// built on, independently of any workload above them.
+
+import "testing"
+
+// benchKeys returns n pseudo-sequential block keys: array-walking workloads
+// produce runs of adjacent blocks, the access pattern the Fibonacci slot
+// hash has to spread.
+func benchKeys(n int) []uint64 {
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(i)*4 + uint64(i%3) // three interleaved strides
+	}
+	return keys
+}
+
+func BenchmarkMapGetOrPut(b *testing.B) {
+	keys := benchKeys(1 << 12)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := NewMap[uint64](len(keys))
+		for _, k := range keys {
+			v, _ := m.GetOrPut(k)
+			*v++
+		}
+	}
+}
+
+func BenchmarkMapGetHot(b *testing.B) {
+	keys := benchKeys(1 << 12)
+	m := NewMap[uint64](len(keys))
+	for _, k := range keys {
+		v, _ := m.GetOrPut(k)
+		*v = k
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sum uint64
+		for _, k := range keys {
+			sum += *m.Get(k)
+		}
+		if sum == 0 {
+			b.Fatal("lookups lost")
+		}
+	}
+}
+
+func BenchmarkMapGrowFromEmpty(b *testing.B) {
+	keys := benchKeys(1 << 12)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := NewMap[uint64](0) // every doubling from minCapacity up
+		for _, k := range keys {
+			m.GetOrPut(k)
+		}
+	}
+}
+
+func BenchmarkArenaAllocSlice(b *testing.B) {
+	const cells = 1 << 10
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := NewArena[uint32](16)
+		for c := 0; c < cells; c++ {
+			h := a.Alloc()
+			s := a.Slice(h)
+			s[0] = uint32(c)
+		}
+	}
+}
+
+func BenchmarkArenaReuse(b *testing.B) {
+	a := NewArena[uint32](16)
+	h := a.Alloc()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Free(h)
+		h = a.Alloc() // freelist hit: no slab growth, a clear and a pop
+	}
+}

@@ -96,6 +96,38 @@ func TestShardedFiniteEssentialInvariant(t *testing.T) {
 	}
 }
 
+// TestShardedFiniteRandomFallsBackToSerial pins the Random-policy contract
+// directly: the global xorshift stream is not block-decomposable, so every
+// shard count must take the serial fallback and reproduce Classify's counts
+// bit for bit, on a trace small enough to overflow the cache (Repl > 0) so
+// the eviction stream is actually exercised.
+func TestShardedFiniteRandomFallsBackToSerial(t *testing.T) {
+	g := mem.MustGeometry(16)
+	cfg := Config{CapacityBytes: 128, Assoc: 2, Policy: Random}
+	rng := rand.New(rand.NewSource(42))
+	tr := randomFiniteTrace(rng, 4, 1500, 1024)
+
+	want, wantRefs, err := Classify(tr.Reader(), g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Repl == 0 {
+		t.Fatal("trace never evicted; Random stream untested")
+	}
+	for _, shards := range []int{1, 2, 4, 8, 64} {
+		for rep := 0; rep < 2; rep++ { // twice: the seeded stream must replay identically
+			got, refs, err := ShardedClassify(tr.Reader(), g, cfg, shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want || refs != wantRefs {
+				t.Fatalf("shards=%d rep=%d: got %+v (%d refs), want %+v (%d refs)",
+					shards, rep, got, refs, want, wantRefs)
+			}
+		}
+	}
+}
+
 // TestShardedFiniteBadConfig pins the error path: an invalid cache shape
 // must surface before any goroutine starts.
 func TestShardedFiniteBadConfig(t *testing.T) {

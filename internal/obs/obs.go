@@ -144,6 +144,51 @@ type HistogramSnapshot struct {
 	Sum    uint64   `json:"sum"`
 }
 
+// Quantile estimates the q-quantile of the recorded observations by linear
+// interpolation within the containing bucket (the Prometheus convention).
+// q is clamped to [0, 1]; an empty snapshot returns 0. A quantile landing
+// in the overflow bucket returns the highest finite bound — the histogram
+// has no upper edge to interpolate toward — and a histogram with no bounds
+// at all can only report 0.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Counts) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum uint64
+	for i, c := range s.Counts {
+		prev := float64(cum)
+		cum += c
+		if c == 0 || float64(cum) < rank {
+			continue
+		}
+		if i >= len(s.Bounds) { // overflow bucket
+			if len(s.Bounds) == 0 {
+				return 0
+			}
+			return float64(s.Bounds[len(s.Bounds)-1])
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = float64(s.Bounds[i-1])
+		}
+		hi := float64(s.Bounds[i])
+		return lo + (hi-lo)*(rank-prev)/float64(c)
+	}
+	// Bucket counts summed short of Count (a torn concurrent snapshot):
+	// report the highest finite bound rather than inventing a value.
+	if len(s.Bounds) == 0 {
+		return 0
+	}
+	return float64(s.Bounds[len(s.Bounds)-1])
+}
+
 // Sub returns the bucket-wise difference s - prev, for delta reports.
 func (s HistogramSnapshot) Sub(prev HistogramSnapshot) HistogramSnapshot {
 	out := HistogramSnapshot{

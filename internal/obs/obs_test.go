@@ -172,6 +172,135 @@ func TestReportSectionsAndDelta(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantile pins the interpolation convention on a known
+// distribution and every edge: empty snapshot, q clamped past [0, 1],
+// exact bucket boundaries, and a mass that lands in the overflow bucket.
+func TestHistogramQuantile(t *testing.T) {
+	if got := (HistogramSnapshot{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty snapshot quantile = %v, want 0", got)
+	}
+
+	// 10 observations spread 4/4/2 over buckets (0,10], (10,100], overflow.
+	h := newHistogram([]uint64{10, 100})
+	for _, v := range []uint64{1, 2, 3, 4, 20, 40, 60, 80, 500, 900} {
+		h.Observe(v)
+	}
+	s := h.snapshot()
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{-1, 0},    // clamped to 0: lower edge of the first occupied bucket
+		{0, 0},     // lower edge of the first occupied bucket
+		{0.2, 5},   // rank 2 of 4 inside (0,10]
+		{0.4, 10},  // rank 4 == the full first bucket: its upper bound
+		{0.6, 55},  // rank 6: halfway through (10,100]
+		{0.8, 100}, // rank 8 == through the second bucket: its upper bound
+		{0.9, 100}, // overflow bucket: highest finite bound
+		{1, 100},   // ditto
+		{2, 100},   // clamped to 1
+	}
+	for _, c := range cases {
+		if got := s.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+
+	// A histogram with no finite bounds has only the overflow bucket and
+	// can never report a value.
+	h2 := newHistogram(nil)
+	h2.Observe(7)
+	if got := h2.snapshot().Quantile(0.5); got != 0 {
+		t.Errorf("boundless histogram quantile = %v, want 0", got)
+	}
+
+	// Empty buckets between occupied ones are skipped, not interpolated
+	// into.
+	h3 := newHistogram([]uint64{1, 2, 3})
+	h3.Observe(1)
+	h3.Observe(3)
+	if got := h3.snapshot().Quantile(1); got != 3 {
+		t.Errorf("sparse histogram Quantile(1) = %v, want 3", got)
+	}
+}
+
+// TestHistogramSnapshotDeltaConcurrent drives writers and a delta-taking
+// reader concurrently (meaningful under -race) and checks the telescoping
+// invariant: the per-interval deltas must sum to the final snapshot exactly,
+// no observation dropped or double-counted across snapshot boundaries.
+func TestHistogramSnapshotDeltaConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []uint64{8, 64, 512})
+	const writers, perWriter = 8, 5000
+
+	prev := h.snapshot() // before any writer starts, so the deltas telescope to the final state
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Observe((seed + uint64(i)) % 1000)
+			}
+		}(uint64(w * 131))
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+
+	// Accumulate interval deltas while the writers run; each delta also
+	// has to be internally sane (no negative-wrapped uint64 counts).
+	total := HistogramSnapshot{}
+	for running := true; running; {
+		select {
+		case <-done:
+			running = false
+		default:
+		}
+		cur := h.snapshot()
+		d := cur.Sub(prev)
+		prev = cur
+		const wrapped = 1 << 63
+		if d.Count > wrapped || d.Sum > wrapped {
+			t.Fatalf("delta wrapped negative: %+v", d)
+		}
+		total.Count += d.Count
+		total.Sum += d.Sum
+		if total.Counts == nil {
+			total.Counts = make([]uint64, len(d.Counts))
+		}
+		for i, c := range d.Counts {
+			if c > wrapped {
+				t.Fatalf("bucket %d delta wrapped negative", i)
+			}
+			total.Counts[i] += c
+		}
+		_ = d.Quantile(0.5) // reads torn snapshots without panicking
+	}
+
+	final := h.snapshot()
+	if total.Count != final.Count || total.Sum != final.Sum {
+		t.Fatalf("deltas do not telescope: summed count/sum %d/%d, final %d/%d",
+			total.Count, total.Sum, final.Count, final.Sum)
+	}
+	for i := range final.Counts {
+		if total.Counts[i] != final.Counts[i] {
+			t.Fatalf("bucket %d: summed %d, final %d", i, total.Counts[i], final.Counts[i])
+		}
+	}
+	if final.Count != writers*perWriter {
+		t.Fatalf("final count = %d, want %d", final.Count, writers*perWriter)
+	}
+	var bucketSum uint64
+	for _, c := range final.Counts {
+		bucketSum += c
+	}
+	if bucketSum != final.Count {
+		t.Fatalf("quiescent buckets sum to %d, count says %d", bucketSum, final.Count)
+	}
+}
+
 // TestReportJSONDeterministic: identical registry state must serialize to
 // identical bytes (sorted keys), and the schema tag must be present.
 func TestReportJSONDeterministic(t *testing.T) {

@@ -1,0 +1,31 @@
+package perfbench
+
+// The harness workloads double as standard Go benchmarks: `make bench`
+// (go test -bench ./...) sees the exact units the BENCH_*.json baselines
+// defend, so benchstat comparisons and the JSON perf gate stay in
+// agreement about what is being measured.
+
+import "testing"
+
+func BenchmarkWorkloads(b *testing.B) {
+	for _, w := range All() {
+		b.Run(w.Name, func(b *testing.B) {
+			pass, err := w.Setup()
+			if err != nil {
+				b.Fatal(err)
+			}
+			refs, err := pass() // warmup outside the timer
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := pass(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(refs)*float64(b.N)/b.Elapsed().Seconds(), "refs/s")
+		})
+	}
+}

@@ -1,0 +1,167 @@
+package perfbench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/report"
+)
+
+// Tolerance configures the gate's pass/fail thresholds.
+type Tolerance struct {
+	// Throughput is the allowed fractional refs/s drop against baseline
+	// (0.10 = a workload may be up to 10% slower before the gate fails).
+	Throughput float64
+	// PinnedAllocCeiling is the allocs/pass value at or above which a
+	// pinned workload hard-fails regardless of baseline. The default 1.0
+	// means "any real per-pass allocation": a genuine leak measures >= 1,
+	// while stray background allocations caught mid-measurement show up
+	// as fractions.
+	PinnedAllocCeiling float64
+}
+
+// DefaultTolerance is the gate's default: ±10% throughput, no allocations
+// on pinned paths.
+func DefaultTolerance() Tolerance {
+	return Tolerance{Throughput: 0.10, PinnedAllocCeiling: 1.0}
+}
+
+// Verdict is one workload's gate outcome.
+type Verdict string
+
+const (
+	VerdictOK      Verdict = "ok"      // within tolerance
+	VerdictFast    Verdict = "fast"    // faster than baseline beyond tolerance (passes; refresh the baseline)
+	VerdictSlow    Verdict = "slow"    // slower than baseline beyond tolerance (fails)
+	VerdictAllocs  Verdict = "allocs"  // pinned path allocates per pass (fails)
+	VerdictMissing Verdict = "missing" // in the baseline but not measured (fails)
+	VerdictNew     Verdict = "new"     // measured but not in the baseline (passes)
+)
+
+// failed reports whether the verdict fails the gate.
+func (v Verdict) failed() bool {
+	return v == VerdictSlow || v == VerdictAllocs || v == VerdictMissing
+}
+
+// Row is one workload's comparison against baseline.
+type Row struct {
+	Name           string
+	Verdict        Verdict
+	BaseRefsPerSec float64
+	NewRefsPerSec  float64
+	DeltaPct       float64 // (new-base)/base * 100; 0 for missing/new
+	AllocsPerPass  float64
+	Pinned         bool
+}
+
+// GateResult is the full gate outcome: per-workload rows plus the overall
+// pass/fail.
+type GateResult struct {
+	Rows      []Row
+	Tolerance Tolerance
+}
+
+// OK reports whether every row passed.
+func (g *GateResult) OK() bool {
+	for _, r := range g.Rows {
+		if r.Verdict.failed() {
+			return false
+		}
+	}
+	return true
+}
+
+// Failures returns the failing rows.
+func (g *GateResult) Failures() []Row {
+	var out []Row
+	for _, r := range g.Rows {
+		if r.Verdict.failed() {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Compare gates current against baseline. Every baseline workload must be
+// present and within the throughput tolerance; pinned workloads must not
+// allocate per pass (a hard failure even when throughput holds, because
+// allocs/pass is host-independent and survives CI-runner speed variance).
+// Workloads new in current pass with a note.
+func Compare(baseline, current *Report, tol Tolerance) (*GateResult, error) {
+	if baseline.Schema != Schema {
+		return nil, fmt.Errorf("perfbench: baseline schema %q, want %q", baseline.Schema, Schema)
+	}
+	if current.Schema != Schema {
+		return nil, fmt.Errorf("perfbench: current schema %q, want %q", current.Schema, Schema)
+	}
+	if tol.Throughput <= 0 {
+		tol.Throughput = DefaultTolerance().Throughput
+	}
+	if tol.PinnedAllocCeiling <= 0 {
+		tol.PinnedAllocCeiling = DefaultTolerance().PinnedAllocCeiling
+	}
+	g := &GateResult{Tolerance: tol}
+	seen := make(map[string]bool)
+	for _, base := range baseline.Workloads {
+		seen[base.Name] = true
+		cur, ok := current.Result(base.Name)
+		if !ok {
+			g.Rows = append(g.Rows, Row{Name: base.Name, Verdict: VerdictMissing, BaseRefsPerSec: base.RefsPerSec})
+			continue
+		}
+		row := Row{
+			Name:           base.Name,
+			BaseRefsPerSec: base.RefsPerSec,
+			NewRefsPerSec:  cur.RefsPerSec,
+			AllocsPerPass:  cur.AllocsPerPass,
+			Pinned:         cur.Pinned,
+		}
+		if base.RefsPerSec > 0 {
+			row.DeltaPct = 100 * (cur.RefsPerSec - base.RefsPerSec) / base.RefsPerSec
+		}
+		switch {
+		case cur.Pinned && cur.AllocsPerPass >= tol.PinnedAllocCeiling:
+			row.Verdict = VerdictAllocs
+		case base.RefsPerSec > 0 && cur.RefsPerSec < base.RefsPerSec*(1-tol.Throughput):
+			row.Verdict = VerdictSlow
+		case base.RefsPerSec > 0 && cur.RefsPerSec > base.RefsPerSec*(1+tol.Throughput):
+			row.Verdict = VerdictFast
+		default:
+			row.Verdict = VerdictOK
+		}
+		g.Rows = append(g.Rows, row)
+	}
+	for _, cur := range current.Workloads {
+		if seen[cur.Name] {
+			continue
+		}
+		row := Row{Name: cur.Name, Verdict: VerdictNew, NewRefsPerSec: cur.RefsPerSec,
+			AllocsPerPass: cur.AllocsPerPass, Pinned: cur.Pinned}
+		if cur.Pinned && cur.AllocsPerPass >= tol.PinnedAllocCeiling {
+			row.Verdict = VerdictAllocs
+		}
+		g.Rows = append(g.Rows, row)
+	}
+	return g, nil
+}
+
+// Fprint renders the gate result as a readable regression table.
+func (g *GateResult) Fprint(out io.Writer) {
+	tb := report.NewTable("workload", "base refs/s", "new refs/s", "delta%", "allocs/pass", "verdict")
+	for _, r := range g.Rows {
+		tb.Rowf(r.Name,
+			fmt.Sprintf("%.0f", r.BaseRefsPerSec),
+			fmt.Sprintf("%.0f", r.NewRefsPerSec),
+			fmt.Sprintf("%+.1f", r.DeltaPct),
+			fmt.Sprintf("%.1f", r.AllocsPerPass),
+			string(r.Verdict))
+	}
+	tb.Notef("throughput tolerance ±%.0f%%; pinned paths fail at >= %.1f allocs/pass",
+		100*g.Tolerance.Throughput, g.Tolerance.PinnedAllocCeiling)
+	if fails := g.Failures(); len(fails) > 0 {
+		tb.Notef("PERF GATE FAILED: %d workload(s) regressed", len(fails))
+	} else {
+		tb.Note("perf gate passed")
+	}
+	tb.Fprint(out)
+}

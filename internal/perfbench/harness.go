@@ -1,0 +1,176 @@
+package perfbench
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"runtime/pprof"
+	"time"
+)
+
+// Options tunes one harness run. The zero value gets sensible defaults
+// (see normalize): the default full run takes a few seconds per workload
+// set; tests drop the times to milliseconds.
+type Options struct {
+	// MinTime is the wall-clock floor for one unprofiled timing window.
+	MinTime time.Duration
+	// Repeats is how many timing windows to run; the report keeps the
+	// fastest window's throughput. Best-of-N is the noise defense on
+	// shared hardware: CPU steal only ever slows a window down, so the
+	// fastest window tracks the machine's real capability and stays
+	// comparable run to run.
+	Repeats int
+	// ProfileTime is the wall-clock floor for the profiled passes that
+	// feed the per-phase breakdown.
+	ProfileTime time.Duration
+	// AllocPasses is how many passes the allocs/pass figure averages over.
+	AllocPasses int
+	// Workloads filters the registry by name; empty means all.
+	Workloads []string
+	// Logf, when set, receives one progress line per workload.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) normalize() Options {
+	if o.MinTime <= 0 {
+		o.MinTime = 300 * time.Millisecond
+	}
+	if o.ProfileTime <= 0 {
+		o.ProfileTime = 500 * time.Millisecond
+	}
+	if o.Repeats <= 0 {
+		o.Repeats = 5
+	}
+	if o.AllocPasses <= 0 {
+		o.AllocPasses = 3
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// Run measures every selected workload and returns the assembled report.
+// It must not run concurrently with itself or any other CPU profiling in
+// the process (runtime/pprof allows one active CPU profile).
+func Run(o Options) (*Report, error) {
+	o = o.normalize()
+	workloads, err := Find(o.Workloads)
+	if err != nil {
+		return nil, err
+	}
+	rep := newReport(time.Now())
+	for _, w := range workloads {
+		res, err := Measure(w, o)
+		if err != nil {
+			return nil, fmt.Errorf("perfbench: %s: %w", w.Name, err)
+		}
+		o.Logf("%-22s %12.0f refs/s  %8.2f ns/ref  %6.1f allocs/pass",
+			res.Name, res.RefsPerSec, res.NsPerRef, res.AllocsPerPass)
+		rep.Workloads = append(rep.Workloads, res)
+	}
+	rep.sortWorkloads()
+	return rep, nil
+}
+
+// Measure runs one workload through the three measurement stages:
+//
+//  1. allocs/pass at GOMAXPROCS(1) with no profiler attached (the CPU
+//     profile writer allocates, which would pollute the pinned-path
+//     zero-alloc check);
+//  2. unprofiled timed windows for refs/s and ns/ref, keeping the fastest
+//     of Options.Repeats windows;
+//  3. profiled passes, decoded into the per-phase breakdown.
+func Measure(w Workload, o Options) (WorkloadResult, error) {
+	o = o.normalize()
+	pass, err := w.Setup()
+	if err != nil {
+		return WorkloadResult{}, err
+	}
+	refs, err := pass() // warmup, and establishes refs/pass
+	if err != nil {
+		return WorkloadResult{}, err
+	}
+	res := WorkloadResult{Name: w.Name, Pinned: w.Pinned, RefsPerPass: refs}
+
+	if res.AllocsPerPass, err = measureAllocs(pass, o.AllocPasses); err != nil {
+		return res, err
+	}
+
+	for i := 0; i < o.Repeats; i++ {
+		passes, elapsed, err := timedPasses(pass, o.MinTime)
+		if err != nil {
+			return res, err
+		}
+		res.Passes += passes
+		totalRefs := float64(refs) * float64(passes)
+		if sec := elapsed.Seconds(); sec > 0 && totalRefs > 0 {
+			if rps := totalRefs / sec; rps > res.RefsPerSec {
+				res.RefsPerSec = rps
+				res.NsPerRef = float64(elapsed.Nanoseconds()) / totalRefs
+			}
+		}
+	}
+
+	prof, err := profiledPasses(pass, o.ProfileTime)
+	if err != nil {
+		return res, err
+	}
+	byPhase, total := Breakdown(prof)
+	res.CPUSampleNanos = total
+	res.Phases = Percentages(byPhase, total)
+	return res, nil
+}
+
+// measureAllocs returns heap allocations per pass, serialized to one
+// scheduler thread the way testing.AllocsPerRun does so concurrent
+// background allocations do not leak into the figure.
+func measureAllocs(pass func() (uint64, error), passes int) (float64, error) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < passes; i++ {
+		if _, err := pass(); err != nil {
+			return 0, err
+		}
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(passes), nil
+}
+
+// timedPasses repeats pass until minTime has elapsed and returns the pass
+// count and total duration.
+func timedPasses(pass func() (uint64, error), minTime time.Duration) (int, time.Duration, error) {
+	start := time.Now()
+	passes := 0
+	for {
+		if _, err := pass(); err != nil {
+			return passes, time.Since(start), err
+		}
+		passes++
+		if time.Since(start) >= minTime {
+			return passes, time.Since(start), nil
+		}
+	}
+}
+
+// profiledPasses repeats pass under a CPU profile for at least profileTime
+// and returns the decoded profile.
+func profiledPasses(pass func() (uint64, error), profileTime time.Duration) (*Profile, error) {
+	var buf bytes.Buffer
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		return nil, fmt.Errorf("starting CPU profile: %w", err)
+	}
+	start := time.Now()
+	var runErr error
+	for time.Since(start) < profileTime {
+		if _, runErr = pass(); runErr != nil {
+			break
+		}
+	}
+	pprof.StopCPUProfile()
+	if runErr != nil {
+		return nil, runErr
+	}
+	return ParseProfile(&buf)
+}

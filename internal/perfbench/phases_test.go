@@ -1,0 +1,53 @@
+package perfbench
+
+import "testing"
+
+func TestPhaseOfStack(t *testing.T) {
+	cases := []struct {
+		name  string
+		stack []string // leaf first
+		want  string
+	}{
+		{"classifier leaf", []string{"repro/internal/core.(*Classifier).RefBatch", "repro/internal/trace.Drive"}, "classify"},
+		{"runtime leaf attributes to caller", []string{"runtime.mallocgc", "repro/internal/core.NewClassifier"}, "classify"},
+		{"memmove under dense", []string{"runtime.memmove", "repro/internal/dense.(*Map[...]).grow"}, "classify"},
+		{"generator", []string{"repro/internal/workload.(*Workload).Reader.func1"}, "generation"},
+		{"demux pump", []string{"repro/internal/trace.(*Demux).pump"}, "demux"},
+		{"demux shard read", []string{"repro/internal/trace.(*demuxShard).NextBatch"}, "demux"},
+		{"shard key", []string{"repro/internal/trace.BlockShard.func1"}, "demux"},
+		{"replay pump", []string{"repro/internal/trace.Drive"}, "replay"},
+		{"codec", []string{"repro/internal/trace.(*Decoder).NextBatch"}, "replay"},
+		{"sharded merge fold", []string{"repro/internal/core.RunShardedContext.func2"}, "merge"},
+		{"coherence merge", []string{"repro/internal/coherence.MergeResults"}, "merge"},
+		{"schedule", []string{"repro/internal/coherence.(*min).RefBatch"}, "classify"},
+		{"finite cache", []string{"repro/internal/finite.(*Classifier).access"}, "classify"},
+		{"timing model", []string{"repro/internal/timing.(*simulator).Ref"}, "classify"},
+		{"renderer", []string{"repro/internal/report.(*Table).Fprint"}, "render"},
+		{"gc worker", []string{"runtime.gcBgMarkWorker"}, "runtime"},
+		{"pure harness", []string{"testing.(*B).runN", "testing.(*B).launch"}, "other"},
+		{"empty stack", nil, "other"},
+		{"experiment driver only", []string{"repro/internal/experiment.Fig5"}, "other"},
+	}
+	for _, tc := range cases {
+		if got := PhaseOfStack(tc.stack); got != tc.want {
+			t.Errorf("%s: PhaseOfStack(%v) = %q, want %q", tc.name, tc.stack, got, tc.want)
+		}
+	}
+}
+
+// TestPhasesCanonicalOrder: the canonical phase list is stable and
+// duplicate-free — BENCH_*.json consumers key on it.
+func TestPhasesCanonicalOrder(t *testing.T) {
+	seen := map[string]bool{}
+	for _, ph := range Phases {
+		if seen[ph] {
+			t.Fatalf("duplicate phase %q", ph)
+		}
+		seen[ph] = true
+	}
+	for _, must := range []string{"generation", "demux", "classify", "merge", "render"} {
+		if !seen[must] {
+			t.Fatalf("canonical phases missing %q", must)
+		}
+	}
+}

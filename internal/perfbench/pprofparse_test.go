@@ -1,0 +1,273 @@
+package perfbench
+
+import (
+	"bytes"
+	"compress/gzip"
+	"runtime/pprof"
+	"strings"
+	"testing"
+	"time"
+)
+
+// --- hand-rolled protobuf encoder for exactness tests ---
+
+type pb struct{ bytes.Buffer }
+
+func (b *pb) varint(v uint64) {
+	for v >= 0x80 {
+		b.WriteByte(byte(v) | 0x80)
+		v >>= 7
+	}
+	b.WriteByte(byte(v))
+}
+
+func (b *pb) tag(field, wire int) { b.varint(uint64(field<<3 | wire)) }
+
+func (b *pb) msg(field int, body []byte) {
+	b.tag(field, wireBytes)
+	b.varint(uint64(len(body)))
+	b.Write(body)
+}
+
+func (b *pb) str(field int, s string) { b.msg(field, []byte(s)) }
+
+func (b *pb) uint(field int, v uint64) {
+	b.tag(field, wireVarint)
+	b.varint(v)
+}
+
+func (b *pb) packed(field int, vals ...uint64) {
+	var body pb
+	for _, v := range vals {
+		body.varint(v)
+	}
+	b.msg(field, body.Bytes())
+}
+
+// testProfileBytes encodes a two-sample profile:
+//
+//	sample 0: stack leafA <- rootB, cpu 100ns
+//	sample 1: stack rootB,          cpu 50ns
+//
+// with sample types {samples,count} and {cpu,nanoseconds}. The string
+// table intentionally FOLLOWS the messages that reference it, to exercise
+// deferred resolution.
+func testProfileBytes(t *testing.T, leafA, rootB string) []byte {
+	t.Helper()
+	var p pb
+
+	var vt1 pb
+	vt1.uint(1, 1) // "samples"
+	vt1.uint(2, 2) // "count"
+	p.msg(1, vt1.Bytes())
+	var vt2 pb
+	vt2.uint(1, 3) // "cpu"
+	vt2.uint(2, 4) // "nanoseconds"
+	p.msg(1, vt2.Bytes())
+
+	var s1 pb
+	s1.packed(1, 1, 2) // locations: leaf loc 1, then loc 2
+	s1.packed(2, 1, 100)
+	p.msg(2, s1.Bytes())
+	var s2 pb
+	s2.uint(1, 2) // unpacked single location
+	s2.packed(2, 1, 50)
+	p.msg(2, s2.Bytes())
+
+	for loc, fn := range map[uint64]uint64{1: 10, 2: 11} {
+		var line pb
+		line.uint(1, fn)
+		var l pb
+		l.uint(1, loc)
+		l.msg(4, line.Bytes())
+		p.msg(4, l.Bytes())
+	}
+
+	var f1 pb
+	f1.uint(1, 10)
+	f1.uint(2, 5) // leafA
+	p.msg(5, f1.Bytes())
+	var f2 pb
+	f2.uint(1, 11)
+	f2.uint(2, 6) // rootB
+	p.msg(5, f2.Bytes())
+
+	for _, s := range []string{"", "samples", "count", "cpu", "nanoseconds", leafA, rootB} {
+		p.str(6, s)
+	}
+	p.uint(10, uint64(2*time.Millisecond.Nanoseconds())) // duration_nanos
+	p.uint(12, 10000000)                                 // period
+	return p.Bytes()
+}
+
+func TestParseProfileHandEncoded(t *testing.T) {
+	data := testProfileBytes(t, "repro/internal/core.(*Classifier).RefBatch", "testing.(*B).runN")
+	prof, err := ParseProfile(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(prof.SampleTypes); got != 2 {
+		t.Fatalf("sample types = %d, want 2", got)
+	}
+	if prof.SampleTypes[1] != (ValueType{Type: "cpu", Unit: "nanoseconds"}) {
+		t.Fatalf("sample type 1 = %+v", prof.SampleTypes[1])
+	}
+	if got := prof.CPUValueIndex(); got != 1 {
+		t.Fatalf("CPUValueIndex = %d, want 1", got)
+	}
+	if len(prof.Samples) != 2 {
+		t.Fatalf("samples = %d, want 2", len(prof.Samples))
+	}
+	stack := prof.FuncStack(prof.Samples[0])
+	want := []string{"repro/internal/core.(*Classifier).RefBatch", "testing.(*B).runN"}
+	if len(stack) != 2 || stack[0] != want[0] || stack[1] != want[1] {
+		t.Fatalf("stack = %v, want %v", stack, want)
+	}
+	if prof.Period != 10000000 {
+		t.Fatalf("period = %d", prof.Period)
+	}
+
+	byPhase, total := Breakdown(prof)
+	if total != 150 {
+		t.Fatalf("total = %d, want 150", total)
+	}
+	if byPhase["classify"] != 100 {
+		t.Fatalf("classify = %d, want 100", byPhase["classify"])
+	}
+	if byPhase["other"] != 50 {
+		t.Fatalf("other = %d, want 50", byPhase["other"])
+	}
+	pct := Percentages(byPhase, total)
+	if pct["classify"] < 66 || pct["classify"] > 67 {
+		t.Fatalf("classify%% = %f", pct["classify"])
+	}
+	for _, ph := range Phases {
+		if _, ok := pct[ph]; !ok {
+			t.Fatalf("percentages missing canonical phase %q", ph)
+		}
+	}
+}
+
+func TestParseProfileGzipped(t *testing.T) {
+	data := testProfileBytes(t, "a", "b")
+	var gz bytes.Buffer
+	w := gzip.NewWriter(&gz)
+	if _, err := w.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	prof, err := ParseProfile(bytes.NewReader(gz.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.Samples) != 2 {
+		t.Fatalf("samples = %d, want 2", len(prof.Samples))
+	}
+}
+
+func TestParseProfileErrors(t *testing.T) {
+	cases := map[string][]byte{
+		"truncated varint": {0x80, 0x80},
+		"overrun length":   {0x0a, 0x7f, 0x01}, // field 1, claims 127 bytes, has 1
+		"bad gzip":         {0x1f, 0x8b, 0x00}, // gzip magic, garbage header
+		"string idx overrun": func() []byte {
+			var p pb
+			var f pb
+			f.uint(1, 1)
+			f.uint(2, 99)
+			p.msg(5, f.Bytes())
+			return p.Bytes()
+		}(),
+	}
+	for name, data := range cases {
+		if _, err := ParseProfile(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: ParseProfile succeeded, want error", name)
+		}
+	}
+}
+
+// TestParseProfileEmpty: a zero-byte profile parses to an empty profile
+// rather than erroring (Breakdown then reports all-zero phases).
+func TestParseProfileEmpty(t *testing.T) {
+	prof, err := ParseProfile(bytes.NewReader(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPhase, total := Breakdown(prof)
+	if total != 0 {
+		t.Fatalf("total = %d", total)
+	}
+	for _, ph := range Phases {
+		if byPhase[ph] != 0 {
+			t.Fatalf("phase %s = %d, want 0", ph, byPhase[ph])
+		}
+	}
+}
+
+// spin burns CPU in a named function so a real profile has something to
+// attribute.
+//
+//go:noinline
+func spin(d time.Duration) uint64 {
+	var acc uint64
+	for start := time.Now(); time.Since(start) < d; {
+		for i := 0; i < 1.0e5; i++ {
+			acc = acc*1664525 + 1013904223
+		}
+	}
+	return acc
+}
+
+// TestParseProfileReal parses an actual runtime/pprof CPU profile written
+// by this process and checks the decoder agrees with the runtime's writer:
+// cpu/nanoseconds sample type present, samples resolvable to function
+// names, and the spin function visible in some stack.
+func TestParseProfileReal(t *testing.T) {
+	var prof *Profile
+	// The sampler is statistical; retry a few times before declaring the
+	// decoder (rather than the scheduler) broken.
+	for attempt := 0; attempt < 5; attempt++ {
+		var buf bytes.Buffer
+		if err := pprof.StartCPUProfile(&buf); err != nil {
+			t.Fatal(err)
+		}
+		spin(150 * time.Millisecond)
+		pprof.StopCPUProfile()
+		p, err := ParseProfile(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(p.Samples) > 0 {
+			prof = p
+			break
+		}
+	}
+	if prof == nil {
+		t.Skip("no CPU samples after 5 attempts; host too noisy to assert on")
+	}
+	hasCPU := false
+	for _, st := range prof.SampleTypes {
+		if st.Type == "cpu" && st.Unit == "nanoseconds" {
+			hasCPU = true
+		}
+	}
+	if !hasCPU {
+		t.Fatalf("no cpu/nanoseconds sample type in %+v", prof.SampleTypes)
+	}
+	found := false
+	for _, s := range prof.Samples {
+		for _, fn := range prof.FuncStack(s) {
+			if fn == "" {
+				t.Fatal("sample resolved to an empty function name")
+			}
+			if strings.Contains(fn, "perfbench.spin") {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("spin not found in any sample stack")
+	}
+}
