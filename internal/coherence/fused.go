@@ -1,0 +1,116 @@
+package coherence
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// This file is the schedules' entry into the fused sweep: one replay of the
+// trace (per shard) feeds every protocol's simulator at once, so a whole
+// Fig. 6 panel row costs one generation instead of one per protocol.
+//
+// The fusion is sound because the simulators are passive consumers: each
+// keeps its own lifetime table, buffers and credit books, keyed by block,
+// and reads nothing from the drive but the reference stream itself. Feeding
+// N simulators from one stream is therefore exactly N independent replays
+// of the same stream, and each Finish returns precisely the per-cell
+// result. Sharding composes the same way it does per cell: all state is
+// block-keyed and sync references are broadcast, so the shard-native
+// streams drive every simulator through the serial schedule restricted to
+// its blocks.
+
+// Fusible reports whether the named protocol's simulator may join a fused
+// multi-protocol pass. Every built-in schedule qualifies — the simulators
+// are all passive block-keyed consumers — but the predicate is the
+// extension point: a future protocol whose state couples to the drive loop
+// (e.g. one that rewinds or peeks the stream) returns false here and the
+// drivers fall back to per-cell replays for the whole grid row. Unknown
+// names are not fusible.
+func Fusible(name string) bool {
+	switch name {
+	case "MIN", "OTF", "RD", "SD", "SRD", "WBWI", "MAX", "WU", "CU":
+		return true
+	}
+	return false
+}
+
+// multiSim feeds one reference stream to several simulators at once.
+type multiSim struct{ sims []Simulator }
+
+func (m *multiSim) Ref(r trace.Ref) {
+	for _, s := range m.sims {
+		s.Ref(r)
+	}
+}
+
+// RefBatch implements trace.BatchConsumer, handing each simulator the whole
+// batch so the per-batch drive overhead is paid once per simulator, not
+// once per reference.
+func (m *multiSim) RefBatch(refs []trace.Ref) {
+	for _, s := range m.sims {
+		if bc, ok := s.(trace.BatchConsumer); ok {
+			bc.RefBatch(refs)
+		} else {
+			for _, r := range refs {
+				s.Ref(r)
+			}
+		}
+	}
+}
+
+func (m *multiSim) finish() []Result {
+	out := make([]Result, len(m.sims))
+	for i, s := range m.sims {
+		out[i] = s.Finish()
+	}
+	return out
+}
+
+// mergeResultSlices folds two shards' per-protocol results element-wise.
+func mergeResultSlices(a, b []Result) []Result {
+	for i := range a {
+		a[i] = MergeResults(a[i], b[i])
+	}
+	return a
+}
+
+// RunProtocolsShardedOpen replays the named protocols in one fused pass
+// over shard-native streams: each shard opens its own reader via open (see
+// core.RunShardedOpen) and drives all the protocols' simulators from it.
+// The results are returned in protocol order and are bit-for-bit the
+// results of RunWith per protocol, for every shard count; shards <= 1 is a
+// single serial fused replay. Every protocol must satisfy Fusible.
+func RunProtocolsShardedOpen(ctx context.Context, open func() (trace.Reader, error), procs int, g mem.Geometry, protos []string, shards int) ([]Result, error) {
+	if len(protos) == 0 {
+		return nil, nil
+	}
+	for _, name := range protos {
+		if !Fusible(name) {
+			return nil, fmt.Errorf("coherence: protocol %q cannot join a fused pass", name)
+		}
+	}
+	n := shards
+	if n < 1 {
+		n = 1
+	}
+	groups := make([]*multiSim, n)
+	for i := range groups {
+		sims := make([]Simulator, len(protos))
+		for j, name := range protos {
+			sim, err := New(name, procs, g)
+			if err != nil {
+				return nil, err
+			}
+			sims[j] = sim
+		}
+		groups[i] = &multiSim{sims: sims}
+	}
+	return core.RunShardedOpen(ctx, open, shards, trace.BlockShard(g, shards),
+		func(i int) *multiSim { return groups[i] },
+		(*multiSim).finish,
+		mergeResultSlices)
+}

@@ -1,0 +1,87 @@
+package coherence
+
+// Fused multi-protocol differential suite: one fused replay feeding every
+// schedule at once must reproduce, protocol by protocol and bit for bit,
+// the Results of independent per-protocol replays — serially and over
+// shard-native streams at every shard count.
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// TestFusedProtocolsMatchSerial is the headline differential: the fused
+// pass equals RunWith for every schedule, geometry and shard count.
+func TestFusedProtocolsMatchSerial(t *testing.T) {
+	protos := shardedProtocols()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomSyncTrace(rng, 6, 700, 56)
+		open := func() (trace.Reader, error) { return tr.Reader(), nil }
+		for _, g := range []mem.Geometry{mem.MustGeometry(8), mem.MustGeometry(64)} {
+			want := make([]Result, len(protos))
+			for i, name := range protos {
+				res, err := RunWith(name, tr.Reader(), g)
+				if err != nil {
+					t.Log(err)
+					return false
+				}
+				want[i] = res
+			}
+			for _, n := range shardCounts {
+				got, err := RunProtocolsShardedOpen(context.Background(), open, tr.Procs, g, protos, n)
+				if err != nil {
+					t.Log(err)
+					return false
+				}
+				for i := range protos {
+					if got[i] != want[i] {
+						t.Logf("%s %v shards=%d:\n got %+v\nwant %+v", protos[i], g, n, got[i], want[i])
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 6}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFusible pins the predicate: every built-in schedule joins the fused
+// pass; unknown names do not, and RunProtocolsShardedOpen rejects them
+// before opening anything.
+func TestFusible(t *testing.T) {
+	for _, name := range shardedProtocols() {
+		if !Fusible(name) {
+			t.Errorf("built-in protocol %s reported non-fusible", name)
+		}
+	}
+	if Fusible("BOGUS") {
+		t.Error("unknown protocol reported fusible")
+	}
+
+	opened := false
+	open := func() (trace.Reader, error) {
+		opened = true
+		return trace.New(2).Reader(), nil
+	}
+	if _, err := RunProtocolsShardedOpen(context.Background(), open, 2, mem.MustGeometry(16), []string{"OTF", "BOGUS"}, 4); err == nil {
+		t.Error("expected an error for a non-fusible protocol")
+	}
+	if opened {
+		t.Error("reader opened despite non-fusible protocol in the set")
+	}
+
+	// The empty protocol set is a no-op, not an error.
+	res, err := RunProtocolsShardedOpen(context.Background(), open, 2, mem.MustGeometry(16), nil, 4)
+	if err != nil || len(res) != 0 {
+		t.Errorf("empty protocol set: got %v, %v", res, err)
+	}
+}

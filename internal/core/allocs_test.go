@@ -57,6 +57,37 @@ func TestEggersSteadyStateAllocs(t *testing.T) {
 	}
 }
 
+// TestFusedSteadyStateAllocs pins the fused multi-geometry classifier pass
+// to zero steady-state allocations: once the hierarchical state exists for
+// every fine block, folding references into all the levels must not touch
+// the heap — otherwise fusing the sweep would trade the demux tax for a GC
+// tax. All three fused schemes are pinned.
+func TestFusedSteadyStateAllocs(t *testing.T) {
+	geos := []mem.Geometry{
+		mem.MustGeometry(8), mem.MustGeometry(64), mem.MustGeometry(1024),
+	}
+	refs := allocTestRefs(4, 64, mem.MustGeometry(8))
+
+	const ceiling = 0.0
+	oc := NewFusedClassifier(4, geos)
+	oc.RefBatch(refs) // warm up: populate the hierarchical tables
+	if got := testing.AllocsPerRun(10, func() { oc.RefBatch(refs) }); got > ceiling {
+		t.Errorf("FusedClassifier steady state allocates %.1f allocs per pass, ceiling %.1f", got, ceiling)
+	}
+
+	ec := NewFusedEggers(4, geos)
+	ec.RefBatch(refs)
+	if got := testing.AllocsPerRun(10, func() { ec.RefBatch(refs) }); got > ceiling {
+		t.Errorf("FusedEggers steady state allocates %.1f allocs per pass, ceiling %.1f", got, ceiling)
+	}
+
+	tc := NewFusedTorrellas(4, geos)
+	tc.RefBatch(refs)
+	if got := testing.AllocsPerRun(10, func() { tc.RefBatch(refs) }); got > ceiling {
+		t.Errorf("FusedTorrellas steady state allocates %.1f allocs per pass, ceiling %.1f", got, ceiling)
+	}
+}
+
 // TestInstrumentedPassAllocs pins a fully instrumented classifier pass —
 // the batch delivery plus the per-batch metric updates Drive performs
 // (counter adds and a histogram observation) and the Finish-time counter —

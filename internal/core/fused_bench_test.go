@@ -1,0 +1,105 @@
+package core_test
+
+// Benchmarks backing the fused sweep's headline claim: one fused pass over
+// a trace, feeding the whole Fig. 5 block grid, costs on the order of a
+// single cell's replay — not one replay per block size. The measured run is
+// recorded in results/fused_sweep_bench.txt.
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/mem"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+var benchTrace = sync.OnceValues(func() (*trace.Trace, error) {
+	w, err := workload.Get("LU32")
+	if err != nil {
+		return nil, err
+	}
+	return trace.Collect(w.Reader())
+})
+
+func fig5Geometries(b *testing.B) []mem.Geometry {
+	b.Helper()
+	geos := make([]mem.Geometry, len(experiment.Fig5Blocks))
+	for i, blk := range experiment.Fig5Blocks {
+		geos[i] = mem.MustGeometry(blk)
+	}
+	return geos
+}
+
+// BenchmarkFig5SingleCell is the yardstick: one classifier replay at one
+// block size — what every cell of the per-cell Fig. 5 sweep costs.
+func BenchmarkFig5SingleCell(b *testing.B) {
+	tr, err := benchTrace()
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := mem.MustGeometry(64)
+	b.SetBytes(int64(tr.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.Classify(tr.Reader(), g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5SingleCellFinest is the grid's costliest cell: the finest
+// block size is word-granular, so its replay touches the most state.
+func BenchmarkFig5SingleCellFinest(b *testing.B) {
+	tr, err := benchTrace()
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := mem.MustGeometry(experiment.Fig5Blocks[0])
+	b.SetBytes(int64(tr.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.Classify(tr.Reader(), g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5FusedSweep is the whole figure in one pass: all ten block
+// sizes of the paper's grid off a single replay. The acceptance target is
+// wall time within ~2x of BenchmarkFig5SingleCell.
+func BenchmarkFig5FusedSweep(b *testing.B) {
+	tr, err := benchTrace()
+	if err != nil {
+		b.Fatal(err)
+	}
+	geos := fig5Geometries(b)
+	b.SetBytes(int64(tr.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.FusedClassify(tr.Reader(), geos); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5PerCellSweep is the old cost of the figure: one replay per
+// block size, for the ratio the recorded results quote.
+func BenchmarkFig5PerCellSweep(b *testing.B) {
+	tr, err := benchTrace()
+	if err != nil {
+		b.Fatal(err)
+	}
+	geos := fig5Geometries(b)
+	b.SetBytes(int64(tr.Len()) * int64(len(geos)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, g := range geos {
+			if _, _, err := core.Classify(tr.Reader(), g); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

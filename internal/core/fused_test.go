@@ -1,0 +1,293 @@
+package core
+
+// The fused-replay differential suite: one fused pass over a trace must
+// reproduce, geometry by geometry and bit for bit, the counts of the
+// per-geometry classifiers run over separate replays — for all three
+// schemes, across shard counts, with every miss class covered
+// non-vacuously, and with the paper's accounting identities intact on the
+// fused path.
+
+import (
+	"context"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// fusedGeometries is the nesting sweep the fused suite exercises: out of
+// order and with a duplicate, so the internal level sort and the
+// independence of duplicate levels are both under test.
+func fusedGeometries() []mem.Geometry {
+	return []mem.Geometry{
+		mem.MustGeometry(64),
+		mem.MustGeometry(4),
+		mem.MustGeometry(1024),
+		mem.MustGeometry(16),
+		mem.MustGeometry(64), // duplicate level
+		mem.MustGeometry(256),
+	}
+}
+
+// TestFusedMatchesPerGeometry is the headline differential property: the
+// fused one-pass classification equals a fresh per-geometry replay for
+// every geometry and all three schemes.
+func TestFusedMatchesPerGeometry(t *testing.T) {
+	geos := fusedGeometries()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomMixedTrace(rng, 6, 900, 640)
+
+		fused, refs, err := FusedClassify(tr.Reader(), geos)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		fusedE, refsE, err := FusedClassifyEggers(tr.Reader(), geos)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		fusedT, refsT, err := FusedClassifyTorrellas(tr.Reader(), geos)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		if refs != tr.DataRefs() || refsE != refs || refsT != refs {
+			t.Logf("denominators diverge: ours %d eggers %d torrellas %d, trace %d",
+				refs, refsE, refsT, tr.DataRefs())
+			return false
+		}
+		for gi, g := range geos {
+			want, wantRefs, err := Classify(tr.Reader(), g)
+			if err != nil {
+				t.Log(err)
+				return false
+			}
+			if fused[gi] != want || refs != wantRefs {
+				t.Logf("%v: fused %+v, per-cell %+v", g, fused[gi], want)
+				return false
+			}
+			wantE, _, err := ClassifyEggers(tr.Reader(), g)
+			if err != nil {
+				t.Log(err)
+				return false
+			}
+			if fusedE[gi] != wantE {
+				t.Logf("%v eggers: fused %+v, per-cell %+v", g, fusedE[gi], wantE)
+				return false
+			}
+			wantT, _, err := ClassifyTorrellas(tr.Reader(), g)
+			if err != nil {
+				t.Log(err)
+				return false
+			}
+			if fusedT[gi] != wantT {
+				t.Logf("%v torrellas: fused %+v, per-cell %+v", g, fusedT[gi], wantT)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickConf(10)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFusedCoversAllFiveClasses pins the differential on a trace known to
+// produce PC, CTS, CFS, PTS and PFS at B=8, so the equality above cannot
+// pass vacuously on a class that never occurs.
+func TestFusedCoversAllFiveClasses(t *testing.T) {
+	tr := allClassesTrace()
+	geos := []mem.Geometry{mem.MustGeometry(4), mem.MustGeometry(8), mem.MustGeometry(32)}
+	fused, refs, err := FusedClassify(tr.Reader(), geos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at8 := fused[1]
+	if at8.PC == 0 || at8.CTS == 0 || at8.CFS == 0 || at8.PTS == 0 || at8.PFS == 0 {
+		t.Fatalf("fused counts at B=8 do not cover all five classes: %+v", at8)
+	}
+	for gi, g := range geos {
+		want, wantRefs, err := Classify(tr.Reader(), g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fused[gi] != want || refs != wantRefs {
+			t.Errorf("%v: fused %+v (%d refs), want %+v (%d refs)", g, fused[gi], refs, want, wantRefs)
+		}
+	}
+}
+
+// TestFusedShardedMatchesSerial: the shard-native fused pipeline must equal
+// the serial fused pass (and hence the per-cell replays) at every shard
+// count, partitioned by the coarsest geometry.
+func TestFusedShardedMatchesSerial(t *testing.T) {
+	geos := fusedGeometries()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomMixedTrace(rng, 6, 800, 640)
+		want, wantRefs, err := FusedClassify(tr.Reader(), geos)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		open := func() (trace.Reader, error) { return tr.Reader(), nil }
+		for _, n := range shardCounts {
+			got, refs, err := FusedShardedClassify(context.Background(), open, tr.Procs, geos, n)
+			if err != nil {
+				t.Log(err)
+				return false
+			}
+			if refs != wantRefs {
+				t.Logf("shards=%d: refs %d, want %d", n, refs, wantRefs)
+				return false
+			}
+			for gi := range geos {
+				if got[gi] != want[gi] {
+					t.Logf("shards=%d %v: got %+v, want %+v", n, geos[gi], got[gi], want[gi])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickConf(8)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFusedInvariants checks the paper's accounting identities on the
+// fused path: Essential = Cold + PTS (+ Repl, which the infinite-cache
+// fused path keeps at 0) at every level, and the data-reference
+// denominator is conserved exactly.
+func TestFusedInvariants(t *testing.T) {
+	geos := fusedGeometries()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomMixedTrace(rng, 5, 700, 320)
+		fused, refs, err := FusedClassify(tr.Reader(), geos)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		if refs != tr.DataRefs() {
+			t.Logf("data refs not conserved: %d of %d", refs, tr.DataRefs())
+			return false
+		}
+		for gi, c := range fused {
+			if c.Repl != 0 {
+				t.Logf("%v: infinite-cache fused pass produced %d replacement misses", geos[gi], c.Repl)
+				return false
+			}
+			if c.Essential() != c.Cold()+c.PTS {
+				t.Logf("%v: essential %d != cold %d + PTS %d", geos[gi], c.Essential(), c.Cold(), c.PTS)
+				return false
+			}
+			if c.Essential() > c.Total() {
+				t.Logf("%v: essential %d > total %d", geos[gi], c.Essential(), c.Total())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickConf(15)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFusedDuplicateLevelsAgree: duplicate geometries in one fused pass
+// must produce identical counts (their levels share the pass but not the
+// state).
+func TestFusedDuplicateLevelsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tr := randomMixedTrace(rng, 6, 1000, 512)
+	geos := fusedGeometries() // geos[0] and geos[4] are both B=64
+	fused, _, err := FusedClassify(tr.Reader(), geos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fused[0] != fused[4] {
+		t.Fatalf("duplicate B=64 levels diverge: %+v vs %+v", fused[0], fused[4])
+	}
+	fusedE, _, err := FusedClassifyEggers(tr.Reader(), geos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fusedE[0] != fusedE[4] {
+		t.Fatalf("duplicate Eggers levels diverge: %+v vs %+v", fusedE[0], fusedE[4])
+	}
+	fusedT, _, err := FusedClassifyTorrellas(tr.Reader(), geos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fusedT[0] != fusedT[4] {
+		t.Fatalf("duplicate Torrellas levels diverge: %+v vs %+v", fusedT[0], fusedT[4])
+	}
+}
+
+// failAfterReader yields n loads then a terminal error.
+type failAfterReader struct {
+	n   int
+	pos int
+	err error
+}
+
+func (r *failAfterReader) NumProcs() int { return 2 }
+func (r *failAfterReader) Next() (trace.Ref, error) {
+	if r.pos >= r.n {
+		return trace.Ref{}, r.err
+	}
+	r.pos++
+	return trace.L(0, mem.Addr(r.pos)), nil
+}
+
+// TestRunShardedOpenErrors: open errors and mid-stream reader errors must
+// surface as the run's error (closing any already-opened readers), and a
+// canceled caller context must win.
+func TestRunShardedOpenErrors(t *testing.T) {
+	geos := []mem.Geometry{mem.MustGeometry(8), mem.MustGeometry(64)}
+	openErr := errors.New("generator exploded")
+
+	// open fails on the second shard.
+	calls := 0
+	open := func() (trace.Reader, error) {
+		calls++
+		if calls > 1 {
+			return nil, openErr
+		}
+		return trace.New(2, trace.L(0, 0)).Reader(), nil
+	}
+	if _, _, err := FusedShardedClassify(context.Background(), open, 2, geos, 4); !errors.Is(err, openErr) {
+		t.Errorf("open error not propagated: %v", err)
+	}
+
+	// A shard's stream fails mid-replay: the real error beats the induced
+	// cancellation of its siblings.
+	streamErr := errors.New("backing store exploded")
+	shard := 0
+	openFail := func() (trace.Reader, error) {
+		shard++
+		if shard == 2 {
+			return &failAfterReader{n: 100, err: streamErr}, nil
+		}
+		return &failAfterReader{n: 5000, err: io.EOF}, nil
+	}
+	if _, _, err := FusedShardedClassify(context.Background(), openFail, 2, geos, 4); !errors.Is(err, streamErr) {
+		t.Errorf("stream error not propagated: %v", err)
+	}
+
+	// Caller cancellation reports the caller's context error.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	openOK := func() (trace.Reader, error) {
+		return &failAfterReader{n: 1 << 20, err: io.EOF}, nil
+	}
+	if _, _, err := FusedShardedClassify(ctx, openOK, 2, geos, 4); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancellation not propagated: %v", err)
+	}
+}

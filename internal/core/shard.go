@@ -122,6 +122,106 @@ func RunShardedContext[C trace.Consumer, R any](
 	return acc, nil
 }
 
+// RunShardedOpen partitions the block space across shards consumers like
+// RunShardedContext, but with shard-native streams instead of a demux: each
+// shard opens its own reader via open (a fresh deterministic generation, or
+// an independent reader over a cached trace) and filters it down to its
+// subsequence with a trace.ShardReader. There is no central pump goroutine
+// and no cross-shard channel traffic — the demux tax the sharded pipeline
+// used to pay. The per-shard streams are identical to the demux's (the
+// ShardReader applies the same routing and broadcast rules), so the merged
+// result is bit-for-bit the same.
+//
+// open must produce equivalent streams on every call. With shards <= 1 a
+// single reader is opened and driven inline — the exact serial path. The
+// first shard failure cancels the siblings; the error priority matches
+// RunShardedContext (the caller's context error first, then the first real
+// failure, then a bare cancellation/stop).
+func RunShardedOpen[C trace.Consumer, R any](
+	ctx context.Context,
+	open func() (trace.Reader, error),
+	shards int,
+	key trace.ShardFunc,
+	newConsumer func(shard int) C,
+	finish func(C) R,
+	merge func(R, R) R,
+) (R, error) {
+	var zero R
+	if shards <= 1 {
+		r, err := open()
+		if err != nil {
+			return zero, err
+		}
+		c := newConsumer(0)
+		if err := trace.DriveContext(ctx, r, c); err != nil {
+			return zero, err
+		}
+		return finish(c), nil
+	}
+
+	readers := make([]trace.Reader, shards)
+	for i := range readers {
+		r, err := open()
+		if err != nil {
+			for _, r := range readers[:i] {
+				trace.CloseReader(r) //nolint:errcheck // error-path cleanup
+			}
+			return zero, err
+		}
+		readers[i] = trace.NewShardReader(r, i, key)
+	}
+	consumers := make([]C, shards)
+	for i := range consumers {
+		consumers[i] = newConsumer(i)
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, shards)
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := trace.DriveContext(runCtx, readers[i], consumers[i]); err != nil {
+				errs[i] = err
+				// First failure cancels the siblings so they stop instead
+				// of classifying a replay that already failed.
+				cancel()
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if e := ctx.Err(); e != nil {
+		return zero, e
+	}
+	// A shard canceled by a sibling's failure reports the derived context's
+	// error; the real failure beats it, like ErrStopped under the demux.
+	var induced error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) || errors.Is(err, trace.ErrStopped) {
+			if induced == nil {
+				induced = err
+			}
+			continue
+		}
+		return zero, err
+	}
+	if induced != nil {
+		return zero, induced
+	}
+
+	acc := finish(consumers[0])
+	for i := 1; i < shards; i++ {
+		acc = merge(acc, finish(consumers[i]))
+	}
+	return acc, nil
+}
+
 // classifyResult pairs a classification's counts with its data-reference
 // denominator so both merge together.
 type classifyResult[K any] struct {

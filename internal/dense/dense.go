@@ -171,10 +171,19 @@ func (a *Arena[T]) Alloc() uint32 {
 		// slab only grows), so it is still zeroed allocator memory.
 		a.slab = a.slab[:n]
 	} else {
-		var zero T
-		for len(a.slab) < n {
-			a.slab = append(a.slab, zero)
+		// Grow in one step: doubling amortizes the copy, and the floor of
+		// 64 cells keeps a cold arena from re-copying through the tiny
+		// early capacities cell by cell.
+		newCap := 2 * cap(a.slab)
+		if floor := 64 * a.cell; newCap < floor {
+			newCap = floor
 		}
+		if newCap < n {
+			newCap = n
+		}
+		grown := make([]T, n, newCap)
+		copy(grown, a.slab)
+		a.slab = grown
 	}
 	return h
 }
@@ -193,6 +202,12 @@ func (a *Arena[T]) Slice(h uint32) []T {
 	i := int(h) * a.cell
 	return a.slab[i : i+a.cell : i+a.cell]
 }
+
+// Slab returns the whole backing slab; cell h occupies elements
+// [h*cell, (h+1)*cell). Hot loops that touch many cells hoist the slab once
+// instead of re-slicing per cell. Like Slice results, the slab is
+// invalidated by the next Alloc.
+func (a *Arena[T]) Slab() []T { return a.slab }
 
 // Cells returns the number of live cells ever allocated, excluding the
 // sentinel and cells currently on the freelist.

@@ -1,0 +1,119 @@
+package dense
+
+// Hier resolves per-level state handles for a hierarchy of nested block
+// granularities with a single fine-granularity map probe. It is the state
+// backbone of the fused multi-configuration replay: block sizes are powers
+// of two, so the blocks of every coarser level nest exactly inside the
+// blocks of the finest level, and a level-l block number is the fine block
+// number shifted right by the level's extra shift.
+//
+// Hier keys everything by the finest block. The steady-state lookup
+// (Handles on an already-seen fine block) is one Map probe plus one Arena
+// slice: the per-level handles for that fine block were resolved on first
+// touch and cached in one arena cell. The per-level coarse maps are only
+// consulted when a fine block is touched for the first time, to decide
+// whether the enclosing coarse block already has state (another fine block
+// inside it was touched earlier) or needs a fresh allocation.
+//
+// Hier does not own the per-level state; the alloc callback allocates it
+// (typically an Arena cell in the caller) and Hier only routes handles.
+// Levels with an extra shift of 0 (the finest level, and any duplicate of
+// it) skip their coarse map entirely: a new fine block is a new level
+// block by definition.
+type Hier struct {
+	// shifts[l] is level l's extra shift: level-l block = fine block >> shifts[l].
+	shifts []uint
+	// fine maps a fine block to its cells-arena handle.
+	fine *Map[uint32]
+	// coarse[l] maps a level-l block to its state handle; nil when
+	// shifts[l] == 0 (the fine map already keys that level exactly).
+	coarse []*Map[uint32]
+	// cells holds one uint32 state handle per level for each fine block.
+	cells *Arena[uint32]
+	// alloc returns a fresh state handle for level l. It must not call
+	// back into this Hier.
+	alloc func(level int) uint32
+}
+
+// NewHier returns a Hier for the given per-level extra shifts (relative to
+// the finest granularity; the finest level has shift 0). alloc is invoked
+// once per new level block to allocate its state. It panics on an empty
+// hierarchy or a nil alloc.
+func NewHier(shifts []uint, alloc func(level int) uint32) *Hier {
+	if len(shifts) == 0 {
+		panic("dense: empty hierarchy")
+	}
+	if alloc == nil {
+		panic("dense: nil hier alloc")
+	}
+	h := &Hier{
+		shifts: append([]uint(nil), shifts...),
+		fine:   NewMap[uint32](0),
+		coarse: make([]*Map[uint32], len(shifts)),
+		cells:  NewArena[uint32](len(shifts)),
+		alloc:  alloc,
+	}
+	for l, s := range shifts {
+		if s > 0 {
+			h.coarse[l] = NewMap[uint32](0)
+		}
+	}
+	return h
+}
+
+// Levels returns the number of levels.
+func (h *Hier) Levels() int { return len(h.shifts) }
+
+// Shift returns level l's extra shift relative to the finest granularity.
+func (h *Hier) Shift(l int) uint { return h.shifts[l] }
+
+// Handles returns the per-level state handles for fine block fb, allocating
+// state for any level block seen for the first time. The returned slice
+// aliases the cell arena: it is valid until the next Handles call that
+// touches a new fine block, and must not be retained.
+func (h *Hier) Handles(fb uint64) []uint32 {
+	cell, existed := h.fine.GetOrPut(fb)
+	if existed {
+		return h.cells.Slice(*cell)
+	}
+	// First touch of this fine block: resolve every level. The alloc
+	// callback and the coarse maps never touch h.fine or h.cells, so the
+	// cell pointer from GetOrPut stays valid across the loop.
+	c := h.cells.Alloc()
+	hs := h.cells.Slice(c)
+	for l, s := range h.shifts {
+		if s == 0 {
+			// A new fine block is a new level block: no coarse probe.
+			hs[l] = h.alloc(l)
+			continue
+		}
+		lh, ok := h.coarse[l].GetOrPut(fb >> s)
+		if !ok {
+			*lh = h.alloc(l)
+		}
+		hs[l] = *lh
+	}
+	*cell = c
+	return hs
+}
+
+// RangeLevel calls fn for every level-l block with allocated state, with
+// the level-l block number and its state handle, in map table order
+// (deterministic for a given insertion sequence). fn must not call Handles.
+func (h *Hier) RangeLevel(l int, fn func(block uint64, handle uint32)) {
+	if h.coarse[l] != nil {
+		h.coarse[l].Range(func(b uint64, v *uint32) { fn(b, *v) })
+		return
+	}
+	h.fine.Range(func(fb uint64, cell *uint32) {
+		fn(fb, h.cells.Slice(*cell)[l])
+	})
+}
+
+// LevelBlocks returns the number of distinct level-l blocks with state.
+func (h *Hier) LevelBlocks(l int) int {
+	if h.coarse[l] != nil {
+		return h.coarse[l].Len()
+	}
+	return h.fine.Len()
+}

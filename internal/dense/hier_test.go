@@ -1,0 +1,146 @@
+package dense
+
+import (
+	"testing"
+)
+
+// newTestHier builds a Hier whose per-level state is a cell in one shared
+// arena, tagging each allocation with its level so tests can check routing.
+func newTestHier(t *testing.T, shifts []uint) (*Hier, *Arena[uint64]) {
+	t.Helper()
+	state := NewArena[uint64](1)
+	h := NewHier(shifts, func(level int) uint32 {
+		hdl := state.Alloc()
+		state.Slice(hdl)[0] = uint64(level)<<32 | uint64(hdl)
+		return hdl
+	})
+	return h, state
+}
+
+func TestHierNesting(t *testing.T) {
+	// Levels: fine (shift 0), 4x coarser (shift 2), 16x coarser (shift 4).
+	h, _ := newTestHier(t, []uint{0, 2, 4})
+	if h.Levels() != 3 {
+		t.Fatalf("Levels() = %d, want 3", h.Levels())
+	}
+	if h.Shift(1) != 2 {
+		t.Fatalf("Shift(1) = %d, want 2", h.Shift(1))
+	}
+
+	// Fine blocks 0..3 share level-1 block 0 and level-2 block 0.
+	first := append([]uint32(nil), h.Handles(0)...)
+	for fb := uint64(1); fb < 4; fb++ {
+		hs := h.Handles(fb)
+		if hs[0] == first[0] {
+			t.Fatalf("fine block %d shares level-0 state with block 0", fb)
+		}
+		if hs[1] != first[1] {
+			t.Fatalf("fine block %d: level-1 handle %d, want shared %d", fb, hs[1], first[1])
+		}
+		if hs[2] != first[2] {
+			t.Fatalf("fine block %d: level-2 handle %d, want shared %d", fb, hs[2], first[2])
+		}
+	}
+	// Fine block 4 starts a new level-1 block but stays in level-2 block 0.
+	hs := h.Handles(4)
+	if hs[1] == first[1] {
+		t.Fatalf("fine block 4 must not share level-1 state with block 0")
+	}
+	if hs[2] != first[2] {
+		t.Fatalf("fine block 4: level-2 handle %d, want shared %d", hs[2], first[2])
+	}
+	// Fine block 16 starts a new block at every level.
+	hs = h.Handles(16)
+	if hs[1] == first[1] || hs[2] == first[2] {
+		t.Fatalf("fine block 16 must not share coarse state with block 0: %v vs %v", hs, first)
+	}
+
+	if got := h.LevelBlocks(0); got != 6 {
+		t.Errorf("LevelBlocks(0) = %d, want 6", got)
+	}
+	if got := h.LevelBlocks(1); got != 3 {
+		t.Errorf("LevelBlocks(1) = %d, want 3", got)
+	}
+	if got := h.LevelBlocks(2); got != 2 {
+		t.Errorf("LevelBlocks(2) = %d, want 2", got)
+	}
+}
+
+func TestHierHandlesStable(t *testing.T) {
+	h, _ := newTestHier(t, []uint{0, 3})
+	want := map[uint64][]uint32{}
+	for fb := uint64(0); fb < 64; fb++ {
+		want[fb] = append([]uint32(nil), h.Handles(fb)...)
+	}
+	// Re-probing returns the same handles in any order.
+	for fb := uint64(63); ; fb-- {
+		got := h.Handles(fb)
+		for l := range got {
+			if got[l] != want[fb][l] {
+				t.Fatalf("fine block %d level %d: handle %d, want %d", fb, l, got[l], want[fb][l])
+			}
+		}
+		if fb == 0 {
+			break
+		}
+	}
+}
+
+func TestHierDuplicateLevels(t *testing.T) {
+	// Duplicate granularities get independent state: two shift-0 levels and
+	// two shift-1 levels must never share handles (the test arena tags
+	// handles with their level, so equal handles would collide anyway).
+	h, state := newTestHier(t, []uint{0, 0, 1, 1})
+	for fb := uint64(0); fb < 8; fb++ {
+		hs := h.Handles(fb)
+		if hs[0] == hs[1] || hs[2] == hs[3] {
+			t.Fatalf("fine block %d: duplicate levels share state: %v", fb, hs)
+		}
+		for l, hdl := range hs {
+			if lvl := state.Slice(hdl)[0] >> 32; int(lvl) != l {
+				t.Fatalf("fine block %d level %d resolved to level-%d state", fb, l, lvl)
+			}
+		}
+	}
+}
+
+func TestHierRangeLevel(t *testing.T) {
+	h, _ := newTestHier(t, []uint{0, 2})
+	handles := map[int]map[uint64]uint32{0: {}, 1: {}}
+	for fb := uint64(0); fb < 10; fb++ {
+		hs := h.Handles(fb)
+		handles[0][fb] = hs[0]
+		handles[1][fb>>2] = hs[1]
+	}
+	for l := 0; l < 2; l++ {
+		seen := map[uint64]uint32{}
+		h.RangeLevel(l, func(b uint64, hdl uint32) {
+			if _, dup := seen[b]; dup {
+				t.Fatalf("level %d block %d visited twice", l, b)
+			}
+			seen[b] = hdl
+		})
+		if len(seen) != len(handles[l]) {
+			t.Fatalf("level %d: ranged %d blocks, want %d", l, len(seen), len(handles[l]))
+		}
+		for b, hdl := range handles[l] {
+			if seen[b] != hdl {
+				t.Fatalf("level %d block %d: ranged handle %d, want %d", l, b, seen[b], hdl)
+			}
+		}
+	}
+}
+
+func TestHierPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("empty hierarchy", func() { NewHier(nil, func(int) uint32 { return 0 }) })
+	mustPanic("nil alloc", func() { NewHier([]uint{0}, nil) })
+}

@@ -72,6 +72,14 @@ type Options struct {
 	// (and a footer note naming the failures) instead of aborting the
 	// driver at the first cell error (the CLI's -keep-going flag).
 	KeepGoing bool
+	// NoFuse disables the fused replay paths (the CLI's -fused=false):
+	// Fig. 5, Fig. 6 and Table 1 fall back to one replay per (workload,
+	// block) or (workload, protocol) cell instead of one fused pass per
+	// workload. The rendered output is byte-identical either way — the
+	// fused differential suite proves the counts equal bit for bit — so
+	// the flag exists for cross-checking and for grids a future consumer
+	// cannot fuse (see coherence.Fusible).
+	NoFuse bool
 }
 
 // Default returns Options writing to out.
@@ -291,6 +299,98 @@ func classifyAll(ctx context.Context, r trace.Reader, procs int, g mem.Geometry,
 			return triCounts{ours: c.oc.Finish(), eggers: c.ec.Finish(), torr: c.tc.Finish(), refs: c.oc.DataRefs()}
 		},
 		mergeTriCounts)
+}
+
+// fused reports whether the drivers should take the fused replay paths.
+func (o Options) fused() bool { return !o.NoFuse }
+
+// fusedTri fans one shard's references to the three fused classifiers, so a
+// whole (workload x blocks) grid row replays its trace exactly once.
+type fusedTri struct {
+	oc *core.FusedClassifier
+	ec *core.FusedEggers
+	tc *core.FusedTorrellas
+}
+
+func newFusedTri(procs int, geos []mem.Geometry) *fusedTri {
+	return &fusedTri{
+		oc: core.NewFusedClassifier(procs, geos),
+		ec: core.NewFusedEggers(procs, geos),
+		tc: core.NewFusedTorrellas(procs, geos),
+	}
+}
+
+func (c *fusedTri) Ref(r trace.Ref) {
+	c.oc.Ref(r)
+	c.ec.Ref(r)
+	c.tc.Ref(r)
+}
+
+// RefBatch implements trace.BatchConsumer.
+func (c *fusedTri) RefBatch(refs []trace.Ref) {
+	c.oc.RefBatch(refs)
+	c.ec.RefBatch(refs)
+	c.tc.RefBatch(refs)
+}
+
+// fusedTriCounts is the merged result of a fusedTri pass: the three
+// schemes' counts at every geometry, plus the shared denominator.
+type fusedTriCounts struct {
+	ours         []core.Counts
+	eggers, torr []core.SharingCounts
+	refs         uint64
+}
+
+func mergeFusedTriCounts(a, b fusedTriCounts) fusedTriCounts {
+	for i := range a.ours {
+		a.ours[i] = a.ours[i].Add(b.ours[i])
+		a.eggers[i] = a.eggers[i].Add(b.eggers[i])
+		a.torr[i] = a.torr[i].Add(b.torr[i])
+	}
+	a.refs += b.refs
+	return a
+}
+
+// classifyAllFused drives the three fused classifiers over shard-native
+// replays of one workload trace: every geometry, every scheme, one pass per
+// shard (shards <= 1 is one serial pass). The block space is partitioned by
+// the coarsest geometry, which is a valid partition at every nested level.
+func classifyAllFused(ctx context.Context, open func() (trace.Reader, error), procs int, geos []mem.Geometry, shards int) (fusedTriCounts, error) {
+	coarse := core.CoarsestGeometry(geos)
+	return core.RunShardedOpen(ctx, open, shards, trace.BlockShard(coarse, shards),
+		func(int) *fusedTri { return newFusedTri(procs, geos) },
+		func(c *fusedTri) fusedTriCounts {
+			return fusedTriCounts{ours: c.oc.Finish(), eggers: c.ec.Finish(), torr: c.tc.Finish(), refs: c.oc.DataRefs()}
+		},
+		mergeFusedTriCounts)
+}
+
+// flattenGroups lays per-group cell slices out on the flat per-cell grid:
+// group gi's cells land at [gi*per, (gi+1)*per). Failed groups (nil slices)
+// leave zero values, which the renderers skip via the expanded failures.
+func flattenGroups[T any](groups [][]T, per int) []T {
+	out := make([]T, len(groups)*per)
+	for gi, g := range groups {
+		copy(out[gi*per:(gi+1)*per], g)
+	}
+	return out
+}
+
+// expandGroupFailures maps the failures of a group-per-workload sweep onto
+// the flat per-cell grid: a failed group marks every one of its cells
+// failed with the group's error, so the keep-going rendering path is the
+// same one the per-cell sweep uses.
+func expandGroupFailures(gFails *sweep.Failures, per int) *sweep.Failures {
+	if gFails == nil {
+		return nil
+	}
+	out := &sweep.Failures{}
+	for _, ce := range gFails.Cells {
+		for j := 0; j < per; j++ {
+			out.Cells = append(out.Cells, &sweep.CellError{Cell: ce.Cell*per + j, Err: ce.Err, Stack: ce.Stack})
+		}
+	}
+	return out
 }
 
 func pct(v float64) string { return fmt.Sprintf("%.2f", v) }

@@ -41,20 +41,49 @@ func Fig5(o Options) error {
 	}
 
 	cache := o.traceCache()
-	cells, fails, err := mapCells(o, len(ws)*len(blocks), func(ctx context.Context, i int) (fig5Cell, error) {
-		w, g := ws[i/len(blocks)], geos[i%len(blocks)]
-		r, err := cache.ReaderContext(ctx, w.Name)
+	var cells []fig5Cell
+	var fails *sweep.Failures
+	if o.fused() {
+		// One fused sweep cell per workload: a single pass (per shard) over
+		// the trace feeds every block size at once.
+		groups, gFails, err := mapCells(o, len(ws), func(ctx context.Context, wi int) ([]fig5Cell, error) {
+			w := ws[wi]
+			src, err := cache.SourceContext(ctx, w.Name)
+			if err != nil {
+				return nil, err
+			}
+			counts, refs, err := core.FusedShardedClassify(ctx, src, w.Procs, geos, o.shardsPerCell())
+			if err != nil {
+				return nil, err
+			}
+			out := make([]fig5Cell, len(geos))
+			for bi := range geos {
+				out[bi] = fig5Cell{counts: counts[bi], refs: refs}
+			}
+			return out, nil
+		})
 		if err != nil {
-			return fig5Cell{}, err
+			return err
 		}
-		counts, refs, err := core.ShardedClassifyContext(ctx, r, g, o.shardsPerCell())
+		cells = flattenGroups(groups, len(blocks))
+		fails = expandGroupFailures(gFails, len(blocks))
+	} else {
+		var err error
+		cells, fails, err = mapCells(o, len(ws)*len(blocks), func(ctx context.Context, i int) (fig5Cell, error) {
+			w, g := ws[i/len(blocks)], geos[i%len(blocks)]
+			r, err := cache.ReaderContext(ctx, w.Name)
+			if err != nil {
+				return fig5Cell{}, err
+			}
+			counts, refs, err := core.ShardedClassifyContext(ctx, r, g, o.shardsPerCell())
+			if err != nil {
+				return fig5Cell{}, err
+			}
+			return fig5Cell{counts: counts, refs: refs}, nil
+		})
 		if err != nil {
-			return fig5Cell{}, err
+			return err
 		}
-		return fig5Cell{counts: counts, refs: refs}, nil
-	})
-	if err != nil {
-		return err
 	}
 
 	fmt.Fprintln(o.Out, "Figure 5: miss classification vs. block size (% of data references)")

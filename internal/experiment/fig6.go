@@ -42,17 +42,48 @@ func Fig6(o Options, blockBytes int) error {
 		}
 	}
 
-	cache := o.traceCache()
-	cells, fails, err := mapCells(o, len(ws)*len(protos), func(ctx context.Context, i int) (coherence.Result, error) {
-		w, proto := ws[i/len(protos)], protos[i%len(protos)]
-		r, err := cache.ReaderContext(ctx, w.Name)
-		if err != nil {
-			return coherence.Result{}, err
+	// The fused path needs every schedule in the row to be a passive
+	// block-keyed consumer; one that is not sends the whole grid back to
+	// per-cell replays (the counts are identical either way).
+	fuse := o.fused()
+	for _, name := range protos {
+		if !coherence.Fusible(name) {
+			fuse = false
 		}
-		return coherence.RunShardedContext(ctx, proto, r, g, o.shardsPerCell())
-	})
-	if err != nil {
-		return err
+	}
+
+	cache := o.traceCache()
+	var cells []coherence.Result
+	var fails *sweep.Failures
+	if fuse {
+		// One fused sweep cell per workload: a single pass (per shard) over
+		// the trace drives every protocol's simulator at once.
+		groups, gFails, err := mapCells(o, len(ws), func(ctx context.Context, wi int) ([]coherence.Result, error) {
+			w := ws[wi]
+			src, err := cache.SourceContext(ctx, w.Name)
+			if err != nil {
+				return nil, err
+			}
+			return coherence.RunProtocolsShardedOpen(ctx, src, w.Procs, g, protos, o.shardsPerCell())
+		})
+		if err != nil {
+			return err
+		}
+		cells = flattenGroups(groups, len(protos))
+		fails = expandGroupFailures(gFails, len(protos))
+	} else {
+		var err error
+		cells, fails, err = mapCells(o, len(ws)*len(protos), func(ctx context.Context, i int) (coherence.Result, error) {
+			w, proto := ws[i/len(protos)], protos[i%len(protos)]
+			r, err := cache.ReaderContext(ctx, w.Name)
+			if err != nil {
+				return coherence.Result{}, err
+			}
+			return coherence.RunShardedContext(ctx, proto, r, g, o.shardsPerCell())
+		})
+		if err != nil {
+			return err
+		}
 	}
 
 	fmt.Fprintf(o.Out, "Figure 6 (B=%d bytes): effect of invalidation scheduling on the miss rate\n", blockBytes)

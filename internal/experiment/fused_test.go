@@ -1,0 +1,54 @@
+package experiment
+
+// Driver-level fused differential: the fused drivers (Fig. 5, Fig. 6,
+// Table 1) must render byte-identical reports with fusion on and off,
+// across the full parallelism x shards matrix — the end-to-end consequence
+// of the fused classifiers' bit-for-bit equivalence.
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fusedDrivers enumerates the drivers with a fused path.
+var fusedDrivers = []struct {
+	name string
+	run  func(Options) error
+}{
+	{"Fig5", func(o Options) error { o.Blocks = []int{8, 64, 1024}; return Fig5(o) }},
+	{"Fig6", func(o Options) error { return Fig6(o, 64) }},
+	{"Table1", Table1},
+}
+
+// TestFusedDriversMatchPerCell: for every fused driver, every (-j, -shards)
+// combination of the fused path renders exactly the serial per-cell
+// report.
+func TestFusedDriversMatchPerCell(t *testing.T) {
+	for _, d := range fusedDrivers {
+		t.Run(d.name, func(t *testing.T) {
+			var want bytes.Buffer
+			o := boundedOpts(&want, 1)
+			o.NoFuse = true
+			if err := d.run(o); err != nil {
+				t.Fatal(err)
+			}
+			for _, par := range []int{1, 8} {
+				for _, shards := range []int{1, 8} {
+					for _, noFuse := range []bool{false, true} {
+						var got bytes.Buffer
+						o := boundedOpts(&got, par)
+						o.Shards = shards
+						o.NoFuse = noFuse
+						if err := d.run(o); err != nil {
+							t.Fatalf("j=%d shards=%d fused=%v: %v", par, shards, !noFuse, err)
+						}
+						if !bytes.Equal(want.Bytes(), got.Bytes()) {
+							t.Errorf("j=%d shards=%d fused=%v output differs from serial per-cell:\n%s\nvs\n%s",
+								par, shards, !noFuse, got.String(), want.String())
+						}
+					}
+				}
+			}
+		})
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mem"
 	"repro/internal/report"
+	"repro/internal/sweep"
 )
 
 // table1Paper holds the counts the paper's Table 1 reports, for side-by-side
@@ -58,20 +59,49 @@ func Table1(o Options) error {
 	}
 
 	cache := o.traceCache()
-	cells, fails, err := mapCells(o, len(ws)*len(blocks), func(ctx context.Context, i int) (table1Cell, error) {
-		w, g := ws[i/len(blocks)], geos[i%len(blocks)]
-		r, err := cache.ReaderContext(ctx, w.Name)
+	var cells []table1Cell
+	var fails *sweep.Failures
+	if o.fused() {
+		// One fused sweep cell per workload: both block sizes and all three
+		// schemes off one pass (per shard) over the trace.
+		groups, gFails, err := mapCells(o, len(ws), func(ctx context.Context, wi int) ([]table1Cell, error) {
+			w := ws[wi]
+			src, err := cache.SourceContext(ctx, w.Name)
+			if err != nil {
+				return nil, err
+			}
+			tri, err := classifyAllFused(ctx, src, w.Procs, geos, o.shardsPerCell())
+			if err != nil {
+				return nil, err
+			}
+			out := make([]table1Cell, len(geos))
+			for bi := range geos {
+				out[bi] = table1Cell{ours: tri.ours[bi], eggers: tri.eggers[bi], torr: tri.torr[bi]}
+			}
+			return out, nil
+		})
 		if err != nil {
-			return table1Cell{}, err
+			return err
 		}
-		tri, err := classifyAll(ctx, r, w.Procs, g, o.shardsPerCell())
+		cells = flattenGroups(groups, len(blocks))
+		fails = expandGroupFailures(gFails, len(blocks))
+	} else {
+		var err error
+		cells, fails, err = mapCells(o, len(ws)*len(blocks), func(ctx context.Context, i int) (table1Cell, error) {
+			w, g := ws[i/len(blocks)], geos[i%len(blocks)]
+			r, err := cache.ReaderContext(ctx, w.Name)
+			if err != nil {
+				return table1Cell{}, err
+			}
+			tri, err := classifyAll(ctx, r, w.Procs, g, o.shardsPerCell())
+			if err != nil {
+				return table1Cell{}, err
+			}
+			return table1Cell{ours: tri.ours, eggers: tri.eggers, torr: tri.torr}, nil
+		})
 		if err != nil {
-			return table1Cell{}, err
+			return err
 		}
-		return table1Cell{ours: tri.ours, eggers: tri.eggers, torr: tri.torr}, nil
-	})
-	if err != nil {
-		return err
 	}
 
 	fmt.Fprintln(o.Out, "Table 1: miss counts under the three classifications")

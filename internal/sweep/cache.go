@@ -94,6 +94,28 @@ func (c *TraceCache) Reader(name string) (trace.Reader, error) {
 // aborted by cancellation does not poison the entry — the next caller
 // (e.g. a resumed run over the same cache) retries it.
 func (c *TraceCache) ReaderContext(ctx context.Context, name string) (trace.Reader, error) {
+	src, err := c.SourceContext(ctx, name)
+	if err != nil {
+		return nil, err
+	}
+	return src()
+}
+
+// Source returns a factory of independent, equivalent readers over the
+// named trace; see SourceContext.
+func (c *TraceCache) Source(name string) (func() (trace.Reader, error), error) {
+	return c.SourceContext(context.Background(), name)
+}
+
+// SourceContext resolves the named trace once — materializing it on first
+// use exactly like ReaderContext — and returns a factory that opens
+// independent readers over the resolved source: replays of the in-memory
+// copy when the trace fits the budget, fresh streams from the Opener
+// otherwise. The cache counts one event (hit, miss, or streamed) per
+// SourceContext call no matter how many readers the factory opens, so the
+// shard-native pipelines that open one reader per shard observe the same
+// deterministic cache metrics as a single serial replay.
+func (c *TraceCache) SourceContext(ctx context.Context, name string) (func() (trace.Reader, error), error) {
 	c.mu.Lock()
 	e, ok := c.entries[name]
 	if ok {
@@ -116,11 +138,12 @@ func (c *TraceCache) ReaderContext(ctx context.Context, name string) (trace.Read
 		if e.tr == nil {
 			c.streamed.Add(1)
 			mCacheStreamed.Inc()
-			return c.open(name)
+			return func() (trace.Reader, error) { return c.open(name) }, nil
 		}
 		c.hits.Add(1)
 		mCacheHits.Inc()
-		return e.tr.Reader(), nil
+		tr := e.tr
+		return func() (trace.Reader, error) { return tr.Reader(), nil }, nil
 	}
 
 	e = &cacheEntry{ready: make(chan struct{})}
@@ -153,12 +176,15 @@ func (c *TraceCache) ReaderContext(ctx context.Context, name string) (trace.Read
 	}
 	if e.tr == nil {
 		// Over budget: the partial materialization was abandoned, so this
-		// caller streams a fresh generation like every later one.
+		// caller streams fresh generations like every later one. The
+		// fallback counts once here; the factory's streams do not count
+		// again.
 		c.streamed.Add(1)
 		mCacheStreamed.Inc()
-		return c.open(name)
+		return func() (trace.Reader, error) { return c.open(name) }, nil
 	}
-	return e.tr.Reader(), nil
+	cached := e.tr
+	return func() (trace.Reader, error) { return cached.Reader(), nil }, nil
 }
 
 // materialize drains up to maxRefs references of a fresh stream into

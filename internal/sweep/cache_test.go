@@ -165,6 +165,100 @@ func TestTraceCacheOpenerError(t *testing.T) {
 	}
 }
 
+// TestTraceCacheSourceCountsOnce: a Source call resolves the trace and
+// counts exactly one cache event, however many readers its factory opens —
+// the contract that keeps cache metrics shard-invariant on the shard-native
+// fused path.
+func TestTraceCacheSourceCountsOnce(t *testing.T) {
+	var calls atomic.Int64
+	tr := testTrace(4, 6)
+	c := NewTraceCache(0, openerFor(map[string]*trace.Trace{"T": tr}, &calls))
+
+	// Miss + 8 factory readers: one opener call, one miss, no hits.
+	src, err := c.Source("T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		r, err := src()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := trace.Collect(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Refs, tr.Refs) {
+			t.Fatalf("factory reader %d replayed different refs", i)
+		}
+	}
+	if s := c.Stats(); s.Misses != 1 || s.Hits != 0 || s.Streamed != 0 {
+		t.Errorf("after miss-source: stats = %+v, want 1 miss only", c.Stats())
+	}
+	if n := calls.Load(); n != 1 {
+		t.Errorf("opener called %d times, want 1", n)
+	}
+
+	// Hit + 8 factory readers: one hit, still one opener call.
+	src, err = c.Source("T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := src(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := c.Stats(); s.Misses != 1 || s.Hits != 1 {
+		t.Errorf("after hit-source: stats = %+v, want 1 miss, 1 hit", s)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Errorf("opener called %d times after hit source, want 1", n)
+	}
+}
+
+// TestTraceCacheSourceOverBudget: an over-budget Source counts one streamed
+// fallback and its factory opens fresh generations without further events.
+func TestTraceCacheSourceOverBudget(t *testing.T) {
+	var calls atomic.Int64
+	tr := testTrace(4, 7)
+	c := NewTraceCache(int64(tr.Len())-1, openerFor(map[string]*trace.Trace{"T": tr}, &calls))
+
+	src, err := c.Source("T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		r, err := src()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := trace.Collect(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Len() != tr.Len() {
+			t.Fatalf("factory stream %d saw %d refs, want %d", i, got.Len(), tr.Len())
+		}
+	}
+	s := c.Stats()
+	if s.Misses != 1 || s.Streamed != 1 || s.CachedRefs != 0 {
+		t.Errorf("stats = %+v, want 1 miss, 1 streamed, nothing cached", s)
+	}
+	// One abandoned materialization + four factory streams.
+	if n := calls.Load(); n != 5 {
+		t.Errorf("opener called %d times, want 5", n)
+	}
+
+	// A second Source over the settled entry counts one more streamed event.
+	if _, err := c.Source("T"); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.Streamed != 2 {
+		t.Errorf("Streamed = %d after second source, want 2", s.Streamed)
+	}
+}
+
 // TestCacheInvarianceProperty is the cache's core contract as a property:
 // classifying a trace through the cache — whatever the budget, and whether
 // the reader is the materializing call, a cache hit, or a stream fallback —

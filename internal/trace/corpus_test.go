@@ -120,6 +120,17 @@ func seedCorpora(t testing.TB) map[string][]string {
 			corpusEntry(bytes.Repeat([]byte{3, 1, 8, 0, 2, 8, 7, 0, 0}, 16), uint8(5), uint8(63)), // contended block with phases
 			corpusEntry([]byte{3, 0, 0, 0, 1, 0, 3, 1, 0, 0, 0, 0}, uint8(0), uint8(8)),           // ping-pong on one block
 		},
+		// FuzzFusedEquivalence (external test package, fused_fuzz_test.go)
+		// decodes the same 3-byte records; geoRaw's low six bits select the
+		// nested geometry set (4..128-byte blocks) and bit 6 duplicates a
+		// level, so the hierarchical fused state sees every nesting shape.
+		"FuzzFusedEquivalence": {
+			corpusEntry([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8}, uint8(3), uint8(0b1011), uint8(2)),
+			corpusEntry([]byte{5, 0, 9, 0, 1, 9, 6, 0, 9}, uint8(1), uint8(0b100001), uint8(7)), // finest+coarsest only
+			corpusEntry([]byte{}, uint8(0), uint8(0), uint8(0)),
+			corpusEntry(bytes.Repeat([]byte{3, 1, 8, 0, 2, 8, 7, 0, 0}, 16), uint8(5), uint8(0b1111111), uint8(63)), // all levels + duplicate
+			corpusEntry([]byte{3, 0, 0, 0, 1, 0, 3, 1, 0, 0, 0, 0}, uint8(0), uint8(0b100), uint8(8)),               // ping-pong, single level
+		},
 	}
 }
 

@@ -1,0 +1,100 @@
+package trace
+
+// ShardReader filters one trace stream down to a single shard's
+// subsequence, applying exactly the demux routing rules: data references
+// are kept iff the ShardFunc routes them to this shard, synchronization and
+// phase references are always kept, and the kept references preserve
+// stream order. N ShardReaders over N equivalent streams therefore produce
+// the same per-shard streams as one Demux over one stream — without the
+// central pump goroutine or its channel hops.
+//
+// This is the generation path of the fused replay engine: the workload
+// generators are deterministic, so each shard consumer can drive its own
+// generation (or its own reader over a cached trace) through a ShardReader
+// instead of competing for a demux. ShardReader implements BatchReader
+// (filtering whole source batches per call) and io.Closer (closing the
+// source, which stops a generator-backed stream promptly).
+type ShardReader struct {
+	src   Reader
+	br    BatchReader // non-nil when src batches
+	shard int
+	key   ShardFunc
+	buf   []Ref
+}
+
+// NewShardReader returns a ShardReader over src for the given shard. It
+// panics if key is nil or shard is negative.
+func NewShardReader(src Reader, shard int, key ShardFunc) *ShardReader {
+	if key == nil {
+		panic("trace: nil ShardFunc")
+	}
+	if shard < 0 {
+		panic("trace: negative shard index")
+	}
+	br, _ := src.(BatchReader)
+	return &ShardReader{src: src, br: br, shard: shard, key: key}
+}
+
+// NumProcs implements Reader.
+func (s *ShardReader) NumProcs() int { return s.src.NumProcs() }
+
+// keep reports whether the shard's stream includes r.
+func (s *ShardReader) keep(r Ref) bool {
+	return !r.Kind.IsData() || s.key(r) == s.shard
+}
+
+// Next implements Reader.
+func (s *ShardReader) Next() (Ref, error) {
+	for {
+		r, err := s.src.Next()
+		if err != nil {
+			return Ref{}, err
+		}
+		if s.keep(r) {
+			return r, nil
+		}
+	}
+}
+
+// NextBatch implements BatchReader: it reads source batches and compacts
+// the shard's subsequence into buf, returning as soon as at least one
+// reference is kept. Like every BatchReader, the prefix is valid even when
+// err is non-nil.
+func (s *ShardReader) NextBatch(buf []Ref) (int, error) {
+	if len(buf) == 0 {
+		return 0, nil
+	}
+	if s.buf == nil {
+		s.buf = make([]Ref, driveBatch)
+	}
+	for {
+		// Read at most len(buf) source refs so the kept subsequence always
+		// fits the caller's buffer.
+		in := s.buf
+		if len(buf) < len(in) {
+			in = in[:len(buf)]
+		}
+		var cnt int
+		var err error
+		if s.br != nil {
+			cnt, err = s.br.NextBatch(in)
+		} else {
+			cnt, err = fill(s.src, in)
+		}
+		n := 0
+		for _, r := range in[:cnt] {
+			if s.keep(r) {
+				buf[n] = r
+				n++
+			}
+		}
+		if err != nil || n > 0 {
+			return n, err
+		}
+	}
+}
+
+// Close implements io.Closer by closing the source reader (stopping a
+// generator-backed source promptly). Closing a source that does not
+// implement io.Closer is a no-op.
+func (s *ShardReader) Close() error { return CloseReader(s.src) }

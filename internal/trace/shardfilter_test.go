@@ -1,0 +1,148 @@
+package trace
+
+// ShardReader tests: the shard-native filter must reproduce, shard by
+// shard, exactly the streams a Demux fans out of one equivalent source —
+// same routing, same broadcast order for sync/phase references — on both
+// the Next and NextBatch paths, and its Close must propagate to the source.
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// TestShardReaderMatchesDemux is the core shard-native generation
+// differential: for every shard, a ShardReader over an independent reader
+// of the trace yields the identical ref sequence to the demux's shard
+// stream.
+func TestShardReaderMatchesDemux(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomDemuxTrace(rng, 4, 3000)
+		g := mem.MustGeometry(16)
+		const n = 4
+		key := BlockShard(g, n)
+
+		d := NewDemux(tr.Reader(), n, key)
+		for i := 0; i < n; i++ {
+			want := collectShard(t, d.Shard(i))
+			got := collectShard(t, NewShardReader(tr.Reader(), i, key))
+			if len(got) != len(want) {
+				t.Fatalf("seed %d shard %d: ShardReader %d refs, demux %d", seed, i, len(got), len(want))
+			}
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("seed %d shard %d ref %d: ShardReader %v, demux %v", seed, i, j, got[j], want[j])
+				}
+			}
+		}
+		if err := d.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestShardReaderBatchMatchesNext: the NextBatch path must produce the same
+// subsequence as the Next path, for both batched and unbatched sources, at
+// awkward buffer sizes.
+func TestShardReaderBatchMatchesNext(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := randomDemuxTrace(rng, 4, 2500)
+	g := mem.MustGeometry(8)
+	const n = 3
+	key := BlockShard(g, n)
+
+	for shard := 0; shard < n; shard++ {
+		want := collectShard(t, NewShardReader(tr.Reader(), shard, key))
+		for _, bufSize := range []int{1, 7, driveBatch, 5000} {
+			for _, batched := range []bool{true, false} {
+				var src Reader = tr.Reader()
+				if !batched {
+					src = unbatchedReader{src}
+				}
+				sr := NewShardReader(src, shard, key)
+				var got []Ref
+				buf := make([]Ref, bufSize)
+				for {
+					cnt, err := sr.NextBatch(buf)
+					got = append(got, buf[:cnt]...)
+					if err == io.EOF {
+						break
+					}
+					if err != nil {
+						t.Fatal(err)
+					}
+				}
+				if len(got) != len(want) {
+					t.Fatalf("shard %d buf %d batched %v: %d refs, want %d",
+						shard, bufSize, batched, len(got), len(want))
+				}
+				for j := range want {
+					if got[j] != want[j] {
+						t.Fatalf("shard %d buf %d batched %v ref %d: got %v, want %v",
+							shard, bufSize, batched, j, got[j], want[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// unbatchedReader hides a source's NextBatch to force the per-ref path.
+type unbatchedReader struct{ r Reader }
+
+func (u unbatchedReader) NumProcs() int      { return u.r.NumProcs() }
+func (u unbatchedReader) Next() (Ref, error) { return u.r.Next() }
+
+// TestShardReaderZeroBuf: a zero-length NextBatch buffer returns (0, nil)
+// without consuming the source.
+func TestShardReaderZeroBuf(t *testing.T) {
+	tr := New(2, L(0, 0), L(1, 1))
+	sr := NewShardReader(tr.Reader(), 0, func(Ref) int { return 0 })
+	if n, err := sr.NextBatch(nil); n != 0 || err != nil {
+		t.Fatalf("NextBatch(nil) = %d, %v; want 0, nil", n, err)
+	}
+	if got := collectShard(t, sr); len(got) != 2 {
+		t.Fatalf("stream consumed by empty NextBatch: %d refs left, want 2", len(got))
+	}
+}
+
+// TestShardReaderCloseAndErrors: Close reaches the source, a source error
+// surfaces, and the constructor rejects bad arguments.
+func TestShardReaderCloseAndErrors(t *testing.T) {
+	src := &errAfterReader{n: 10, err: io.EOF}
+	sr := NewShardReader(src, 0, func(Ref) int { return 0 })
+	if sr.NumProcs() != src.NumProcs() {
+		t.Fatalf("NumProcs = %d, want %d", sr.NumProcs(), src.NumProcs())
+	}
+	if err := sr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !src.closed {
+		t.Error("source not closed through ShardReader.Close")
+	}
+
+	srcErr := io.ErrUnexpectedEOF
+	sr = NewShardReader(&errAfterReader{n: 3, err: srcErr}, 1, func(Ref) int { return 0 })
+	var err error
+	for err == nil {
+		_, err = sr.Next()
+	}
+	if err != srcErr {
+		t.Fatalf("source error not propagated: got %v", err)
+	}
+
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("nil key", func() { NewShardReader(New(1).Reader(), 0, nil) })
+	mustPanic("negative shard", func() { NewShardReader(New(1).Reader(), -1, func(Ref) int { return 0 }) })
+}
