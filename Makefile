@@ -89,6 +89,7 @@ fuzz:
 	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzClassifierRobustness -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzShardedEquivalence -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzFusedEquivalence -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/tracestore -run '^$$' -fuzz FuzzTracestoreRoundtrip -fuzztime $(FUZZTIME)
 
 # All benchmarks across every package: the root paper-artifact benchmarks,
 # the perfbench harness workloads, and the internal/dense + internal/trace

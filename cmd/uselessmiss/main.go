@@ -27,7 +27,8 @@
 //	selfcheck  verify the paper's structural identities on any trace
 //	classify   classify one workload or trace file at one block size
 //	protocols  run protocol simulators over one workload or trace file
-//	tracegen   write a workload's trace to a file
+//	trace      packed trace-store tooling: pack, info, cat
+//	tracegen   write a workload's trace to a file (v2 stream codec)
 //	traceinfo  summarize a trace file
 //
 // Run 'uselessmiss <subcommand> -h' for the flags of each subcommand.

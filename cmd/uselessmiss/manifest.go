@@ -7,6 +7,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+
+	"repro/internal/tracestore"
 )
 
 // The regen checkpoint manifest records, per artifact, the SHA-256 and size
@@ -25,11 +27,25 @@ type manifest struct {
 	Version   int                      `json:"version"`
 	Quick     bool                     `json:"quick"`
 	Artifacts map[string]manifestEntry `json:"artifacts"`
+	// Traces checkpoints the packed trace files of a -trace-out run, keyed
+	// by workload name.
+	Traces map[string]manifestTrace `json:"traces,omitempty"`
 }
 
 type manifestEntry struct {
 	SHA256 string `json:"sha256"`
 	Bytes  int64  `json:"bytes"`
+}
+
+// manifestTrace records a packed trace: the format version it was written
+// with and the TOC content hash (which covers every segment's CRC, so
+// verifying it re-validates the whole file's index cheaply at Open).
+type manifestTrace struct {
+	FormatVersion int    `json:"format_version"`
+	Segments      int    `json:"segments"`
+	Refs          uint64 `json:"refs"`
+	Bytes         int64  `json:"bytes"`
+	TOCSHA256     string `json:"toc_sha256"`
 }
 
 // loadManifest reads dir's manifest. A missing file, unreadable JSON, or a
@@ -46,6 +62,9 @@ func loadManifest(dir string, quick bool) *manifest {
 	if json.Unmarshal(data, &m) != nil || m.Version != manifestVersion ||
 		m.Quick != quick || m.Artifacts == nil {
 		return fresh
+	}
+	if m.Traces == nil {
+		m.Traces = map[string]manifestTrace{}
 	}
 	return &m
 }
@@ -71,6 +90,37 @@ func (m *manifest) upToDate(dir, file string) bool {
 // record checkpoints one completed artifact.
 func (m *manifest) record(file, sum string, n int64) {
 	m.Artifacts[file] = manifestEntry{SHA256: sum, Bytes: n}
+}
+
+// recordTrace checkpoints one packed trace file.
+func (m *manifest) recordTrace(name string, s tracestore.PackStats) {
+	if m.Traces == nil {
+		m.Traces = map[string]manifestTrace{}
+	}
+	m.Traces[name] = manifestTrace{
+		FormatVersion: tracestore.FormatVersion,
+		Segments:      s.Segments,
+		Refs:          s.Refs,
+		Bytes:         s.Bytes,
+		TOCSHA256:     s.TOCDigest,
+	}
+}
+
+// traceUpToDate reports whether the packed trace at path matches the
+// checkpoint for name: same format version, and a file whose size and TOC
+// digest (verified by Open along with the TOC CRC) agree with the record.
+func (m *manifest) traceUpToDate(path, name string) bool {
+	e, ok := m.Traces[name]
+	if !ok || e.FormatVersion != tracestore.FormatVersion {
+		return false
+	}
+	f, err := tracestore.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	return f.TOCDigest() == e.TOCSHA256 && f.Size() == e.Bytes &&
+		f.NumRefs() == e.Refs && len(f.Segments()) == e.Segments
 }
 
 // save writes the manifest atomically.

@@ -14,6 +14,8 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/sweep"
 	"repro/internal/timing"
+	"repro/internal/tracestore"
+	"repro/internal/workload"
 )
 
 // cmdRegen regenerates every paper artifact (and the extension studies)
@@ -29,6 +31,7 @@ func cmdRegen(ctx context.Context, args []string, out io.Writer) error {
 	shards := fs.Int("shards", 0, "block shards per cell (0 or 1 = serial; output is identical at any value)")
 	keepGoing := fs.Bool("keep-going", false, "render partial artifacts with failed sweep cells marked FAILED instead of aborting (exit code 3)")
 	resume := fs.Bool("resume", false, "skip artifacts whose manifest checkpoint matches the file on disk")
+	traceOut := fs.String("trace-out", "", "pack every workload's trace into this directory first, then replay all artifacts out-of-core from the packed files")
 	timeout := fs.Duration("timeout", 0, "abort the run after this duration, like an interrupt (0 = no limit)")
 	prof := addProfileFlags(fs)
 	in := addObsFlags(fs)
@@ -45,7 +48,7 @@ func cmdRegen(ctx context.Context, args []string, out io.Writer) error {
 	}
 	cfg := regenConfig{
 		dir: *dir, quick: *quick, par: *par, shards: *shards,
-		keepGoing: *keepGoing, resume: *resume,
+		keepGoing: *keepGoing, resume: *resume, traceOut: *traceOut,
 	}
 	return prof.around(in.around(func() error { return regenAll(ctx, cfg, out) }))
 }
@@ -56,6 +59,8 @@ type regenConfig struct {
 	quick, keepGoing bool
 	resume           bool
 	par, shards      int
+	traceOut         string
+	traces           *experiment.TraceFileSet
 }
 
 // regenArtifact is one entry of the regeneration list: the output file name
@@ -94,8 +99,17 @@ var regenArtifacts = []regenArtifact{
 // an interrupt can never leave a truncated artifact that looks complete.
 func regenAll(ctx context.Context, cfg regenConfig, out io.Writer) error {
 	m := loadManifest(cfg.dir, cfg.quick)
+	if cfg.traceOut != "" {
+		files, err := packTraces(ctx, cfg, m, out)
+		if err != nil {
+			return err
+		}
+		defer files.Close() //nolint:errcheck // read-only handles
+		cfg.traces = files
+	}
 	// One trace cache for the whole run: each workload's trace is
-	// materialized once and replayed by every artifact that wants it.
+	// materialized once and replayed by every artifact that wants it (when
+	// -trace-out is set, the cache streams from the packed files instead).
 	cache := experiment.NewTraceCache()
 	partial := false
 	for _, a := range regenArtifacts {
@@ -130,6 +144,47 @@ func regenAll(ctx context.Context, cfg regenConfig, out io.Writer) error {
 	return nil
 }
 
+// packTraces packs every workload the run will replay (the small data sets
+// under -quick, all registered workloads otherwise) into cfg.traceOut, one
+// file per workload via temp file + rename, checkpointing each in the
+// manifest. With -resume, a file whose size and TOC digest match its
+// checkpoint is kept. The opened set is returned for the artifact replays.
+func packTraces(ctx context.Context, cfg regenConfig, m *manifest, out io.Writer) (*experiment.TraceFileSet, error) {
+	if err := os.MkdirAll(cfg.traceOut, 0o755); err != nil {
+		return nil, err
+	}
+	names := workload.Names()
+	if cfg.quick {
+		names = workload.SmallSet()
+	}
+	specs := make(map[string]string, len(names))
+	for _, name := range names {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		path := filepath.Join(cfg.traceOut, name+".umt")
+		specs[name] = path
+		if cfg.resume && m.traceUpToDate(path, name) {
+			fmt.Fprintf(out, "skipped %s (up to date)\n", path)
+			continue
+		}
+		w, err := workload.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		stats, err := w.PackFile(path, tracestore.WriterOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("pack %s: %w", name, err)
+		}
+		m.recordTrace(name, stats)
+		if err := m.save(cfg.dir); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(out, "packed %s (%d refs, %d bytes)\n", path, stats.Refs, stats.Bytes)
+	}
+	return experiment.OpenTraceFiles(specs)
+}
+
 // writeArtifact renders one artifact into a temp file (hashing the bytes as
 // they stream) and renames it into place unless the driver failed outright.
 // A keep-going partial report is renamed too — the table is valid, just
@@ -147,7 +202,7 @@ func writeArtifact(ctx context.Context, path string, cfg regenConfig,
 	count := &countingWriter{w: io.MultiWriter(tmp, h)}
 	o := experiment.Options{
 		Out: count, Quick: cfg.quick, Parallelism: cfg.par, Shards: cfg.shards,
-		Cache: cache, Ctx: ctx, KeepGoing: cfg.keepGoing,
+		Cache: cache, Ctx: ctx, KeepGoing: cfg.keepGoing, TraceFiles: cfg.traces,
 	}
 	runErr := run(o)
 	closeErr := tmp.Close()

@@ -17,6 +17,7 @@ import (
 	"repro/internal/report"
 	"repro/internal/timing"
 	"repro/internal/trace"
+	"repro/internal/tracestore"
 	"repro/internal/workload"
 )
 
@@ -32,7 +33,7 @@ func run(args []string, out io.Writer) error {
 // context.Canceled (or DeadlineExceeded) to the caller.
 func runContext(ctx context.Context, args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("missing subcommand (try 'list', 'table1', 'table2', 'fig5', 'fig6', 'large', 'traffic', 'finite', 'ablate', 'compare', 'penalty', 'hotspots', 'phases', 'bench', 'regen', 'selfcheck', 'classify', 'protocols', 'tracegen', 'traceinfo')")
+		return fmt.Errorf("missing subcommand (try 'list', 'table1', 'table2', 'fig5', 'fig6', 'large', 'traffic', 'finite', 'ablate', 'compare', 'penalty', 'hotspots', 'phases', 'bench', 'regen', 'selfcheck', 'classify', 'protocols', 'trace', 'tracegen', 'traceinfo')")
 	}
 	cmd, rest := args[0], args[1:]
 	switch cmd {
@@ -72,6 +73,8 @@ func runContext(ctx context.Context, args []string, out io.Writer) error {
 		return cmdClassify(ctx, rest, out)
 	case "protocols":
 		return cmdProtocols(ctx, rest, out)
+	case "trace":
+		return cmdTrace(ctx, rest, out)
 	case "tracegen":
 		return cmdTracegen(rest, out)
 	case "traceinfo":
@@ -123,6 +126,7 @@ type expFlags struct {
 	quick, csv, keepGoing *bool
 	fused                 *bool
 	workloads, protocols  *string
+	traceFiles            *string
 	par, shards           *int
 	timeout               *time.Duration
 	prof                  *profiler
@@ -140,6 +144,7 @@ func experimentFlags(fs *flag.FlagSet) *expFlags {
 	ef.shards = fs.Int("shards", 0, "block shards per cell (0 or 1 = serial; output is identical at any value)")
 	ef.keepGoing = fs.Bool("keep-going", false, "render a partial report with failed sweep cells marked FAILED instead of aborting (exit code 3)")
 	ef.fused = fs.Bool("fused", true, "replay each workload once per grid row, feeding all block sizes and schemes from one pass (false = one replay per cell; output is identical)")
+	ef.traceFiles = fs.String("trace-file", "", "replay workloads from packed trace files: comma-separated NAME=PATH bindings (see 'trace pack'); bound workloads stream out-of-core instead of regenerating")
 	ef.timeout = fs.Duration("timeout", 0, "abort the run after this duration, like an interrupt (0 = no limit)")
 	ef.prof = addProfileFlags(fs)
 	ef.in = addObsFlags(fs)
@@ -147,10 +152,25 @@ func experimentFlags(fs *flag.FlagSet) *expFlags {
 }
 
 // options builds the experiment Options for one invocation, deriving the
-// run context from ctx and -timeout. The caller must defer cancel so a
-// timeout timer never outlives its run.
-func (ef *expFlags) options(ctx context.Context, out io.Writer) (experiment.Options, context.CancelFunc) {
+// run context from ctx and -timeout and opening any -trace-file bindings.
+// The caller must defer the cleanup so a timeout timer or an open trace
+// file never outlives its run.
+func (ef *expFlags) options(ctx context.Context, out io.Writer) (experiment.Options, func(), error) {
+	specs, err := parseTraceFileSpecs(*ef.traceFiles)
+	if err != nil {
+		return experiment.Options{}, nil, err
+	}
+	var files *experiment.TraceFileSet
+	if len(specs) > 0 {
+		if files, err = experiment.OpenTraceFiles(specs); err != nil {
+			return experiment.Options{}, nil, err
+		}
+	}
 	ctx, cancel := ef.withTimeout(ctx)
+	cleanup := func() {
+		cancel()
+		files.Close() //nolint:errcheck // read-only handles; nothing to lose
+	}
 	return experiment.Options{
 		Out: out, Quick: *ef.quick, CSV: *ef.csv,
 		Workloads:   splitList(*ef.workloads),
@@ -160,7 +180,29 @@ func (ef *expFlags) options(ctx context.Context, out io.Writer) (experiment.Opti
 		Ctx:         ctx,
 		KeepGoing:   *ef.keepGoing,
 		NoFuse:      !*ef.fused,
-	}, cancel
+		TraceFiles:  files,
+	}, cleanup, nil
+}
+
+// parseTraceFileSpecs splits a -trace-file value ("NAME=PATH,NAME=PATH")
+// into its bindings.
+func parseTraceFileSpecs(s string) (map[string]string, error) {
+	parts := splitList(s)
+	if len(parts) == 0 {
+		return nil, nil
+	}
+	specs := make(map[string]string, len(parts))
+	for _, part := range parts {
+		name, path, ok := strings.Cut(part, "=")
+		if !ok || name == "" || path == "" {
+			return nil, fmt.Errorf("bad -trace-file binding %q (want NAME=PATH)", part)
+		}
+		if _, dup := specs[name]; dup {
+			return nil, fmt.Errorf("duplicate -trace-file binding for %s", name)
+		}
+		specs[name] = path
+	}
+	return specs, nil
 }
 
 // withTimeout tightens ctx with the -timeout flag. Expiry behaves exactly
@@ -184,8 +226,11 @@ func cmdExperiment(ctx context.Context, args []string, out io.Writer, which stri
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	o, cancel := ef.options(ctx, out)
-	defer cancel()
+	o, cleanup, err := ef.options(ctx, out)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
 	return ef.around(func() error {
 		switch which {
 		case "table1":
@@ -209,8 +254,11 @@ func cmdCompare(ctx context.Context, args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	o, cancel := ef.options(ctx, out)
-	defer cancel()
+	o, cleanup, err := ef.options(ctx, out)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
 	return ef.around(func() error { return experiment.Compare(o, *block) })
 }
 
@@ -222,8 +270,11 @@ func cmdPhases(ctx context.Context, args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	o, cancel := ef.options(ctx, out)
-	defer cancel()
+	o, cleanup, err := ef.options(ctx, out)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
 	return ef.around(func() error { return experiment.Phases(o, *block, *buckets) })
 }
 
@@ -234,8 +285,11 @@ func cmdHotspots(ctx context.Context, args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	o, cancel := ef.options(ctx, out)
-	defer cancel()
+	o, cleanup, err := ef.options(ctx, out)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
 	return ef.around(func() error { return experiment.Hotspots(o, *block) })
 }
 
@@ -248,8 +302,11 @@ func cmdPenalty(ctx context.Context, args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	o, cancel := ef.options(ctx, out)
-	defer cancel()
+	o, cleanup, err := ef.options(ctx, out)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
 	m := timing.Model{RefCycles: 1, MissPenalty: *missPenalty, SyncCycles: *syncCycles}
 	return ef.around(func() error { return experiment.Penalty(o, *block, m) })
 }
@@ -262,8 +319,11 @@ func cmdFinite(ctx context.Context, args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	o, cancel := ef.options(ctx, out)
-	defer cancel()
+	o, cleanup, err := ef.options(ctx, out)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
 	return ef.around(func() error { return experiment.FiniteSweep(o, *block, *assoc) })
 }
 
@@ -275,8 +335,11 @@ func cmdAblate(ctx context.Context, args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	o, cancel := ef.options(ctx, out)
-	defer cancel()
+	o, cleanup, err := ef.options(ctx, out)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
 	return ef.around(func() error {
 		switch *what {
 		case "cu":
@@ -302,8 +365,11 @@ func cmdFig5(ctx context.Context, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	o, cancel := ef.options(ctx, out)
-	defer cancel()
+	o, cleanup, err := ef.options(ctx, out)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
 	o.Blocks = blockList
 	return ef.around(func() error { return experiment.Fig5(o) })
 }
@@ -315,12 +381,17 @@ func cmdFig6(ctx context.Context, args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	o, cancel := ef.options(ctx, out)
-	defer cancel()
+	o, cleanup, err := ef.options(ctx, out)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
 	return ef.around(func() error { return experiment.Fig6(o, *block) })
 }
 
 // openTrace returns a reader for either a named workload or a trace file.
+// Files are sniffed by magic: packed trace-store files (see 'trace pack')
+// replay out-of-core; anything else decodes as the v2 stream codec.
 func openTrace(workloadName, file string) (trace.Reader, error) {
 	switch {
 	case workloadName != "" && file != "":
@@ -332,6 +403,13 @@ func openTrace(workloadName, file string) (trace.Reader, error) {
 		}
 		return w.Reader(), nil
 	case file != "":
+		packed, err := isPackedTrace(file)
+		if err != nil {
+			return nil, err
+		}
+		if packed {
+			return tracestore.OpenReader(file)
+		}
 		f, err := os.Open(file)
 		if err != nil {
 			return nil, err
@@ -345,6 +423,20 @@ func openTrace(workloadName, file string) (trace.Reader, error) {
 	default:
 		return nil, fmt.Errorf("need -workload NAME or -trace FILE")
 	}
+}
+
+// isPackedTrace reports whether the file starts with the trace-store magic.
+func isPackedTrace(path string) (bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	var magic [len(tracestore.Magic)]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		return false, nil // shorter than any valid packed file: let the codec report it
+	}
+	return string(magic[:]) == tracestore.Magic, nil
 }
 
 // closingReader closes the underlying file when the stream is closed.

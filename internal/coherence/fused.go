@@ -79,12 +79,13 @@ func mergeResultSlices(a, b []Result) []Result {
 }
 
 // RunProtocolsShardedOpen replays the named protocols in one fused pass
-// over shard-native streams: each shard opens its own reader via open (see
-// core.RunShardedOpen) and drives all the protocols' simulators from it.
+// over shard-native streams: each shard opens its own reader via
+// open(shard) (see core.RunShardedOpen) and drives all the protocols'
+// simulators from it.
 // The results are returned in protocol order and are bit-for-bit the
 // results of RunWith per protocol, for every shard count; shards <= 1 is a
 // single serial fused replay. Every protocol must satisfy Fusible.
-func RunProtocolsShardedOpen(ctx context.Context, open func() (trace.Reader, error), procs int, g mem.Geometry, protos []string, shards int) ([]Result, error) {
+func RunProtocolsShardedOpen(ctx context.Context, open func(shard int) (trace.Reader, error), procs int, g mem.Geometry, protos []string, shards int) ([]Result, error) {
 	if len(protos) == 0 {
 		return nil, nil
 	}

@@ -22,7 +22,7 @@ func TestFusedProtocolsMatchSerial(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		tr := randomSyncTrace(rng, 6, 700, 56)
-		open := func() (trace.Reader, error) { return tr.Reader(), nil }
+		open := func(int) (trace.Reader, error) { return tr.Reader(), nil }
 		for _, g := range []mem.Geometry{mem.MustGeometry(8), mem.MustGeometry(64)} {
 			want := make([]Result, len(protos))
 			for i, name := range protos {
@@ -68,7 +68,7 @@ func TestFusible(t *testing.T) {
 	}
 
 	opened := false
-	open := func() (trace.Reader, error) {
+	open := func(int) (trace.Reader, error) {
 		opened = true
 		return trace.New(2).Reader(), nil
 	}

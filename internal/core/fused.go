@@ -773,7 +773,7 @@ func mergeFusedResults(a, b fusedResult) fusedResult {
 // straddle a coarse block, so the partition is valid at every level and
 // the merged counts equal the serial fused counts bit for bit. shards <= 1
 // opens one reader and is exactly the serial fused path.
-func FusedShardedClassify(ctx context.Context, open func() (trace.Reader, error), procs int, geoms []mem.Geometry, shards int) ([]Counts, uint64, error) {
+func FusedShardedClassify(ctx context.Context, open func(shard int) (trace.Reader, error), procs int, geoms []mem.Geometry, shards int) ([]Counts, uint64, error) {
 	coarse := CoarsestGeometry(geoms)
 	res, err := RunShardedOpen(ctx, open, shards, trace.BlockShard(coarse, shards),
 		func(int) *FusedClassifier { return NewFusedClassifier(procs, geoms) },

@@ -136,7 +136,7 @@ func TestFusedShardedMatchesSerial(t *testing.T) {
 			t.Log(err)
 			return false
 		}
-		open := func() (trace.Reader, error) { return tr.Reader(), nil }
+		open := func(int) (trace.Reader, error) { return tr.Reader(), nil }
 		for _, n := range shardCounts {
 			got, refs, err := FusedShardedClassify(context.Background(), open, tr.Procs, geos, n)
 			if err != nil {
@@ -255,7 +255,7 @@ func TestRunShardedOpenErrors(t *testing.T) {
 
 	// open fails on the second shard.
 	calls := 0
-	open := func() (trace.Reader, error) {
+	open := func(int) (trace.Reader, error) {
 		calls++
 		if calls > 1 {
 			return nil, openErr
@@ -270,7 +270,7 @@ func TestRunShardedOpenErrors(t *testing.T) {
 	// cancellation of its siblings.
 	streamErr := errors.New("backing store exploded")
 	shard := 0
-	openFail := func() (trace.Reader, error) {
+	openFail := func(int) (trace.Reader, error) {
 		shard++
 		if shard == 2 {
 			return &failAfterReader{n: 100, err: streamErr}, nil
@@ -284,7 +284,7 @@ func TestRunShardedOpenErrors(t *testing.T) {
 	// Caller cancellation reports the caller's context error.
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	openOK := func() (trace.Reader, error) {
+	openOK := func(int) (trace.Reader, error) {
 		return &failAfterReader{n: 1 << 20, err: io.EOF}, nil
 	}
 	if _, _, err := FusedShardedClassify(ctx, openOK, 2, geos, 4); !errors.Is(err, context.Canceled) {

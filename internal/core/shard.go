@@ -124,22 +124,26 @@ func RunShardedContext[C trace.Consumer, R any](
 
 // RunShardedOpen partitions the block space across shards consumers like
 // RunShardedContext, but with shard-native streams instead of a demux: each
-// shard opens its own reader via open (a fresh deterministic generation, or
-// an independent reader over a cached trace) and filters it down to its
-// subsequence with a trace.ShardReader. There is no central pump goroutine
-// and no cross-shard channel traffic — the demux tax the sharded pipeline
-// used to pay. The per-shard streams are identical to the demux's (the
-// ShardReader applies the same routing and broadcast rules), so the merged
-// result is bit-for-bit the same.
+// shard opens its own reader via open(shard) (a fresh deterministic
+// generation, an independent reader over a cached trace, or a packed
+// trace-store reader that skips segments with nothing for the shard) and
+// filters it down to its subsequence with a trace.ShardReader. There is no
+// central pump goroutine and no cross-shard channel traffic — the demux tax
+// the sharded pipeline used to pay. The per-shard streams are identical to
+// the demux's (the ShardReader applies the same routing and broadcast
+// rules), so the merged result is bit-for-bit the same.
 //
-// open must produce equivalent streams on every call. With shards <= 1 a
-// single reader is opened and driven inline — the exact serial path. The
+// open(i) must produce a stream that contains at least shard i's
+// subsequence under key, in stream order — the full trace always
+// qualifies, and openers may pre-drop references other shards own (the
+// trace-store segment skip). With shards <= 1 a single reader is opened
+// via open(0) and driven inline, unfiltered — the exact serial path. The
 // first shard failure cancels the siblings; the error priority matches
 // RunShardedContext (the caller's context error first, then the first real
 // failure, then a bare cancellation/stop).
 func RunShardedOpen[C trace.Consumer, R any](
 	ctx context.Context,
-	open func() (trace.Reader, error),
+	open func(shard int) (trace.Reader, error),
 	shards int,
 	key trace.ShardFunc,
 	newConsumer func(shard int) C,
@@ -148,7 +152,7 @@ func RunShardedOpen[C trace.Consumer, R any](
 ) (R, error) {
 	var zero R
 	if shards <= 1 {
-		r, err := open()
+		r, err := open(0)
 		if err != nil {
 			return zero, err
 		}
@@ -161,7 +165,7 @@ func RunShardedOpen[C trace.Consumer, R any](
 
 	readers := make([]trace.Reader, shards)
 	for i := range readers {
-		r, err := open()
+		r, err := open(i)
 		if err != nil {
 			for _, r := range readers[:i] {
 				trace.CloseReader(r) //nolint:errcheck // error-path cleanup

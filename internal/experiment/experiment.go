@@ -59,6 +59,12 @@ type Options struct {
 	// per-cell shard count is capped so cells x shards goroutines stay
 	// within the shared budget (see shardsPerCell).
 	Shards int
+	// TraceFiles binds workloads to packed trace files (the CLI's
+	// -trace-file flag): bound workloads replay out-of-core from their
+	// files — streamed through the cache for serial and demux paths,
+	// segment-skipping shard readers for the fused shard-native paths —
+	// instead of regenerating. Nil means every workload generates.
+	TraceFiles *TraceFileSet
 	// Cache shares materialized workload traces across driver calls
 	// (regen runs every artifact off one cache). Nil gives each driver
 	// its own cache for the duration of the call.
@@ -151,10 +157,14 @@ func (o Options) shardsPerCell() int {
 // traceCache returns the shared cache, or a fresh one scoped to the
 // current driver call.
 func (o Options) traceCache() *sweep.TraceCache {
-	if o.Cache != nil {
-		return o.Cache
+	c := o.Cache
+	if c == nil {
+		c = NewTraceCache()
 	}
-	return NewTraceCache()
+	// Re-registering the same stream openers on a shared cache is
+	// idempotent, so every driver call may wire its trace files in.
+	o.TraceFiles.register(c)
+	return c
 }
 
 // NewTraceCache returns a trace cache over the workload registry, suitable
@@ -355,7 +365,7 @@ func mergeFusedTriCounts(a, b fusedTriCounts) fusedTriCounts {
 // replays of one workload trace: every geometry, every scheme, one pass per
 // shard (shards <= 1 is one serial pass). The block space is partitioned by
 // the coarsest geometry, which is a valid partition at every nested level.
-func classifyAllFused(ctx context.Context, open func() (trace.Reader, error), procs int, geos []mem.Geometry, shards int) (fusedTriCounts, error) {
+func classifyAllFused(ctx context.Context, open func(shard int) (trace.Reader, error), procs int, geos []mem.Geometry, shards int) (fusedTriCounts, error) {
 	coarse := core.CoarsestGeometry(geos)
 	return core.RunShardedOpen(ctx, open, shards, trace.BlockShard(coarse, shards),
 		func(int) *fusedTri { return newFusedTri(procs, geos) },

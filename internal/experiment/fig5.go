@@ -48,11 +48,12 @@ func Fig5(o Options) error {
 		// the trace feeds every block size at once.
 		groups, gFails, err := mapCells(o, len(ws), func(ctx context.Context, wi int) ([]fig5Cell, error) {
 			w := ws[wi]
-			src, err := cache.SourceContext(ctx, w.Name)
+			eff := o.shardsPerCell()
+			open, err := o.shardSource(ctx, cache, w.Name, core.CoarsestGeometry(geos), eff)
 			if err != nil {
 				return nil, err
 			}
-			counts, refs, err := core.FusedShardedClassify(ctx, src, w.Procs, geos, o.shardsPerCell())
+			counts, refs, err := core.FusedShardedClassify(ctx, open, w.Procs, geos, eff)
 			if err != nil {
 				return nil, err
 			}

@@ -60,11 +60,12 @@ func Fig6(o Options, blockBytes int) error {
 		// the trace drives every protocol's simulator at once.
 		groups, gFails, err := mapCells(o, len(ws), func(ctx context.Context, wi int) ([]coherence.Result, error) {
 			w := ws[wi]
-			src, err := cache.SourceContext(ctx, w.Name)
+			eff := o.shardsPerCell()
+			open, err := o.shardSource(ctx, cache, w.Name, g, eff)
 			if err != nil {
 				return nil, err
 			}
-			return coherence.RunProtocolsShardedOpen(ctx, src, w.Procs, g, protos, o.shardsPerCell())
+			return coherence.RunProtocolsShardedOpen(ctx, open, w.Procs, g, protos, eff)
 		})
 		if err != nil {
 			return err

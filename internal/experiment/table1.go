@@ -66,11 +66,12 @@ func Table1(o Options) error {
 		// schemes off one pass (per shard) over the trace.
 		groups, gFails, err := mapCells(o, len(ws), func(ctx context.Context, wi int) ([]table1Cell, error) {
 			w := ws[wi]
-			src, err := cache.SourceContext(ctx, w.Name)
+			eff := o.shardsPerCell()
+			open, err := o.shardSource(ctx, cache, w.Name, core.CoarsestGeometry(geos), eff)
 			if err != nil {
 				return nil, err
 			}
-			tri, err := classifyAllFused(ctx, src, w.Procs, geos, o.shardsPerCell())
+			tri, err := classifyAllFused(ctx, open, w.Procs, geos, eff)
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,123 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/mem"
+	"repro/internal/sweep"
+	"repro/internal/trace"
+	"repro/internal/tracestore"
+	"repro/internal/workload"
+)
+
+// TraceFileSet binds workload names to opened packed trace files (the
+// CLI's -trace-file NAME=PATH bindings). A bound workload replays from its
+// file instead of regenerating: serial and demux-sharded paths stream it
+// through the trace cache's out-of-core bypass, and the fused shard-native
+// paths open segment-skipping readers directly (see Options.shardSource).
+// Close the set when the run is done.
+type TraceFileSet struct {
+	files map[string]*tracestore.File
+}
+
+// OpenTraceFiles opens every binding, validating that each name is a
+// registered workload and that the packed trace's processor count matches
+// the workload's — replaying MP3D's file as WATER would silently produce
+// garbage figures otherwise. On error, files opened so far are closed.
+func OpenTraceFiles(specs map[string]string) (*TraceFileSet, error) {
+	s := &TraceFileSet{files: make(map[string]*tracestore.File, len(specs))}
+	for name, path := range specs {
+		w, err := workload.Get(name)
+		if err != nil {
+			s.Close() //nolint:errcheck // error-path cleanup
+			return nil, err
+		}
+		f, err := tracestore.Open(path)
+		if err != nil {
+			s.Close() //nolint:errcheck // error-path cleanup
+			return nil, err
+		}
+		if f.Procs() != w.Procs {
+			f.Close() //nolint:errcheck // error-path cleanup
+			s.Close() //nolint:errcheck // error-path cleanup
+			return nil, fmt.Errorf("experiment: trace file %s has %d processors, workload %s has %d",
+				path, f.Procs(), name, w.Procs)
+		}
+		s.files[name] = f
+	}
+	return s, nil
+}
+
+// File returns the opened trace file bound to name, or nil (also on a nil
+// set).
+func (s *TraceFileSet) File(name string) *tracestore.File {
+	if s == nil {
+		return nil
+	}
+	return s.files[name]
+}
+
+// Names lists the bound workload names in sorted order.
+func (s *TraceFileSet) Names() []string {
+	if s == nil {
+		return nil
+	}
+	names := make([]string, 0, len(s.files))
+	for name := range s.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Close closes every file, returning the first error.
+func (s *TraceFileSet) Close() error {
+	if s == nil {
+		return nil
+	}
+	var first error
+	for _, f := range s.files {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.files = nil
+	return first
+}
+
+// register wires every bound file into the cache as a stream-only source,
+// so all the cache-fed replay paths (serial cells, demux sharding, the
+// non-fused grids) read from the file with O(segment) resident memory
+// instead of materializing or regenerating. Safe on a nil set.
+func (s *TraceFileSet) register(c *sweep.TraceCache) {
+	if s == nil {
+		return
+	}
+	for name, f := range s.files {
+		f := f
+		c.Stream(name, func() (trace.Reader, error) { return f.Reader(), nil })
+	}
+}
+
+// shardSource resolves the per-shard opener the fused shard-native runners
+// need for one workload's trace. A file-backed workload opens
+// segment-skipping tracestore readers: each shard reads only the segments
+// whose per-segment index intersects its residue class of g's block
+// partition (plus segments carrying synchronization, which every shard
+// observes). Anything else adapts the cache's source factory — independent
+// equivalent readers, one per shard. g and shards must match the partition
+// key the runner uses (trace.BlockShard(g, shards)).
+func (o Options) shardSource(ctx context.Context, cache *sweep.TraceCache, name string, g mem.Geometry, shards int) (func(int) (trace.Reader, error), error) {
+	if f := o.TraceFiles.File(name); f != nil {
+		return func(shard int) (trace.Reader, error) {
+			return f.ShardReaderContext(ctx, shard, shards, g), nil
+		}, nil
+	}
+	src, err := cache.SourceContext(ctx, name)
+	if err != nil {
+		return nil, err
+	}
+	return func(int) (trace.Reader, error) { return src() }, nil
+}

@@ -1,9 +1,12 @@
 package perfbench
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"sync"
 
 	"repro/internal/coherence"
@@ -12,6 +15,7 @@ import (
 	"repro/internal/finite"
 	"repro/internal/mem"
 	"repro/internal/trace"
+	"repro/internal/tracestore"
 	"repro/internal/workload"
 )
 
@@ -86,8 +90,9 @@ func pinnedClassifierPass(c trace.BatchConsumer, batches [][]trace.Ref, refs uin
 
 // All returns the registered workloads in report order: the three
 // classifiers (pinned zero-alloc paths), the seven invalidation schedules,
-// the finite cache, the block-sharded pipeline, raw generation, and an
-// end-to-end quick figure sweep (generation + classify + render).
+// the finite cache, the block-sharded pipeline, raw generation, an
+// end-to-end quick figure sweep (generation + classify + render), and the
+// trace-store paths (pinned segment decode, file-backed figure sweep).
 func All() []Workload {
 	g := mem.MustGeometry(64)
 	return []Workload{
@@ -209,7 +214,7 @@ func All() []Workload {
 				}
 				geos := []mem.Geometry{g}
 				return func() (uint64, error) {
-					open := func() (trace.Reader, error) { return tr.Reader(), nil }
+					open := func(int) (trace.Reader, error) { return tr.Reader(), nil }
 					if _, _, err := core.FusedShardedClassify(context.Background(), open, tr.Procs, geos, 4); err != nil {
 						return 0, err
 					}
@@ -261,7 +266,101 @@ func All() []Workload {
 				}, nil
 			},
 		},
+		{
+			Name:   "tracestore/decode",
+			Pinned: true,
+			Setup: func() (func() (uint64, error), error) {
+				w, err := workload.Get(benchWorkload)
+				if err != nil {
+					return nil, err
+				}
+				var buf bytes.Buffer
+				if _, err := w.Pack(&buf, tracestore.WriterOptions{}); err != nil {
+					return nil, err
+				}
+				f, err := tracestore.NewFile(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+				if err != nil {
+					return nil, err
+				}
+				cur := f.Cursor()
+				dst := make([]trace.Ref, 0, f.MaxSegmentRefs())
+				pass := func() (uint64, error) {
+					var refs uint64
+					for i := range f.Segments() {
+						out, err := cur.Read(i, dst)
+						if err != nil {
+							return refs, err
+						}
+						refs += uint64(len(out))
+					}
+					return refs, nil
+				}
+				// Warm once so the cursor's payload scratch reaches its
+				// steady-state capacity before the 0 allocs/pass gate.
+				if _, err := pass(); err != nil {
+					return nil, err
+				}
+				return pass, nil
+			},
+		},
+		{
+			Name: "tracestore/fig5-file",
+			Setup: func() (func() (uint64, error), error) {
+				set, refs, err := packedFig5Set()
+				if err != nil {
+					return nil, err
+				}
+				return func() (uint64, error) {
+					o := experiment.Options{Out: io.Discard, Workloads: []string{benchWorkload}, TraceFiles: set}
+					if err := experiment.Fig5(o); err != nil {
+						return 0, err
+					}
+					return refs * uint64(len(experiment.Fig5Blocks)), nil
+				}, nil
+			},
+		},
 	}
+}
+
+// packedFig5Set packs the bench workload into a temp file once per process
+// and opens it as a trace-file binding, so tracestore/fig5-file measures
+// the real file-backed replay path against endtoend/fig5-quick's in-memory
+// one. The file is unlinked immediately after opening: the descriptor keeps
+// it readable and nothing is left on disk.
+var packedOnce struct {
+	sync.Once
+	set  *experiment.TraceFileSet
+	refs uint64
+	err  error
+}
+
+func packedFig5Set() (*experiment.TraceFileSet, uint64, error) {
+	packedOnce.Do(func() {
+		w, err := workload.Get(benchWorkload)
+		if err != nil {
+			packedOnce.err = err
+			return
+		}
+		dir, err := os.MkdirTemp("", "umbench-")
+		if err != nil {
+			packedOnce.err = err
+			return
+		}
+		defer os.RemoveAll(dir)
+		path := filepath.Join(dir, benchWorkload+".umt")
+		stats, err := w.PackFile(path, tracestore.WriterOptions{})
+		if err != nil {
+			packedOnce.err = err
+			return
+		}
+		set, err := experiment.OpenTraceFiles(map[string]string{benchWorkload: path})
+		if err != nil {
+			packedOnce.err = err
+			return
+		}
+		packedOnce.set, packedOnce.refs = set, stats.Refs
+	})
+	return packedOnce.set, packedOnce.refs, packedOnce.err
 }
 
 // Find filters the registry by name; an empty list means all workloads.

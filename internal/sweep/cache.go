@@ -64,9 +64,10 @@ type TraceCache struct {
 }
 
 type cacheEntry struct {
-	ready chan struct{} // closed once materialization settled
-	tr    *trace.Trace  // nil: stream-only (over budget or failed)
-	err   error         // opener error, reported to every waiter
+	ready  chan struct{}                // closed once materialization settled
+	tr     *trace.Trace                 // nil: stream-only (over budget or failed)
+	stream func() (trace.Reader, error) // non-nil: dedicated stream opener (Stream)
+	err    error                        // opener error, reported to every waiter
 }
 
 // NewTraceCache returns a cache over open holding at most budgetRefs
@@ -80,6 +81,34 @@ func NewTraceCache(budgetRefs int64, open Opener) *TraceCache {
 		budget:  budgetRefs,
 		entries: make(map[string]*cacheEntry),
 	}
+}
+
+// Stream registers a dedicated opener for the named trace that bypasses
+// materialization entirely: every later Reader/Source call for name gets a
+// fresh stream from open, never an in-memory copy, and counts as a
+// streamed access. This is the out-of-core hookup — a file-backed trace
+// must replay with O(segment) resident memory no matter how small it is,
+// so admitting it to the in-memory cache would defeat the point.
+// Registering replaces any existing entry (including an already
+// materialized one, whose budget is released).
+func (c *TraceCache) Stream(name string, open func() (trace.Reader, error)) {
+	e := &cacheEntry{ready: make(chan struct{}), stream: open}
+	close(e.ready)
+	c.mu.Lock()
+	if old, ok := c.entries[name]; ok {
+		select {
+		case <-old.ready:
+			if old.tr != nil {
+				c.used -= int64(old.tr.Len())
+			}
+		default:
+			// A materialization is in flight; its entry is simply
+			// superseded — the budget accounting under c.mu happens against
+			// the map, so the displaced entry never charges it.
+		}
+	}
+	c.entries[name] = e
+	c.mu.Unlock()
 }
 
 // Reader returns a reader over the named trace: a replay of the cached
@@ -135,6 +164,11 @@ func (c *TraceCache) SourceContext(ctx context.Context, name string) (func() (tr
 		if e.err != nil {
 			return nil, e.err
 		}
+		if e.stream != nil {
+			c.streamed.Add(1)
+			mCacheStreamed.Inc()
+			return e.stream, nil
+		}
 		if e.tr == nil {
 			c.streamed.Add(1)
 			mCacheStreamed.Inc()
@@ -167,7 +201,11 @@ func (c *TraceCache) SourceContext(ctx context.Context, name string) (func() (tr
 	case complete:
 		e.tr = tr
 		c.mu.Lock()
-		c.used += int64(tr.Len())
+		// A Stream registration may have displaced this entry mid-flight;
+		// only the entry still in the map charges the budget.
+		if c.entries[name] == e {
+			c.used += int64(tr.Len())
+		}
 		c.mu.Unlock()
 	}
 	close(e.ready)

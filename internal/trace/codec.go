@@ -81,6 +81,23 @@ func (e *Encoder) Encode(r Ref) error {
 	return nil
 }
 
+// EncodeBatch writes a batch of references, flushing at chunk boundaries.
+// It is equivalent to calling Encode for each reference in order, with one
+// flush check per record amortized into the append loop.
+func (e *Encoder) EncodeBatch(refs []Ref) error {
+	for _, r := range refs {
+		e.chunk = append(e.chunk, byte(r.Kind))
+		e.chunk = binary.AppendUvarint(e.chunk, uint64(r.Proc))
+		e.chunk = binary.AppendUvarint(e.chunk, uint64(r.Addr))
+		if len(e.chunk) >= chunkTarget {
+			if err := e.writeChunk(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // writeChunk frames and emits the pending payload.
 func (e *Encoder) writeChunk() error {
 	if len(e.chunk) == 0 {
@@ -130,23 +147,36 @@ func (e *Encoder) Close() error {
 	return e.w.Flush()
 }
 
-// WriteBinary encodes all references from r to w and closes r.
+// WriteBinary encodes all references from r to w and closes r. Batched
+// readers are drained a batch at a time through EncodeBatch, so encoding a
+// generated or file-backed stream pays one interface dispatch per batch
+// rather than per reference.
 func WriteBinary(w io.Writer, r Reader) error {
 	enc, err := NewEncoder(w, r.NumProcs())
 	if err != nil {
 		return err
 	}
 	defer CloseReader(r) //nolint:errcheck // best-effort close after drain
+	br, batched := r.(BatchReader)
+	buf := make([]Ref, driveBatch)
 	for {
-		ref, err := r.Next()
-		if err == io.EOF {
+		var n int
+		var e error
+		if batched {
+			n, e = br.NextBatch(buf)
+		} else {
+			n, e = fill(r, buf)
+		}
+		if n > 0 {
+			if err := enc.EncodeBatch(buf[:n]); err != nil {
+				return err
+			}
+		}
+		if e == io.EOF {
 			return enc.Close()
 		}
-		if err != nil {
-			return err
-		}
-		if err := enc.Encode(ref); err != nil {
-			return err
+		if e != nil {
+			return e
 		}
 	}
 }

@@ -100,7 +100,7 @@ func FuzzFusedEquivalence(f *testing.F) {
 		}
 
 		// Shard-native fused streams must merge to the serial fused counts.
-		open := func() (trace.Reader, error) { return tr.Reader(), nil }
+		open := func(int) (trace.Reader, error) { return tr.Reader(), nil }
 		for _, n := range []int{2, int(shardsRaw%9) + 1} {
 			got, gotRefs, err := core.FusedShardedClassify(context.Background(), open, procs, geos, n)
 			if err != nil {

@@ -1,0 +1,90 @@
+package workload
+
+import (
+	"io"
+
+	"repro/internal/trace"
+	"repro/internal/tracestore"
+)
+
+// Pack writes a fresh generation of the workload's trace to dst in the
+// tracestore on-disk format, streaming: generation and encoding run in one
+// pass with O(segment) memory.
+func (w *Workload) Pack(dst io.Writer, opt tracestore.WriterOptions) (tracestore.PackStats, error) {
+	return tracestore.Pack(dst, w.Reader(), opt)
+}
+
+// PackFile packs a fresh generation into path via temp file and rename
+// (see tracestore.PackFile).
+func (w *Workload) PackFile(path string, opt tracestore.WriterOptions) (tracestore.PackStats, error) {
+	return tracestore.PackFile(path, w.Reader(), opt)
+}
+
+// RepeatReader streams times back-to-back fresh generations of the trace
+// as one reader — the scale knob for building arbitrarily large packed
+// traces out of the deterministic generators (the classification machinery
+// has no notion of trace length, so a repeated trace is as valid a
+// stress input as a longer computation). times <= 1 is equivalent to
+// Reader.
+func (w *Workload) RepeatReader(times int) trace.Reader {
+	if times <= 1 {
+		return w.Reader()
+	}
+	return &repeatReader{w: w, left: times}
+}
+
+// repeatReader chains sequential generations; it opens the next generation
+// lazily when the current one drains, so at most one generator is live.
+type repeatReader struct {
+	w    *Workload
+	cur  trace.BatchReader
+	left int
+}
+
+func (r *repeatReader) NumProcs() int { return r.w.Procs }
+
+func (r *repeatReader) NextBatch(buf []trace.Ref) (int, error) {
+	for {
+		if r.cur == nil {
+			if r.left == 0 {
+				return 0, io.EOF
+			}
+			r.left--
+			// The generator reader is always a BatchReader.
+			r.cur = r.w.Reader().(trace.BatchReader)
+		}
+		n, err := r.cur.NextBatch(buf)
+		if err == io.EOF {
+			cerr := trace.CloseReader(r.cur)
+			r.cur = nil
+			if cerr != nil {
+				return n, cerr // a generation's close error fails the stream
+			}
+			if n > 0 {
+				return n, nil
+			}
+			continue
+		}
+		return n, err
+	}
+}
+
+func (r *repeatReader) Next() (trace.Ref, error) {
+	var one [1]trace.Ref
+	n, err := r.NextBatch(one[:])
+	if n == 1 {
+		return one[0], err
+	}
+	return trace.Ref{}, err
+}
+
+// Close releases the in-flight generation, if any.
+func (r *repeatReader) Close() error {
+	r.left = 0
+	if r.cur == nil {
+		return nil
+	}
+	err := trace.CloseReader(r.cur)
+	r.cur = nil
+	return err
+}
