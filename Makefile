@@ -5,7 +5,7 @@ BENCHTIME ?= 1x
 # the floor was set; drops below the floor fail `make cover` (and ci).
 COVERFLOOR ?= 85.0
 
-.PHONY: all build test race vet fmt golden golden-check metrics-check faults cover fuzz bench bench-save bench-compare bench-gate ci
+.PHONY: all build test race vet fmt golden golden-check metrics-check trace-check faults cover fuzz bench bench-save bench-compare bench-gate ci
 
 # Where bench-save snapshots benchmark output and bench-compare reads it.
 BENCHDIR ?= results
@@ -59,6 +59,15 @@ golden-check:
 metrics-check:
 	$(GO) test ./cmd/uselessmiss -count=1 \
 		-run 'TestMetricsDeterministicAcrossParallelism|TestMetricsInvariantAcrossShards|TestMetricsFileIsDeterministic'
+
+# The flight-recorder suite: -trace-out must yield a Perfetto-loadable
+# trace_event stream covering every pipeline layer, the demux flow arrows
+# must pair up, and recording must be a pure observer — fig5's stdout stays
+# byte-identical to the golden across -j × -shards × -fused with the
+# recorder on.
+trace-check:
+	$(GO) test ./cmd/uselessmiss -count=1 \
+		-run 'TestTraceOutPerfettoValid|TestTraceOutFlowEvents|TestTraceOutGoldenMatrix'
 
 # The failure-model suite under the race detector: the fault injectors
 # (internal/fault) against every -j × -shards combination, plus the
@@ -133,4 +142,4 @@ bench-gate:
 	@test -f $(BENCHJSON) || { echo "no baseline at $(BENCHJSON); run 'make bench-save' first"; exit 1; }
 	$(GO) run ./cmd/uselessmiss bench -baseline $(BENCHJSON) -tolerance $(BENCHTOL) -log info
 
-ci: build vet fmt test race golden-check metrics-check faults cover
+ci: build vet fmt test race golden-check metrics-check trace-check faults cover

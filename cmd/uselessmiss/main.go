@@ -71,15 +71,22 @@ func main() {
 	os.Exit(code)
 }
 
-// exitCode maps a run error onto the CLI's exit-code scheme: cancellation
-// (signal or -timeout) outranks a partial report, which outranks a plain
-// error.
+// exitCode prints the run error and maps it onto the exit-code scheme.
 func exitCode(err error) int {
-	if err == nil {
-		return exitOK
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "uselessmiss:", err)
 	}
-	fmt.Fprintln(os.Stderr, "uselessmiss:", err)
+	return exitCodeFor(err)
+}
+
+// exitCodeFor maps a run error onto the CLI's exit-code scheme:
+// cancellation (signal or -timeout) outranks a partial report, which
+// outranks a plain error. Pure, so the provenance manifest records the
+// same status the process exits with.
+func exitCodeFor(err error) int {
 	switch {
+	case err == nil:
+		return exitOK
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		return exitInterrupted
 	case errors.Is(err, experiment.ErrPartial):

@@ -12,6 +12,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/experiment"
+	"repro/internal/obs/span"
 	"repro/internal/sweep"
 	"repro/internal/timing"
 	"repro/internal/tracestore"
@@ -34,8 +35,10 @@ func cmdRegen(ctx context.Context, args []string, out io.Writer) error {
 	traceOut := fs.String("trace-out", "", "pack every workload's trace into this directory first, then replay all artifacts out-of-core from the packed files")
 	timeout := fs.Duration("timeout", 0, "abort the run after this duration, like an interrupt (0 = no limit)")
 	prof := addProfileFlags(fs)
-	in := addObsFlags(fs)
-	if err := fs.Parse(args); err != nil {
+	// -trace-out means "pack traces here" for regen, so the span trace
+	// registers as -span-out instead.
+	in := addObsFlagsNamed(fs, "span-out")
+	if err := in.parse(fs, args); err != nil {
 		return err
 	}
 	if *timeout > 0 {
@@ -49,6 +52,7 @@ func cmdRegen(ctx context.Context, args []string, out io.Writer) error {
 	cfg := regenConfig{
 		dir: *dir, quick: *quick, par: *par, shards: *shards,
 		keepGoing: *keepGoing, resume: *resume, traceOut: *traceOut,
+		onTraces: func(s *experiment.TraceFileSet) { in.traceManifest = s.Manifest },
 	}
 	return prof.around(in.around(func() error { return regenAll(ctx, cfg, out) }))
 }
@@ -61,6 +65,9 @@ type regenConfig struct {
 	par, shards      int
 	traceOut         string
 	traces           *experiment.TraceFileSet
+	// onTraces, when set, is told about the packed trace set once it is
+	// opened (the provenance manifest lists it).
+	onTraces func(*experiment.TraceFileSet)
 }
 
 // regenArtifact is one entry of the regeneration list: the output file name
@@ -106,6 +113,9 @@ func regenAll(ctx context.Context, cfg regenConfig, out io.Writer) error {
 		}
 		defer files.Close() //nolint:errcheck // read-only handles
 		cfg.traces = files
+		if cfg.onTraces != nil {
+			cfg.onTraces(files)
+		}
 	}
 	// One trace cache for the whole run: each workload's trace is
 	// materialized once and replayed by every artifact that wants it (when
@@ -121,7 +131,9 @@ func regenAll(ctx context.Context, cfg regenConfig, out io.Writer) error {
 			fmt.Fprintf(out, "skipped %s (up to date)\n", path)
 			continue
 		}
+		sp := span.Root(span.OpArtifact, span.Fields{Note: a.file})
 		sum, n, err := writeArtifact(ctx, path, cfg, cache, a.run)
+		sp.End()
 		if errors.Is(err, experiment.ErrPartial) {
 			// The partial report is on disk for inspection but is not
 			// checkpointed: -resume regenerates it.
@@ -172,7 +184,9 @@ func packTraces(ctx context.Context, cfg regenConfig, m *manifest, out io.Writer
 		if err != nil {
 			return nil, err
 		}
+		sp := span.Root(span.OpPack, span.Fields{Workload: name})
 		stats, err := w.PackFile(path, tracestore.WriterOptions{})
+		sp.End()
 		if err != nil {
 			return nil, fmt.Errorf("pack %s: %w", name, err)
 		}

@@ -171,6 +171,7 @@ func (ef *expFlags) options(ctx context.Context, out io.Writer) (experiment.Opti
 		cancel()
 		files.Close() //nolint:errcheck // read-only handles; nothing to lose
 	}
+	ef.in.traceManifest = files.Manifest
 	return experiment.Options{
 		Out: out, Quick: *ef.quick, CSV: *ef.csv,
 		Workloads:   splitList(*ef.workloads),
@@ -223,7 +224,7 @@ func (ef *expFlags) around(fn func() error) error {
 func cmdExperiment(ctx context.Context, args []string, out io.Writer, which string) error {
 	fs := flag.NewFlagSet(which, flag.ContinueOnError)
 	ef := experimentFlags(fs)
-	if err := fs.Parse(args); err != nil {
+	if err := ef.in.parse(fs, args); err != nil {
 		return err
 	}
 	o, cleanup, err := ef.options(ctx, out)
@@ -251,7 +252,7 @@ func cmdCompare(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
 	ef := experimentFlags(fs)
 	block := fs.Int("block", 64, "block size in bytes")
-	if err := fs.Parse(args); err != nil {
+	if err := ef.in.parse(fs, args); err != nil {
 		return err
 	}
 	o, cleanup, err := ef.options(ctx, out)
@@ -267,7 +268,7 @@ func cmdPhases(ctx context.Context, args []string, out io.Writer) error {
 	ef := experimentFlags(fs)
 	block := fs.Int("block", 64, "block size in bytes")
 	buckets := fs.Int("buckets", 10, "maximum rows per workload")
-	if err := fs.Parse(args); err != nil {
+	if err := ef.in.parse(fs, args); err != nil {
 		return err
 	}
 	o, cleanup, err := ef.options(ctx, out)
@@ -282,7 +283,7 @@ func cmdHotspots(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("hotspots", flag.ContinueOnError)
 	ef := experimentFlags(fs)
 	block := fs.Int("block", 64, "block size in bytes")
-	if err := fs.Parse(args); err != nil {
+	if err := ef.in.parse(fs, args); err != nil {
 		return err
 	}
 	o, cleanup, err := ef.options(ctx, out)
@@ -299,7 +300,7 @@ func cmdPenalty(ctx context.Context, args []string, out io.Writer) error {
 	block := fs.Int("block", 64, "block size in bytes")
 	missPenalty := fs.Uint64("miss-penalty", 30, "blocking cycles per miss")
 	syncCycles := fs.Uint64("sync-cycles", 3, "cycles per acquire/release")
-	if err := fs.Parse(args); err != nil {
+	if err := ef.in.parse(fs, args); err != nil {
 		return err
 	}
 	o, cleanup, err := ef.options(ctx, out)
@@ -316,7 +317,7 @@ func cmdFinite(ctx context.Context, args []string, out io.Writer) error {
 	ef := experimentFlags(fs)
 	block := fs.Int("block", 64, "block size in bytes")
 	assoc := fs.Int("assoc", 4, "cache associativity")
-	if err := fs.Parse(args); err != nil {
+	if err := ef.in.parse(fs, args); err != nil {
 		return err
 	}
 	o, cleanup, err := ef.options(ctx, out)
@@ -332,7 +333,7 @@ func cmdAblate(ctx context.Context, args []string, out io.Writer) error {
 	ef := experimentFlags(fs)
 	what := fs.String("what", "cu", "ablation to run: cu (competitive-update threshold), wbwi (invalidation buffer) or sector (coherence grain)")
 	block := fs.Int("block", 64, "block size in bytes")
-	if err := fs.Parse(args); err != nil {
+	if err := ef.in.parse(fs, args); err != nil {
 		return err
 	}
 	o, cleanup, err := ef.options(ctx, out)
@@ -358,7 +359,7 @@ func cmdFig5(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("fig5", flag.ContinueOnError)
 	ef := experimentFlags(fs)
 	blocks := fs.String("blocks", "", "comma-separated block sizes in bytes (default 4..2048)")
-	if err := fs.Parse(args); err != nil {
+	if err := ef.in.parse(fs, args); err != nil {
 		return err
 	}
 	blockList, err := splitInts(*blocks)
@@ -378,7 +379,7 @@ func cmdFig6(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("fig6", flag.ContinueOnError)
 	ef := experimentFlags(fs)
 	block := fs.Int("block", 64, "block size in bytes (64 for Fig. 6a, 1024 for Fig. 6b)")
-	if err := fs.Parse(args); err != nil {
+	if err := ef.in.parse(fs, args); err != nil {
 		return err
 	}
 	o, cleanup, err := ef.options(ctx, out)

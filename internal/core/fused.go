@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/dense"
 	"repro/internal/mem"
+	"repro/internal/obs/span"
 	"repro/internal/trace"
 )
 
@@ -76,6 +77,16 @@ func fusedLevels(geoms []mem.Geometry) (order []int, shifts []uint, sorted []mem
 	return order, shifts, sorted
 }
 
+// fusedBlockSizes caches each internal level's block size in bytes, for
+// the fused level-sweep span attributes.
+func fusedBlockSizes(sorted []mem.Geometry) []int32 {
+	blocks := make([]int32, len(sorted))
+	for l, g := range sorted {
+		blocks[l] = int32(g.BlockBytes())
+	}
+	return blocks
+}
+
 // CoarsestGeometry returns the geometry with the largest block size: the
 // granularity fused sharded replays partition the block space by, since a
 // partition by the coarsest blocks is a valid partition at every nested
@@ -121,6 +132,12 @@ type FusedClassifier struct {
 	defs []uint64   // the accessed word's pre-store definition
 	hcol [][]uint32 // per level: the reference's cell handle (column-major)
 	one  [1]trace.Ref
+
+	// tr is the driving goroutine's span track (nil when tracing is off),
+	// injected via SetSpanTrack; blocks caches each level's block size for
+	// the level-sweep span attributes.
+	tr     *span.Track
+	blocks []int32
 }
 
 // fusedBatch is the level-major chunk size: big enough to amortize the
@@ -146,6 +163,7 @@ func NewFusedClassifier(procs int, geoms []mem.Geometry) *FusedClassifier {
 		meta:   make([]uint8, fusedBatch),
 		defs:   make([]uint64, fusedBatch),
 		hcol:   make([][]uint32, len(sorted)),
+		blocks: fusedBlockSizes(sorted),
 	}
 	for l := range f.hcol {
 		f.hcol[l] = make([]uint32, fusedBatch)
@@ -170,6 +188,11 @@ func NewFusedClassifier(procs int, geoms []mem.Geometry) *FusedClassifier {
 // Geometries returns the number of fused levels.
 func (f *FusedClassifier) Geometries() int { return len(f.order) }
 
+// SetSpanTrack implements span.TrackSetter: trace.DriveContext hands the
+// classifier the driving goroutine's track so resolve passes and level
+// sweeps appear as sub-spans of the drive.
+func (f *FusedClassifier) SetSpanTrack(t *span.Track) { f.tr = t }
+
 // Ref implements trace.Consumer.
 func (f *FusedClassifier) Ref(r trace.Ref) {
 	f.one[0] = r
@@ -189,14 +212,23 @@ func (f *FusedClassifier) Ref(r trace.Ref) {
 func (f *FusedClassifier) RefBatch(refs []trace.Ref) {
 	for len(refs) > 0 {
 		startTick := f.tick
+		var sp span.Span
+		if f.tr != nil {
+			sp = f.tr.Begin(span.OpResolve, span.Fields{})
+		}
 		consumed, n := f.resolve(refs)
+		sp.End()
 		refs = refs[consumed:]
 		if n == 0 {
 			continue
 		}
 		f.dataRefs += uint64(n)
 		for l := range f.cells {
+			if f.tr != nil {
+				sp = f.tr.Begin(span.OpLevelSweep, span.Fields{Level: int32(l), Block: f.blocks[l]})
+			}
 			f.levelPass(l, n, startTick)
+			sp.End()
 		}
 	}
 }
@@ -398,6 +430,10 @@ type FusedEggers struct {
 	s2   []uint64 // pre-store stamp: latest store tick by a different writer
 	hcol [][]uint32
 	one  [1]trace.Ref
+
+	// Span instrumentation, as in FusedClassifier.
+	tr     *span.Track
+	blocks []int32
 }
 
 // NewFusedEggers returns a FusedEggers; see NewFusedClassifier.
@@ -416,6 +452,7 @@ func NewFusedEggers(procs int, geoms []mem.Geometry) *FusedEggers {
 		s1:     make([]uint64, fusedBatch),
 		s2:     make([]uint64, fusedBatch),
 		hcol:   make([][]uint32, len(sorted)),
+		blocks: fusedBlockSizes(sorted),
 	}
 	for l := range e.hcol {
 		e.hcol[l] = make([]uint32, fusedBatch)
@@ -440,19 +477,31 @@ func (e *FusedEggers) Ref(r trace.Ref) {
 	e.RefBatch(e.one[:])
 }
 
+// SetSpanTrack implements span.TrackSetter; see FusedClassifier.
+func (e *FusedEggers) SetSpanTrack(t *span.Track) { e.tr = t }
+
 // RefBatch implements trace.BatchConsumer; level-major like
 // FusedClassifier.RefBatch.
 func (e *FusedEggers) RefBatch(refs []trace.Ref) {
 	for len(refs) > 0 {
 		startTick := e.tick
+		var sp span.Span
+		if e.tr != nil {
+			sp = e.tr.Begin(span.OpResolve, span.Fields{})
+		}
 		consumed, n := e.resolve(refs)
+		sp.End()
 		refs = refs[consumed:]
 		if n == 0 {
 			continue
 		}
 		e.dataRefs += uint64(n)
 		for l := range e.cells {
+			if e.tr != nil {
+				sp = e.tr.Begin(span.OpLevelSweep, span.Fields{Level: int32(l), Block: e.blocks[l]})
+			}
 			e.levelPass(l, n, startTick)
+			sp.End()
 		}
 	}
 }
@@ -585,6 +634,10 @@ type FusedTorrellas struct {
 	tv   []uint8 // pre-access word state for the proc: touched bit 0, valid bit 1
 	hcol [][]uint32
 	one  [1]trace.Ref
+
+	// Span instrumentation, as in FusedClassifier.
+	tr     *span.Track
+	blocks []int32
 }
 
 // NewFusedTorrellas returns a FusedTorrellas; see NewFusedClassifier.
@@ -602,6 +655,7 @@ func NewFusedTorrellas(procs int, geoms []mem.Geometry) *FusedTorrellas {
 		meta:   make([]uint8, fusedBatch),
 		tv:     make([]uint8, fusedBatch),
 		hcol:   make([][]uint32, len(sorted)),
+		blocks: fusedBlockSizes(sorted),
 	}
 	for l := range t.hcol {
 		t.hcol[l] = make([]uint32, fusedBatch)
@@ -626,18 +680,30 @@ func (t *FusedTorrellas) Ref(r trace.Ref) {
 	t.RefBatch(t.one[:])
 }
 
+// SetSpanTrack implements span.TrackSetter; see FusedClassifier.
+func (t *FusedTorrellas) SetSpanTrack(tr *span.Track) { t.tr = tr }
+
 // RefBatch implements trace.BatchConsumer; level-major like
 // FusedClassifier.RefBatch.
 func (t *FusedTorrellas) RefBatch(refs []trace.Ref) {
 	for len(refs) > 0 {
+		var sp span.Span
+		if t.tr != nil {
+			sp = t.tr.Begin(span.OpResolve, span.Fields{})
+		}
 		consumed, n := t.resolve(refs)
+		sp.End()
 		refs = refs[consumed:]
 		if n == 0 {
 			continue
 		}
 		t.dataRefs += uint64(n)
 		for l := range t.arenas {
+			if t.tr != nil {
+				sp = t.tr.Begin(span.OpLevelSweep, span.Fields{Level: int32(l), Block: t.blocks[l]})
+			}
 			t.levelPass(l, n)
+			sp.End()
 		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/mem"
+	"repro/internal/obs/span"
 	"repro/internal/trace"
 )
 
@@ -79,7 +80,17 @@ func RunShardedContext[C trace.Consumer, R any](
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			if err := trace.DriveContext(ctx, d.Shard(i), consumers[i]); err != nil {
+			// Each shard consumer gets its own span track (single-writer),
+			// a shard.consume span over its whole drive, and — after the
+			// drive ends, so the arrow points forward in time — the
+			// consumer endpoint of the demux's flow for this shard.
+			tr := span.Acquiref("shard-consumer", i)
+			defer span.Release(tr)
+			defer tr.Begin(span.OpShardConsume, span.Fields{Shard: int32(i)}).End()
+			sctx := span.NewContext(ctx, tr)
+			err := trace.DriveContext(sctx, d.Shard(i), consumers[i])
+			tr.FlowIn(d.FlowID(i))
+			if err != nil {
 				errs[i] = err
 				// First failure cancels the demux so the peers stop
 				// instead of classifying a stream that already failed.
@@ -187,7 +198,12 @@ func RunShardedOpen[C trace.Consumer, R any](
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			if err := trace.DriveContext(runCtx, readers[i], consumers[i]); err != nil {
+			// Shard-native consumers get the same track/span treatment as
+			// the demux path (no flow arrow: there is no producer goroutine).
+			tr := span.Acquiref("shard-consumer", i)
+			defer span.Release(tr)
+			defer tr.Begin(span.OpShardConsume, span.Fields{Shard: int32(i)}).End()
+			if err := trace.DriveContext(span.NewContext(runCtx, tr), readers[i], consumers[i]); err != nil {
 				errs[i] = err
 				// First failure cancels the siblings so they stop instead
 				// of classifying a replay that already failed.

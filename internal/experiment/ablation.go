@@ -27,6 +27,7 @@ func runVariants(o Options, ws []*workload.Workload, variants int,
 	cache := o.traceCache()
 	return mapCells(o, len(ws)*variants, func(ctx context.Context, i int) (coherence.Result, error) {
 		w, j := ws[i/variants], i%variants
+		defer replaySpan(ctx, w.Name, fmt.Sprintf("variant-%d", j), 0).End()
 		sim, err := newSim(w, j)
 		if err != nil {
 			return coherence.Result{}, err
@@ -50,6 +51,7 @@ var CompetitiveThresholds = []int{1, 2, 4, 8, 16, 32}
 // MIN (pure invalidate, word grain) endpoints. Larger thresholds approach
 // WU's cold-only miss rate at the price of more update messages.
 func AblationCU(o Options, blockBytes int) error {
+	defer driverSpan("ablate-cu").End()
 	g, err := mem.NewGeometry(blockBytes)
 	if err != nil {
 		return err
@@ -120,6 +122,7 @@ var SectorSizes = []int{4, 16, 64, 256, 1024}
 // it answers: how fine must the coherence grain be before the page-sized
 // fetch block stops paying for false sharing?
 func AblationSector(o Options, blockBytes int) error {
+	defer driverSpan("ablate-sector").End()
 	g, err := mem.NewGeometry(blockBytes)
 	if err != nil {
 		return err
@@ -182,6 +185,7 @@ var BufferSizes = []int{1, 2, 4, 8, 16, 0}
 // It quantifies the §7 hardware-cost remark: how many dirty bits per block
 // are actually needed before WBWI reaches its unlimited-buffer miss rate.
 func AblationWBWI(o Options, blockBytes int) error {
+	defer driverSpan("ablate-wbwi").End()
 	g, err := mem.NewGeometry(blockBytes)
 	if err != nil {
 		return err

@@ -19,6 +19,7 @@ import (
 // that actually communicate values the processor needs (ours: TRUE). One
 // sweep cell per workload computes the joint verdict matrix.
 func Compare(o Options, blockBytes int) error {
+	defer driverSpan("compare").End()
 	g, err := mem.NewGeometry(blockBytes)
 	if err != nil {
 		return err
@@ -33,6 +34,7 @@ func Compare(o Options, blockBytes int) error {
 	cache := o.traceCache()
 	cells, fails, err := mapCells(o, len(ws), func(ctx context.Context, i int) (core.CrossCounts, error) {
 		w := ws[i]
+		defer replaySpan(ctx, w.Name, "cross", blockBytes).End()
 		r, err := cache.ReaderContext(ctx, w.Name)
 		if err != nil {
 			return core.CrossCounts{}, err

@@ -22,10 +22,28 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mem"
+	"repro/internal/obs/span"
 	"repro/internal/sweep"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
+
+// driverSpan opens a root span covering a whole driver (fig5, table1, ...)
+// on the main track; drivers defer its End. No-op when tracing is off.
+func driverSpan(name string) span.Span {
+	return span.Root(span.OpExperiment, span.Fields{Note: name})
+}
+
+// replaySpan opens a cell.replay span for one cell's full replay on the
+// sweep worker's track carried by ctx, annotated with the cell's grid
+// coordinates. No-op when tracing is off or the context has no track.
+func replaySpan(ctx context.Context, workloadName, scheme string, block int) span.Span {
+	return span.Start(ctx, span.OpReplay, span.Fields{
+		Workload: workloadName,
+		Scheme:   scheme,
+		Block:    int32(block),
+	})
+}
 
 // Options configures the experiment drivers. The zero value is not usable:
 // use Default.
@@ -341,6 +359,14 @@ func (c *fusedTri) RefBatch(refs []trace.Ref) {
 	c.oc.RefBatch(refs)
 	c.ec.RefBatch(refs)
 	c.tc.RefBatch(refs)
+}
+
+// SetSpanTrack implements span.TrackSetter by forwarding the driving
+// goroutine's track to the three fused classifiers.
+func (c *fusedTri) SetSpanTrack(t *span.Track) {
+	c.oc.SetSpanTrack(t)
+	c.ec.SetSpanTrack(t)
+	c.tc.SetSpanTrack(t)
 }
 
 // fusedTriCounts is the merged result of a fusedTri pass: the three

@@ -24,6 +24,7 @@ type fig5Cell struct {
 // (workload, block) grid runs on the sweep engine; each cell replays the
 // workload's cached trace through a fresh classifier.
 func Fig5(o Options) error {
+	defer driverSpan("fig5").End()
 	names := o.workloads(workload.SmallSet())
 	blocks := o.blocks(Fig5Blocks)
 
@@ -48,6 +49,7 @@ func Fig5(o Options) error {
 		// the trace feeds every block size at once.
 		groups, gFails, err := mapCells(o, len(ws), func(ctx context.Context, wi int) ([]fig5Cell, error) {
 			w := ws[wi]
+			defer replaySpan(ctx, w.Name, "fused", 0).End()
 			eff := o.shardsPerCell()
 			open, err := o.shardSource(ctx, cache, w.Name, core.CoarsestGeometry(geos), eff)
 			if err != nil {
@@ -72,6 +74,7 @@ func Fig5(o Options) error {
 		var err error
 		cells, fails, err = mapCells(o, len(ws)*len(blocks), func(ctx context.Context, i int) (fig5Cell, error) {
 			w, g := ws[i/len(blocks)], geos[i%len(blocks)]
+			defer replaySpan(ctx, w.Name, "ours", blocks[i%len(blocks)]).End()
 			r, err := cache.ReaderContext(ctx, w.Name)
 			if err != nil {
 				return fig5Cell{}, err

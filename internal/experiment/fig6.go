@@ -21,6 +21,7 @@ import (
 // decomposed into TRUE/COLD/FALSE like the paper's stacked bars, while MIN
 // (no false sharing by construction), WBWI and MAX are shown as totals.
 func Fig6(o Options, blockBytes int) error {
+	defer driverSpan("fig6").End()
 	g, err := mem.NewGeometry(blockBytes)
 	if err != nil {
 		return err
@@ -60,6 +61,7 @@ func Fig6(o Options, blockBytes int) error {
 		// the trace drives every protocol's simulator at once.
 		groups, gFails, err := mapCells(o, len(ws), func(ctx context.Context, wi int) ([]coherence.Result, error) {
 			w := ws[wi]
+			defer replaySpan(ctx, w.Name, "fused-protocols", blockBytes).End()
 			eff := o.shardsPerCell()
 			open, err := o.shardSource(ctx, cache, w.Name, g, eff)
 			if err != nil {
@@ -76,6 +78,7 @@ func Fig6(o Options, blockBytes int) error {
 		var err error
 		cells, fails, err = mapCells(o, len(ws)*len(protos), func(ctx context.Context, i int) (coherence.Result, error) {
 			w, proto := ws[i/len(protos)], protos[i%len(protos)]
+			defer replaySpan(ctx, w.Name, proto, blockBytes).End()
 			r, err := cache.ReaderContext(ctx, w.Name)
 			if err != nil {
 				return coherence.Result{}, err

@@ -28,6 +28,7 @@ type finiteCell struct {
 // fraction of essential misses will increase in systems with finite
 // caches". The (workload, capacity) grid runs on the sweep engine.
 func FiniteSweep(o Options, blockBytes, assoc int) error {
+	defer driverSpan("finite").End()
 	g, err := mem.NewGeometry(blockBytes)
 	if err != nil {
 		return err
@@ -42,6 +43,7 @@ func FiniteSweep(o Options, blockBytes, assoc int) error {
 	cells, fails, err := mapCells(o, len(ws)*len(CacheSizes), func(ctx context.Context, i int) (finiteCell, error) {
 		w := ws[i/len(CacheSizes)]
 		capacity := CacheSizes[i%len(CacheSizes)]
+		defer replaySpan(ctx, w.Name, capacityLabel(capacity), blockBytes).End()
 		r, err := cache.ReaderContext(ctx, w.Name)
 		if err != nil {
 			return finiteCell{}, err

@@ -26,6 +26,7 @@ type hotspotCell struct {
 // span two structures are attributed to the structure containing their
 // first word. One sweep cell per workload runs the hooked classifier.
 func Hotspots(o Options, blockBytes int) error {
+	defer driverSpan("hotspots").End()
 	g, err := mem.NewGeometry(blockBytes)
 	if err != nil {
 		return err
@@ -39,6 +40,7 @@ func Hotspots(o Options, blockBytes int) error {
 	cache := o.traceCache()
 	cells, fails, err := mapCells(o, len(ws), func(ctx context.Context, i int) (hotspotCell, error) {
 		w := ws[i]
+		defer replaySpan(ctx, w.Name, "hotspots", blockBytes).End()
 		r, err := cache.ReaderContext(ctx, w.Name)
 		if err != nil {
 			return hotspotCell{}, err

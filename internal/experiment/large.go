@@ -25,6 +25,7 @@ var largeBlocks = []int{64, 1024}
 // protocol set; with Quick the small data sets are substituted. The
 // (workload, block, protocol) grid runs on the sweep engine.
 func Large(o Options) error {
+	defer driverSpan("large").End()
 	defaults := workload.LargeSet()
 	if o.Quick {
 		defaults = []string{"LU32", "MP3D1000", "WATER16"}
@@ -56,6 +57,7 @@ func Large(o Options) error {
 		w := ws[i/perWorkload]
 		g := geos[i%perWorkload/perBlock]
 		proto := protos[i%perBlock]
+		defer replaySpan(ctx, w.Name, proto, largeBlocks[i%perWorkload/perBlock]).End()
 		r, err := cache.ReaderContext(ctx, w.Name)
 		if err != nil {
 			return coherence.Result{}, err

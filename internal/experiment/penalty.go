@@ -19,6 +19,7 @@ import (
 // fraction of processor time lost to miss stalls. The (workload, protocol)
 // grid runs on the sweep engine.
 func Penalty(o Options, blockBytes int, m timing.Model) error {
+	defer driverSpan("penalty").End()
 	g, err := mem.NewGeometry(blockBytes)
 	if err != nil {
 		return err
@@ -42,6 +43,7 @@ func Penalty(o Options, blockBytes int, m timing.Model) error {
 	cache := o.traceCache()
 	cells, fails, err := mapCells(o, len(ws)*len(protos), func(ctx context.Context, i int) (timing.Times, error) {
 		w, proto := ws[i/len(protos)], protos[i%len(protos)]
+		defer replaySpan(ctx, w.Name, proto, blockBytes).End()
 		r, err := cache.ReaderContext(ctx, w.Name)
 		if err != nil {
 			return timing.Times{}, err

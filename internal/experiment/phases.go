@@ -23,6 +23,7 @@ type phasesCell struct {
 // the active columns shrink toward the block size. One sweep cell per
 // workload computes the series.
 func Phases(o Options, blockBytes, buckets int) error {
+	defer driverSpan("phases").End()
 	g, err := mem.NewGeometry(blockBytes)
 	if err != nil {
 		return err
@@ -39,6 +40,7 @@ func Phases(o Options, blockBytes, buckets int) error {
 	cache := o.traceCache()
 	cells, fails, err := mapCells(o, len(ws), func(ctx context.Context, i int) (phasesCell, error) {
 		w := ws[i]
+		defer replaySpan(ctx, w.Name, "phases", blockBytes).End()
 		r, err := cache.ReaderContext(ctx, w.Name)
 		if err != nil {
 			return phasesCell{}, err

@@ -38,6 +38,7 @@ type table1Cell struct {
 // (workload, block) cell drives the three classifiers over one trace replay
 // on the sweep engine.
 func Table1(o Options) error {
+	defer driverSpan("table1").End()
 	defaults := []string{"LU200", "MP3D10000"}
 	if o.Quick {
 		defaults = []string{"LU32", "MP3D1000"}
@@ -66,6 +67,7 @@ func Table1(o Options) error {
 		// schemes off one pass (per shard) over the trace.
 		groups, gFails, err := mapCells(o, len(ws), func(ctx context.Context, wi int) ([]table1Cell, error) {
 			w := ws[wi]
+			defer replaySpan(ctx, w.Name, "fused-tri", 0).End()
 			eff := o.shardsPerCell()
 			open, err := o.shardSource(ctx, cache, w.Name, core.CoarsestGeometry(geos), eff)
 			if err != nil {
@@ -90,6 +92,7 @@ func Table1(o Options) error {
 		var err error
 		cells, fails, err = mapCells(o, len(ws)*len(blocks), func(ctx context.Context, i int) (table1Cell, error) {
 			w, g := ws[i/len(blocks)], geos[i%len(blocks)]
+			defer replaySpan(ctx, w.Name, "tri", blocks[i%len(blocks)]).End()
 			r, err := cache.ReaderContext(ctx, w.Name)
 			if err != nil {
 				return table1Cell{}, err

@@ -28,6 +28,7 @@ var table2Paper = map[string][5]float64{
 // tens of millions of references). One sweep cell per workload collects the
 // statistics.
 func Table2(o Options) error {
+	defer driverSpan("table2").End()
 	defaults := workload.Names()
 	if o.Quick {
 		defaults = workload.SmallSet()
@@ -41,6 +42,7 @@ func Table2(o Options) error {
 	cache := o.traceCache()
 	cells, fails, err := mapCells(o, len(ws), func(ctx context.Context, i int) (*trace.Stats, error) {
 		w := ws[i]
+		defer replaySpan(ctx, w.Name, "stats", 0).End()
 		r, err := cache.ReaderContext(ctx, w.Name)
 		if err != nil {
 			return nil, err

@@ -20,6 +20,7 @@ import (
 // Close the set when the run is done.
 type TraceFileSet struct {
 	files map[string]*tracestore.File
+	paths map[string]string
 }
 
 // OpenTraceFiles opens every binding, validating that each name is a
@@ -27,7 +28,10 @@ type TraceFileSet struct {
 // the workload's — replaying MP3D's file as WATER would silently produce
 // garbage figures otherwise. On error, files opened so far are closed.
 func OpenTraceFiles(specs map[string]string) (*TraceFileSet, error) {
-	s := &TraceFileSet{files: make(map[string]*tracestore.File, len(specs))}
+	s := &TraceFileSet{
+		files: make(map[string]*tracestore.File, len(specs)),
+		paths: make(map[string]string, len(specs)),
+	}
 	for name, path := range specs {
 		w, err := workload.Get(name)
 		if err != nil {
@@ -46,8 +50,40 @@ func OpenTraceFiles(specs map[string]string) (*TraceFileSet, error) {
 				path, f.Procs(), name, w.Procs)
 		}
 		s.files[name] = f
+		s.paths[name] = path
 	}
 	return s, nil
+}
+
+// TraceFileInfo identifies one opened trace-file binding for provenance
+// manifests: the workload, the file's path and size, and the TOC digest —
+// the content hash 'trace pack' reports and -resume checkpoints verify.
+type TraceFileInfo struct {
+	Workload  string `json:"workload"`
+	Path      string `json:"path"`
+	Refs      uint64 `json:"refs"`
+	Bytes     int64  `json:"bytes"`
+	TOCSHA256 string `json:"toc_sha256"`
+}
+
+// Manifest describes every binding, in sorted workload order. Safe on a
+// nil set (returns nil).
+func (s *TraceFileSet) Manifest() []TraceFileInfo {
+	if s == nil {
+		return nil
+	}
+	infos := make([]TraceFileInfo, 0, len(s.files))
+	for _, name := range s.Names() {
+		f := s.files[name]
+		infos = append(infos, TraceFileInfo{
+			Workload:  name,
+			Path:      s.paths[name],
+			Refs:      f.NumRefs(),
+			Bytes:     f.Size(),
+			TOCSHA256: f.TOCDigest(),
+		})
+	}
+	return infos
 }
 
 // File returns the opened trace file bound to name, or nil (also on a nil

@@ -39,6 +39,7 @@ func TrafficOf(res coherence.Result, g mem.Geometry) uint64 {
 // fetch traffic for update traffic. The (workload, block, protocol) grid
 // runs on the sweep engine.
 func Traffic(o Options) error {
+	defer driverSpan("traffic").End()
 	names := o.workloads(workload.SmallSet())
 	protos := o.Protocols
 	if len(protos) == 0 {
@@ -66,6 +67,7 @@ func Traffic(o Options) error {
 		w := ws[i/perWorkload]
 		g := geos[i%perWorkload/perBlock]
 		proto := protos[i%perBlock]
+		defer replaySpan(ctx, w.Name, proto, largeBlocks[i%perWorkload/perBlock]).End()
 		sim, err := coherence.New(proto, w.Procs, g)
 		if err != nil {
 			return coherence.Result{}, err

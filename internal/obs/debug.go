@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -23,15 +24,28 @@ func publishExpvar() {
 	})
 }
 
+// ready gates /readyz. It starts true (a process that can serve HTTP can
+// also answer queries); long drivers may clear it during teardown so a
+// supervisor stops routing scrapes at a clean boundary.
+var ready atomic.Bool
+
+func init() { ready.Store(true) }
+
+// SetReady sets the /readyz state.
+func SetReady(ok bool) { ready.Store(ok) }
+
 // DebugServer is the opt-in HTTP introspection endpoint behind the CLI's
 // -debug-addr flag. It serves:
 //
-//	/metrics          the default registry's run report as JSON
+//	/metrics          the default registry in Prometheus text format
+//	/metrics.json     the default registry's run report as JSON
+//	/healthz          liveness: always 200 while the server is up
+//	/readyz           readiness: 200, or 503 after SetReady(false)
 //	/debug/vars       expvar (includes the registry under "uselessmiss")
 //	/debug/pprof/...  the full net/http/pprof suite
 //
 // so a long sweep that looks stuck can be inspected in flight: goroutine
-// dumps show where the pool is blocked, and successive /metrics snapshots
+// dumps show where the pool is blocked, and successive /metrics scrapes
 // show whether cells are still finishing.
 type DebugServer struct {
 	ln  net.Listener
@@ -48,8 +62,25 @@ func ServeDebug(addr string) (*DebugServer, error) {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		Default.WritePrometheus(w) //nolint:errcheck // best-effort response
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		Default.Report().WriteJSON(w) //nolint:errcheck // best-effort response
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n")) //nolint:errcheck // best-effort response
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !ready.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte("draining\n")) //nolint:errcheck // best-effort response
+			return
+		}
+		w.Write([]byte("ok\n")) //nolint:errcheck // best-effort response
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -33,19 +33,46 @@ func TestDebugServer(t *testing.T) {
 	defer srv.Close()
 	base := "http://" + srv.Addr()
 
-	// A known counter must show up in both /metrics and /debug/vars.
+	// A known counter must show up in /metrics, /metrics.json and
+	// /debug/vars.
 	Default.Counter("obs.debug_test.pings").Inc()
 
 	code, body := get(t, base+"/metrics")
 	if code != http.StatusOK {
 		t.Fatalf("/metrics status %d", code)
 	}
+	if !strings.Contains(body, "uselessmiss_obs_debug_test_pings_total") {
+		t.Errorf("/metrics missing Prometheus counter:\n%s", body)
+	}
+	if !strings.Contains(body, "# TYPE uselessmiss_obs_debug_test_pings_total counter") {
+		t.Error("/metrics missing TYPE line for the counter")
+	}
+
+	code, body = get(t, base+"/metrics.json")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics.json status %d", code)
+	}
 	var rep RunReport
 	if err := json.Unmarshal([]byte(body), &rep); err != nil {
-		t.Fatalf("/metrics is not a run report: %v\n%s", err, body)
+		t.Fatalf("/metrics.json is not a run report: %v\n%s", err, body)
 	}
 	if rep.Deterministic.Counters["obs.debug_test.pings"] == 0 {
-		t.Error("/metrics missing registry counter")
+		t.Error("/metrics.json missing registry counter")
+	}
+
+	if code, body := get(t, base+"/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+	if code, _ := get(t, base+"/readyz"); code != http.StatusOK {
+		t.Errorf("/readyz = %d, want 200", code)
+	}
+	SetReady(false)
+	if code, _ := get(t, base+"/readyz"); code != http.StatusServiceUnavailable {
+		t.Errorf("/readyz after SetReady(false) = %d, want 503", code)
+	}
+	SetReady(true)
+	if code, _ := get(t, base+"/readyz"); code != http.StatusOK {
+		t.Errorf("/readyz after SetReady(true) = %d, want 200", code)
 	}
 
 	code, body = get(t, base+"/debug/vars")

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// SnapshotSchema identifies the streaming metrics-snapshot JSONL layout.
+// Each line is a delta report: the registry's change since the previous
+// line (the first line is relative to the run's base snapshot), so the
+// deltas telescope — summing every line reconstructs final − base exactly.
+const SnapshotSchema = "uselessmiss/metrics/v1+delta"
+
+// MetricsSnapshot is one line of the -metrics-interval JSONL stream.
+type MetricsSnapshot struct {
+	Schema      string    `json:"schema"`
+	Seq         int       `json:"seq"`
+	WallSeconds float64   `json:"wall_seconds"`
+	Final       bool      `json:"final,omitempty"`
+	Delta       RunReport `json:"delta"`
+}
+
+// Snapshotter periodically emits registry deltas as JSONL while a run is
+// in flight, so an operator tailing the snapshot file (or a supervisor
+// scraping it) sees per-interval throughput rather than only the final
+// report. Stop flushes one last delta flagged "final".
+type Snapshotter struct {
+	w        io.Writer
+	reg      *Registry
+	interval time.Duration
+	start    time.Time
+
+	mu   sync.Mutex // serializes emit vs Stop
+	last RunReport
+	seq  int
+	err  error
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// StartSnapshots begins emitting deltas of reg to w every interval. base is
+// the snapshot taken at run start: the first emitted line is relative to
+// it, so pre-run totals from earlier runs in the same process never leak
+// into the stream.
+func StartSnapshots(w io.Writer, reg *Registry, interval time.Duration, base RunReport) *Snapshotter {
+	s := &Snapshotter{
+		w:        w,
+		reg:      reg,
+		interval: interval,
+		start:    time.Now(),
+		last:     base,
+		done:     make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.loop()
+	return s
+}
+
+func (s *Snapshotter) loop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.emit(false)
+		case <-s.done:
+			return
+		}
+	}
+}
+
+// emit writes one delta line. Holding mu across the Report() call keeps
+// "last" consistent: each registry mutation lands in exactly one line.
+func (s *Snapshotter) emit(final bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.reg.Report()
+	line := MetricsSnapshot{
+		Schema:      SnapshotSchema,
+		Seq:         s.seq,
+		WallSeconds: time.Since(s.start).Seconds(),
+		Final:       final,
+		Delta:       Delta(s.last, cur),
+	}
+	s.last = cur
+	s.seq++
+	data, err := json.Marshal(line)
+	if err == nil {
+		data = append(data, '\n')
+		_, err = s.w.Write(data)
+	}
+	if err != nil && s.err == nil {
+		s.err = err
+	}
+}
+
+// Stop halts the ticker, emits a final delta line covering everything since
+// the previous one, and returns the first write error encountered.
+func (s *Snapshotter) Stop() error {
+	close(s.done)
+	s.wg.Wait()
+	s.emit(true)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}

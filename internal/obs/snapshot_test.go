@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// The snapshotter goroutine writes while the test reads; syncBuffer (from
+// progress_test.go) makes that safe.
+
+// TestSnapshotDeltasTelescope drives the registry from concurrent workers
+// while the snapshotter streams deltas, then checks the invariant the
+// format promises: every line parses, sequence numbers are dense, exactly
+// one final line ends the stream, and the summed deltas equal the
+// registry's total change — no observation is double-counted or dropped
+// between lines.
+func TestSnapshotDeltasTelescope(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("snap.test.refs")
+	tc := reg.TimingCounter("snap.test.blocked_ns")
+	h := reg.Histogram("snap.test.batch", []uint64{10, 100})
+	base := reg.Report()
+
+	var out syncBuffer
+	s := StartSnapshots(&out, reg, 2*time.Millisecond, base)
+
+	const workers = 4
+	const iters = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Add(3)
+				tc.Inc()
+				h.Observe(uint64(i % 150))
+			}
+		}(w)
+	}
+	wg.Wait()
+	final := reg.Report()
+	if err := s.Stop(); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+
+	var (
+		lines      []MetricsSnapshot
+		sumRefs    uint64
+		sumBlocked uint64
+		sumHistCnt uint64
+		sumHistSum uint64
+		finals     int
+	)
+	sc := bufio.NewScanner(strings.NewReader(out.String()))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var line MetricsSnapshot
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad snapshot line %q: %v", sc.Text(), err)
+		}
+		if line.Schema != SnapshotSchema {
+			t.Fatalf("schema = %q, want %q", line.Schema, SnapshotSchema)
+		}
+		if line.Seq != len(lines) {
+			t.Fatalf("seq = %d at line %d (not dense)", line.Seq, len(lines))
+		}
+		if line.WallSeconds < 0 {
+			t.Fatalf("negative wall_seconds %v", line.WallSeconds)
+		}
+		if line.Final {
+			finals++
+		}
+		sumRefs += line.Delta.Deterministic.Counters["snap.test.refs"]
+		sumBlocked += line.Delta.Timings.Counters["snap.test.blocked_ns"]
+		hd := line.Delta.Deterministic.Histograms["snap.test.batch"]
+		sumHistCnt += hd.Count
+		sumHistSum += hd.Sum
+		lines = append(lines, line)
+	}
+	if len(lines) == 0 {
+		t.Fatal("no snapshot lines emitted")
+	}
+	if finals != 1 || !lines[len(lines)-1].Final {
+		t.Fatalf("final flags = %d, last line final = %v; want exactly one, last", finals, lines[len(lines)-1].Final)
+	}
+
+	if want := uint64(workers * iters * 3); sumRefs != want {
+		t.Errorf("telescoped refs = %d, want %d", sumRefs, want)
+	}
+	if want := uint64(workers * iters); sumBlocked != want {
+		t.Errorf("telescoped blocked = %d, want %d", sumBlocked, want)
+	}
+	fh := final.Deterministic.Histograms["snap.test.batch"]
+	if sumHistCnt != fh.Count || sumHistSum != fh.Sum {
+		t.Errorf("telescoped histogram count/sum = %d/%d, want %d/%d",
+			sumHistCnt, sumHistSum, fh.Count, fh.Sum)
+	}
+}
+
+// TestSnapshotterStopIsFinalOnly checks a stream with no ticker firings
+// still emits the mandatory final line.
+func TestSnapshotterStopIsFinalOnly(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("snap.test2.n").Add(7)
+	base := reg.Report()
+	reg.Counter("snap.test2.n").Add(5)
+
+	var out syncBuffer
+	s := StartSnapshots(&out, reg, time.Hour, base)
+	if err := s.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	var line MetricsSnapshot
+	if err := json.Unmarshal([]byte(strings.TrimSpace(out.String())), &line); err != nil {
+		t.Fatalf("stream is not exactly one JSON line: %v\n%s", err, out.String())
+	}
+	if !line.Final || line.Seq != 0 {
+		t.Fatalf("line = seq %d final %v, want seq 0 final", line.Seq, line.Final)
+	}
+	if got := line.Delta.Deterministic.Counters["snap.test2.n"]; got != 5 {
+		t.Fatalf("delta counter = %d, want 5 (base excluded)", got)
+	}
+}

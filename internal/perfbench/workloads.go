@@ -14,6 +14,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/finite"
 	"repro/internal/mem"
+	"repro/internal/obs/span"
 	"repro/internal/trace"
 	"repro/internal/tracestore"
 	"repro/internal/workload"
@@ -91,8 +92,9 @@ func pinnedClassifierPass(c trace.BatchConsumer, batches [][]trace.Ref, refs uin
 // All returns the registered workloads in report order: the three
 // classifiers (pinned zero-alloc paths), the seven invalidation schedules,
 // the finite cache, the block-sharded pipeline, raw generation, an
-// end-to-end quick figure sweep (generation + classify + render), and the
-// trace-store paths (pinned segment decode, file-backed figure sweep).
+// end-to-end quick figure sweep (generation + classify + render), the
+// trace-store paths (pinned segment decode, file-backed figure sweep), and
+// the pinned disabled-span path (instrumentation off must stay free).
 func All() []Workload {
 	g := mem.MustGeometry(64)
 	return []Workload{
@@ -301,6 +303,33 @@ func All() []Workload {
 					return nil, err
 				}
 				return pass, nil
+			},
+		},
+		{
+			// The flight-recorder off switch: a warmed fused classifier
+			// replayed with span calls on every batch while no recorder is
+			// active. Pinned at 0 allocs/pass, this is the proof that the
+			// disabled instrumentation path costs nothing on the hot path.
+			Name:   "obs/span-disabled",
+			Pinned: true,
+			Setup: func() (func() (uint64, error), error) {
+				tr, err := collect(benchWorkload)
+				if err != nil {
+					return nil, err
+				}
+				c := core.NewFusedClassifier(tr.Procs, []mem.Geometry{g})
+				batches := chunk(tr.Refs)
+				for _, b := range batches { // warm: populate the dense tables
+					c.RefBatch(b)
+				}
+				return func() (uint64, error) {
+					for _, b := range batches {
+						sp := span.Root(span.OpDrive, span.Fields{Workload: benchWorkload})
+						c.RefBatch(b)
+						sp.End()
+					}
+					return uint64(tr.Len()), nil
+				}, nil
 			},
 		},
 		{

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 )
 
 // Metric handles, resolved once. Cell counts are deterministic (they depend
@@ -42,8 +43,17 @@ var cellNsBounds = []uint64{1e6, 1e7, 1e8, 1e9, 1e10, 1e11}
 // containment: a panicking cell is recovered into a *CellError carrying the
 // worker stack, so one crashed cell can never take down the whole sweep
 // process.
-func runCell[T any](ctx context.Context, i int, fn func(ctx context.Context, i int) (T, error)) (r T, err error) {
+// tr is the worker's span track (nil when tracing is off) and submitNs the
+// instant the sweep was submitted: the gap between submission and this
+// call is the cell's queue wait, recorded as a zero-depth sweep.cell_wait
+// span so pool contention is visible in the trace viewer next to the
+// cell's run span.
+func runCell[T any](ctx context.Context, tr *span.Track, submitNs int64, i int, fn func(ctx context.Context, i int) (T, error)) (r T, err error) {
 	mCellsStarted.Inc()
+	if tr != nil {
+		tr.Emit(span.OpCellWait, span.Fields{Cell: int32(i)}, submitNs)
+		defer tr.Begin(span.OpCell, span.Fields{Cell: int32(i)}).End()
+	}
 	t0 := time.Now()
 	defer func() {
 		if p := recover(); p != nil {
@@ -108,15 +118,24 @@ func Run[T any](ctx context.Context, n int, o Options, fn func(ctx context.Conte
 		return nil, nil
 	}
 	mCellsPlanned.Add(uint64(n))
+	submitNs := span.Now()
 	results := make([]T, n)
 	p := o.workers(n)
 	if p == 1 {
+		// Serial path: record on the caller's track if it has one, else on
+		// a dedicated sweep track; cells inherit it through the context.
+		tr := span.FromContext(ctx)
+		if tr == nil {
+			tr = span.Acquire("sweep")
+			defer span.Release(tr)
+			ctx = span.NewContext(ctx, tr)
+		}
 		var fails Failures
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			r, err := runCell(ctx, i, fn)
+			r, err := runCell(ctx, tr, submitNs, i, fn)
 			if err != nil {
 				if !o.KeepGoing {
 					return nil, err
@@ -140,14 +159,20 @@ func Run[T any](ctx context.Context, n int, o Options, fn func(ctx context.Conte
 	var wg sync.WaitGroup
 	for w := 0; w < p; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			// Each pool worker owns one span track (single-writer); cells
+			// inherit it through the worker's context so the drives and
+			// fused sweeps inside land on the worker's timeline.
+			tr := span.Acquiref("sweep-worker", w)
+			defer span.Release(tr)
+			wctx := span.NewContext(ctx, tr)
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n || ctx.Err() != nil {
 					return
 				}
-				r, err := runCell(ctx, i, fn)
+				r, err := runCell(wctx, tr, submitNs, i, fn)
 				if err != nil {
 					errs[i] = err
 					if o.KeepGoing {
@@ -158,7 +183,7 @@ func Run[T any](ctx context.Context, n int, o Options, fn func(ctx context.Conte
 				}
 				results[i] = r
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if err := parent.Err(); err != nil {

@@ -22,6 +22,7 @@ var (
 	mDemuxBroadcasts = obs.Default.Counter(obs.NameDemuxBroadcasts)
 	mDemuxShardRefs  = obs.Default.Histogram(obs.NameDemuxShardRefs, shardRefsBounds)
 	mDemuxBlockedNs  = obs.Default.TimingCounter(obs.NameDemuxBlockedNs)
+	mDemuxQueueDepth = obs.Default.TimingHistogram(obs.NameDemuxQueueDepth, queueDepthBounds)
 )
 
 // batchSizeBounds covers the delivered-batch spectrum up to driveBatch;
@@ -32,3 +33,9 @@ var batchSizeBounds = []uint64{1, 8, 64, 256, 512, driveBatch}
 // observation per shard per demux, so skew in the block partition shows up
 // as spread across buckets.
 var shardRefsBounds = []uint64{1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000}
+
+// queueDepthBounds covers a shard channel's occupancy in batches after each
+// send: 0..demuxBuffer-1 finite buckets, with a full channel (demuxBuffer)
+// landing in the overflow bucket. A stream of zeros means the consumers
+// outrun the pump; a stream of overflows means the pump outruns them.
+var queueDepthBounds = []uint64{0, 1, 2, demuxBuffer - 1}

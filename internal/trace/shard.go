@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/mem"
+	"repro/internal/obs/span"
 )
 
 // This file implements the demux stage of the block-sharded classification
@@ -63,6 +64,22 @@ type Demux struct {
 	once   sync.Once
 	wg     sync.WaitGroup
 	ctx    context.Context
+
+	// flows holds one span flow id per shard (nil when tracing is off).
+	// The pump emits the flow's producer endpoint at the first successful
+	// send into a shard; the shard's consumer goroutine emits the consumer
+	// endpoint via FlowID, drawing a producer→consumer arrow in the trace
+	// viewer.
+	flows []uint64
+}
+
+// FlowID returns shard i's span flow id, or 0 when tracing was off when the
+// demux started (0 makes FlowIn a no-op, so callers need not check).
+func (d *Demux) FlowID(i int) uint64 {
+	if d.flows == nil {
+		return 0
+	}
+	return d.flows[i]
 }
 
 // NewDemux starts the demux of r into n shards routed by key. It panics if
@@ -93,6 +110,12 @@ func NewDemuxContext(ctx context.Context, r Reader, n int, key ShardFunc) *Demux
 			procs: r.NumProcs(),
 			ch:    make(chan []Ref, demuxBuffer),
 			done:  make(chan struct{}),
+		}
+	}
+	if span.Enabled() {
+		d.flows = make([]uint64, n)
+		for i := range d.flows {
+			d.flows[i] = span.NewFlowID()
 		}
 	}
 	d.wg.Add(1)
@@ -127,6 +150,17 @@ func (d *Demux) pump(r Reader, key ShardFunc) {
 	batches := make([][]Ref, n)
 	var err error
 
+	// The pump runs in its own goroutine, so it owns its own span track
+	// (tracks are single-writer). flowSent marks shards whose producer flow
+	// endpoint has been emitted; both stay nil when tracing is off.
+	tr := span.Acquire("demux-pump")
+	defer span.Release(tr)
+	defer tr.Begin(span.OpDemuxPump, span.Fields{}).End()
+	var flowSent []bool
+	if tr != nil {
+		flowSent = make([]bool, n)
+	}
+
 	// Metric accumulators: plain locals inside the routing loop (which is
 	// necessarily per-reference), flushed to the atomic counters once when
 	// the pump exits.
@@ -155,13 +189,25 @@ func (d *Demux) pump(r Reader, key ShardFunc) {
 			batches[i] = nil
 			return true
 		}
+		// sent finishes the bookkeeping for a successful send: the shard
+		// channel's occupancy right after the send is the queue-depth
+		// sample, and the first send into a shard emits the producer half
+		// of its flow arrow.
+		sent := func() {
+			routed[i] += uint64(len(batches[i]))
+			batches[i] = nil
+			mDemuxQueueDepth.Observe(uint64(len(s.ch)))
+			if tr != nil && !flowSent[i] {
+				tr.FlowOut(d.flows[i])
+				flowSent[i] = true
+			}
+		}
 		// Fast path: the shard's channel has room. Only when the send
 		// would block does the pump pay for timestamps, so blocked-send
 		// time measures genuine backpressure from slow shard consumers.
 		select {
 		case s.ch <- batches[i]:
-			routed[i] += uint64(len(batches[i]))
-			batches[i] = nil
+			sent()
 			return true
 		default:
 		}
@@ -169,8 +215,7 @@ func (d *Demux) pump(r Reader, key ShardFunc) {
 		select {
 		case s.ch <- batches[i]:
 			blockedNs += uint64(time.Since(t0))
-			routed[i] += uint64(len(batches[i]))
-			batches[i] = nil
+			sent()
 			return true
 		case <-s.done:
 			// The consumer closed this shard: drop its refs and keep

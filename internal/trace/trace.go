@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"repro/internal/obs/span"
 )
 
 // Reader is a pull-based stream of trace references. Next returns io.EOF
@@ -275,6 +277,19 @@ func DriveContext(ctx context.Context, r Reader, consumers ...Consumer) (err err
 			}
 		}
 	}()
+	// When a span track rides on the context (installed by the sweep worker
+	// or shard-consumer goroutine that owns this drive), record the whole
+	// drive as one span and hand the track to consumers that want to emit
+	// their own sub-spans (the fused classifiers). Disabled tracing takes
+	// the nil-track path: one atomic load, no allocation.
+	if tr := span.FromContext(ctx); tr != nil {
+		defer tr.Begin(span.OpDrive, span.Fields{}).End()
+		for _, c := range consumers {
+			if ts, ok := c.(span.TrackSetter); ok {
+				ts.SetSpanTrack(tr)
+			}
+		}
+	}
 	br, batched := r.(BatchReader)
 	buf := make([]Ref, driveBatch)
 	// Resolve each consumer's delivery mode once, outside the hot loop.

@@ -1,0 +1,23 @@
+package tracestore
+
+import (
+	"repro/internal/obs"
+)
+
+// Metric handles for the readahead decode worker, resolved once at package
+// init. Segment I/O is per-segment (tens of thousands of references), so
+// the three observations per segment are far off the replay hot path. All
+// three are timing-class: how many segment reads actually happen depends
+// on the sweep cache's singleflight coalescing (scheduling-dependent), and
+// wall time and queue occupancy obviously do too.
+var (
+	mStoreSegments  = obs.Default.TimingCounter(obs.NameStoreSegments)
+	mStoreSegmentNs = obs.Default.TimingCounter(obs.NameStoreSegmentNs)
+	mStoreOccupancy = obs.Default.TimingHistogram(obs.NameStoreOccupancy, occupancyBounds)
+)
+
+// occupancyBounds covers the results queue's occupancy sampled as each
+// decoded segment ships: 0..readahead+1 slots exist; persistent zeros mean
+// the replayer outruns the decoder (I/O bound), persistent highs the
+// reverse.
+var occupancyBounds = []uint64{0, 1, 2, 4}

@@ -4,8 +4,10 @@ import (
 	"context"
 	"io"
 	"sync"
+	"time"
 
 	"repro/internal/mem"
+	"repro/internal/obs/span"
 	"repro/internal/trace"
 )
 
@@ -144,6 +146,13 @@ func (f *File) newReader(ctx context.Context, segs []int, ownsFile bool) *Reader
 func (r *Reader) run(ctx context.Context) {
 	defer r.wg.Done()
 	defer close(r.results)
+	// The worker is its own goroutine, so it owns its own span track
+	// (tracks are single-writer; sharing the replayer's would race). Each
+	// segment's pread+decode+CRC becomes one tracestore.segment_io span
+	// whose depth attribute samples the results-queue occupancy at ship
+	// time — the live readahead margin.
+	tr := span.Acquire("tracestore-readahead")
+	defer span.Release(tr)
 	cur := r.f.Cursor()
 	for _, i := range r.segs {
 		var buf []trace.Ref
@@ -159,7 +168,16 @@ func (r *Reader) run(ctx context.Context) {
 			r.results <- segResult{err: err}
 			return
 		}
+		var sp span.Span
+		if tr != nil {
+			sp = tr.Begin(span.OpSegmentIO, span.Fields{Segment: int32(i), Depth: int32(len(r.results))})
+		}
+		t0 := time.Now()
 		refs, err := cur.Read(i, buf)
+		mStoreSegmentNs.Add(uint64(time.Since(t0)))
+		mStoreSegments.Inc()
+		mStoreOccupancy.Observe(uint64(len(r.results)))
+		sp.End()
 		if err != nil {
 			r.results <- segResult{err: err}
 			return
