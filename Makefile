@@ -5,7 +5,7 @@ BENCHTIME ?= 1x
 # the floor was set; drops below the floor fail `make cover` (and ci).
 COVERFLOOR ?= 85.0
 
-.PHONY: all build test race vet fmt golden golden-check metrics-check trace-check faults cover fuzz bench bench-save bench-compare bench-gate ci
+.PHONY: all build test race vet fmt golden golden-check metrics-check trace-check faults serve-check cover fuzz bench bench-save bench-compare bench-gate ci
 
 # Where bench-save snapshots benchmark output and bench-compare reads it.
 BENCHDIR ?= results
@@ -81,6 +81,15 @@ faults:
 	$(GO) test -race -count=1 ./cmd/uselessmiss \
 		-run 'TestExitCode|TestTimeoutExpires|TestManifest|TestRegenResumeWithoutManifest'
 
+# The serving-mode suite under the race detector: admission control, the
+# circuit breaker, graceful drain (readyz-first ordering, forced-cancel exit
+# path), chaos lifecycle leak checks, and the load generator — plus the
+# HTTP-vs-offline differential jobs in cmd/uselessmiss. Any unsynchronized
+# access on the submit path or a goroutine leaked across a drain fails here.
+serve-check:
+	$(GO) test -race -count=1 ./internal/serve ./internal/load
+	$(GO) test -race -count=1 ./cmd/uselessmiss -run 'TestServeDifferential'
+
 # Enforce the aggregate statement-coverage floor: fails if the whole-repo
 # total drops below $(COVERFLOOR)%.
 cover:
@@ -142,4 +151,4 @@ bench-gate:
 	@test -f $(BENCHJSON) || { echo "no baseline at $(BENCHJSON); run 'make bench-save' first"; exit 1; }
 	$(GO) run ./cmd/uselessmiss bench -baseline $(BENCHJSON) -tolerance $(BENCHTOL) -log info
 
-ci: build vet fmt test race golden-check metrics-check trace-check faults cover
+ci: build vet fmt test race golden-check metrics-check trace-check faults serve-check cover

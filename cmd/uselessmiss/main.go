@@ -27,6 +27,8 @@
 //	selfcheck  verify the paper's structural identities on any trace
 //	classify   classify one workload or trace file at one block size
 //	protocols  run protocol simulators over one workload or trace file
+//	serve      long-running classification service (HTTP job API)
+//	load       seeded open-loop load generator against a running server
 //	trace      packed trace-store tooling: pack, info, cat
 //	tracegen   write a workload's trace to a file (v2 stream codec)
 //	traceinfo  summarize a trace file
@@ -35,9 +37,10 @@
 //
 // Exit codes:
 //
-//	0    success
+//	0    success (for 'serve': a clean graceful drain)
 //	1    error
-//	3    partial report: -keep-going rendered a table with FAILED cells
+//	3    partial report: -keep-going rendered a table with FAILED cells,
+//	     or a 'serve' drain hit its deadline and force-canceled jobs
 //	130  interrupted: SIGINT/SIGTERM received or -timeout expired
 package main
 

@@ -33,7 +33,7 @@ func run(args []string, out io.Writer) error {
 // context.Canceled (or DeadlineExceeded) to the caller.
 func runContext(ctx context.Context, args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("missing subcommand (try 'list', 'table1', 'table2', 'fig5', 'fig6', 'large', 'traffic', 'finite', 'ablate', 'compare', 'penalty', 'hotspots', 'phases', 'bench', 'regen', 'selfcheck', 'classify', 'protocols', 'trace', 'tracegen', 'traceinfo')")
+		return fmt.Errorf("missing subcommand (try 'list', 'table1', 'table2', 'fig5', 'fig6', 'large', 'traffic', 'finite', 'ablate', 'compare', 'penalty', 'hotspots', 'phases', 'bench', 'regen', 'selfcheck', 'classify', 'protocols', 'serve', 'load', 'trace', 'tracegen', 'traceinfo')")
 	}
 	cmd, rest := args[0], args[1:]
 	switch cmd {
@@ -71,6 +71,10 @@ func runContext(ctx context.Context, args []string, out io.Writer) error {
 		return cmdSelfcheck(rest, out)
 	case "classify":
 		return cmdClassify(ctx, rest, out)
+	case "serve":
+		return cmdServe(ctx, rest, out)
+	case "load":
+		return cmdLoad(ctx, rest, out)
 	case "protocols":
 		return cmdProtocols(ctx, rest, out)
 	case "trace":
@@ -457,65 +461,11 @@ func cmdClassify(ctx context.Context, args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	g, err := mem.NewGeometry(*block)
-	if err != nil {
-		return err
-	}
 	r, err := openTrace(*workloadName, *file)
 	if err != nil {
 		return err
 	}
-	procs := r.NumProcs()
-	oc := core.NewClassifier(procs, g)
-	ec := core.NewEggers(procs, g)
-	tc := core.NewTorrellas(procs, g)
-	var consumers []trace.Consumer
-	switch *scheme {
-	case "ours":
-		consumers = []trace.Consumer{oc}
-	case "eggers":
-		consumers = []trace.Consumer{ec}
-	case "torrellas":
-		consumers = []trace.Consumer{tc}
-	case "all":
-		consumers = []trace.Consumer{oc, ec, tc}
-	default:
-		trace.CloseReader(r) //nolint:errcheck // error path cleanup
-		return fmt.Errorf("unknown scheme %q", *scheme)
-	}
-	if err := trace.DriveContext(ctx, r, consumers...); err != nil {
-		return err
-	}
-
-	tb := report.NewTable("scheme", "class", "misses", "rate%")
-	row := func(scheme, class string, n, refs uint64) {
-		tb.Rowf(scheme, class, n, pctf(core.Rate(n, refs)))
-	}
-	for _, c := range consumers {
-		switch c := c.(type) {
-		case *core.Classifier:
-			counts, refs := c.Finish(), c.DataRefs()
-			row("ours", "PC", counts.PC, refs)
-			row("ours", "CTS", counts.CTS, refs)
-			row("ours", "CFS", counts.CFS, refs)
-			row("ours", "PTS", counts.PTS, refs)
-			row("ours", "PFS", counts.PFS, refs)
-			row("ours", "essential", counts.Essential(), refs)
-			row("ours", "total", counts.Total(), refs)
-		case *core.Eggers:
-			s, refs := c.Finish(), c.DataRefs()
-			row("eggers", "COLD", s.Cold, refs)
-			row("eggers", "TSM", s.True, refs)
-			row("eggers", "FSM", s.False, refs)
-		case *core.Torrellas:
-			s, refs := c.Finish(), c.DataRefs()
-			row("torrellas", "COLD", s.Cold, refs)
-			row("torrellas", "TSM", s.True, refs)
-			row("torrellas", "FSM", s.False, refs)
-		}
-	}
-	tb.Fprint(out)
-	return nil
+	return experiment.ClassifyReader(experiment.Options{Out: out, Ctx: ctx}, r, *block, *scheme)
 }
 
 func pctf(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }

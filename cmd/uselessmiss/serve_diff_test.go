@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// startDiffServer boots an in-process serving instance for the
+// differential suite and tears it down through the graceful drain.
+func startDiffServer(t *testing.T) string {
+	t.Helper()
+	s, err := serve.New(serve.Config{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Run(ctx) }()
+	t.Cleanup(func() {
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("serve drain: %v", err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Error("serve drain hung")
+			s.Close()
+		}
+	})
+	base := "http://" + s.Addr()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return base
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("serve never ready")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// postJob submits one body and returns the response bytes, failing on any
+// non-200.
+func postJob(t *testing.T, url, contentType string, body []byte) []byte {
+	t.Helper()
+	resp, err := http.Post(url, contentType, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", resp.StatusCode, out)
+	}
+	return out
+}
+
+// TestServeDifferentialSpecJobs: a JSON job spec must render byte-identical
+// tables to the offline CLI across the replay configurations a spec can
+// reach — sweep parallelism, per-cell sharding and fusion.
+func TestServeDifferentialSpecJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential grid is not short")
+	}
+	base := startDiffServer(t)
+
+	t.Run("classify", func(t *testing.T) {
+		want := runOut(t, "classify", "-workload", "LU32", "-block", "32")
+		got := postJob(t, base+"/v1/jobs", "application/json",
+			[]byte(`{"experiment":"classify","workload":"LU32","block":32}`))
+		if want != string(got) {
+			t.Errorf("classify spec diverges from CLI:\n--- want\n%s\n--- got\n%s", want, got)
+		}
+	})
+
+	want := runOut(t, "fig5", "-workloads", "LU32")
+	for _, tc := range []struct {
+		name string
+		spec string
+	}{
+		{"defaults", `{"experiment":"fig5","workloads":["LU32"]}`},
+		{"j1_shards1", `{"experiment":"fig5","workloads":["LU32"],"parallelism":1,"shards":1}`},
+		{"j8_shards8", `{"experiment":"fig5","workloads":["LU32"],"parallelism":8,"shards":8}`},
+		{"unfused", `{"experiment":"fig5","workloads":["LU32"],"no_fuse":true}`},
+		{"unfused_j8", `{"experiment":"fig5","workloads":["LU32"],"no_fuse":true,"parallelism":8,"shards":4}`},
+	} {
+		t.Run("fig5_"+tc.name, func(t *testing.T) {
+			got := postJob(t, base+"/v1/jobs", "application/json", []byte(tc.spec))
+			if want != string(got) {
+				t.Errorf("fig5 spec %s diverges from CLI:\n--- want\n%s\n--- got\n%s", tc.name, want, got)
+			}
+		})
+	}
+}
+
+// TestServeDifferentialUploadedTraces: uploading the trace bytes
+// themselves — both the packed store format and the v2 stream codec — must
+// classify byte-identically to the CLI reading the same file.
+func TestServeDifferentialUploadedTraces(t *testing.T) {
+	if testing.Short() {
+		t.Skip("uploads full traces")
+	}
+	base := startDiffServer(t)
+
+	t.Run("packed", func(t *testing.T) {
+		path := packLU32(t)
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := runOut(t, "classify", "-trace", path, "-block", "64")
+		got := postJob(t, base+"/v1/jobs?block=64&scheme=all", "application/octet-stream", raw)
+		if want != string(got) {
+			t.Errorf("packed upload diverges from CLI:\n--- want\n%s\n--- got\n%s", want, got)
+		}
+	})
+
+	t.Run("codec", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "LU32.bin")
+		runOut(t, "tracegen", "-workload", "LU32", "-o", path)
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, scheme := range []string{"all", "ours"} {
+			want := runOut(t, "classify", "-trace", path, "-block", "64", "-scheme", scheme)
+			got := postJob(t, fmt.Sprintf("%s/v1/jobs?block=64&scheme=%s", base, scheme), "application/octet-stream", raw)
+			if want != string(got) {
+				t.Errorf("codec upload (%s) diverges from CLI:\n--- want\n%s\n--- got\n%s", scheme, want, got)
+			}
+		}
+	})
+}

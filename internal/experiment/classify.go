@@ -1,0 +1,83 @@
+package experiment
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/report"
+	"repro/internal/trace"
+)
+
+// ClassifyReader classifies one already-open trace stream at one block
+// size and renders the per-scheme miss table — the engine behind the CLI's
+// classify subcommand and the serving layer's uploaded-trace jobs, so both
+// produce byte-identical tables. scheme is ours, eggers, torrellas or all.
+// ClassifyReader takes ownership of r: the replay pump closes it, and the
+// error paths before the replay close it too.
+func ClassifyReader(o Options, r trace.Reader, block int, scheme string) error {
+	g, err := mem.NewGeometry(block)
+	if err != nil {
+		trace.CloseReader(r) //nolint:errcheck // error path cleanup
+		return err
+	}
+	procs := r.NumProcs()
+	oc := core.NewClassifier(procs, g)
+	ec := core.NewEggers(procs, g)
+	tc := core.NewTorrellas(procs, g)
+	var consumers []trace.Consumer
+	switch scheme {
+	case "ours":
+		consumers = []trace.Consumer{oc}
+	case "eggers":
+		consumers = []trace.Consumer{ec}
+	case "torrellas":
+		consumers = []trace.Consumer{tc}
+	case "all":
+		consumers = []trace.Consumer{oc, ec, tc}
+	default:
+		trace.CloseReader(r) //nolint:errcheck // error path cleanup
+		return fmt.Errorf("unknown scheme %q", scheme)
+	}
+	if err := trace.DriveContext(o.ctx(), r, consumers...); err != nil {
+		return err
+	}
+
+	tb := report.NewTable("scheme", "class", "misses", "rate%")
+	row := func(scheme, class string, n, refs uint64) {
+		tb.Rowf(scheme, class, n, pct3(core.Rate(n, refs)))
+	}
+	for _, c := range consumers {
+		switch c := c.(type) {
+		case *core.Classifier:
+			counts, refs := c.Finish(), c.DataRefs()
+			row("ours", "PC", counts.PC, refs)
+			row("ours", "CTS", counts.CTS, refs)
+			row("ours", "CFS", counts.CFS, refs)
+			row("ours", "PTS", counts.PTS, refs)
+			row("ours", "PFS", counts.PFS, refs)
+			row("ours", "essential", counts.Essential(), refs)
+			row("ours", "total", counts.Total(), refs)
+		case *core.Eggers:
+			s, refs := c.Finish(), c.DataRefs()
+			row("eggers", "COLD", s.Cold, refs)
+			row("eggers", "TSM", s.True, refs)
+			row("eggers", "FSM", s.False, refs)
+		case *core.Torrellas:
+			s, refs := c.Finish(), c.DataRefs()
+			row("torrellas", "COLD", s.Cold, refs)
+			row("torrellas", "TSM", s.True, refs)
+			row("torrellas", "FSM", s.False, refs)
+		}
+	}
+	if o.CSV {
+		return tb.CSV(o.Out)
+	}
+	tb.Fprint(o.Out)
+	return nil
+}
+
+// pct3 renders a rate with the classify table's three decimals (the
+// drivers' pct keeps two).
+func pct3(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }

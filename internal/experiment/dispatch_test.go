@@ -1,0 +1,84 @@
+package experiment
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestRunNamedMatchesDriver: the dispatcher must render exactly what the
+// driver it maps to renders — the byte-identity the serving layer's
+// differential suite builds on.
+func TestRunNamedMatchesDriver(t *testing.T) {
+	opts := func(out *strings.Builder) Options {
+		return Options{Out: out, Quick: true, Workloads: []string{"JACOBI"}, Blocks: []int{64}}
+	}
+	var direct, named strings.Builder
+	if err := Fig5(opts(&direct)); err != nil {
+		t.Fatal(err)
+	}
+	if err := RunNamed("fig5", opts(&named), 0); err != nil {
+		t.Fatal(err)
+	}
+	if direct.String() != named.String() {
+		t.Errorf("RunNamed(fig5) output differs from Fig5:\n--- direct ---\n%s\n--- named ---\n%s",
+			direct.String(), named.String())
+	}
+}
+
+// TestRunNamedBlockDefaults: block 0 takes the experiment's paper default;
+// an explicit block overrides it and changes the output.
+func TestRunNamedBlockDefaults(t *testing.T) {
+	run := func(block int) string {
+		var sb strings.Builder
+		o := Options{Out: &sb, Quick: true, Workloads: []string{"JACOBI"}}
+		if err := RunNamed("compare", o, block); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	def, explicit := run(0), run(64)
+	if def != explicit {
+		t.Error("block 0 did not take the default block 64")
+	}
+	if other := run(16); other == def {
+		t.Error("block 16 rendered the block-64 output")
+	}
+}
+
+// TestRunNamedUnknown: an unmapped name is a typed client error.
+func TestRunNamedUnknown(t *testing.T) {
+	var sb strings.Builder
+	err := RunNamed("penalty", Options{Out: &sb}, 0)
+	if !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("err = %v, want ErrUnknownJob", err)
+	}
+	if sb.Len() != 0 {
+		t.Errorf("unknown job wrote output: %q", sb.String())
+	}
+}
+
+// TestRunNamedCoversJobKinds: every advertised kind dispatches (no drift
+// between the list and the switch). Heavy kinds run with quick + a single
+// small workload so the whole sweep stays in test-seconds.
+func TestRunNamedCoversJobKinds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment driver once")
+	}
+	for _, kind := range JobKinds {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			var sb strings.Builder
+			o := Options{Out: &sb, Quick: true, Workloads: []string{"JACOBI"}, Blocks: []int{64}}
+			if kind == "fig6" || kind == "large" || kind == "traffic" {
+				o.Protocols = []string{"MIN"}
+			}
+			if err := RunNamed(kind, o, 0); err != nil {
+				t.Fatalf("RunNamed(%s): %v", kind, err)
+			}
+			if sb.Len() == 0 {
+				t.Fatalf("RunNamed(%s) rendered nothing", kind)
+			}
+		})
+	}
+}

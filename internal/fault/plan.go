@@ -1,0 +1,243 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// Plan is a parsed chaos specification: a list of injectors, each firing
+// with an independent probability per seed. A Plan is how the serving
+// layer composes the injectors of this package — the server parses one
+// -chaos flag at boot and then asks the plan, per job attempt, which
+// faults to wrap around that attempt's trace readers. Everything is
+// deterministic in the seed: the same (plan, seed) pair always yields the
+// same faults, so a chaos run is replayable and a retried attempt (which
+// carries a different seed) can deterministically escape a transient
+// fault.
+//
+// The spec grammar is a comma-separated list of injector clauses, each
+// with an optional @p probability suffix (default 1, i.e. always):
+//
+//	error:N[@p]        fail every read after N refs (ErrorAfter)
+//	stall:N:DUR[@p]    sleep DUR once, at ref N (StallAt)
+//	slow:EVERY:DUR[@p] sleep DUR before every EVERY-th ref (Stall)
+//	corrupt:N[@p]      flip an address bit after N refs (CorruptAddrs)
+//	scramble:N[@p]     out-of-range processor ids after N refs (ScrambleProcs)
+//
+// Example: "error:5000@0.25,stall:100:5ms@0.5" injects a read error into a
+// quarter of the seeds and a 5ms latency spike into half of them.
+type Plan struct {
+	clauses []clause
+	src     string
+}
+
+// clause is one parsed injector spec.
+type clause struct {
+	kind  string
+	n     uint64
+	d     time.Duration
+	p     float64
+	cause error
+}
+
+// ParsePlan parses a chaos spec. An empty string parses to an empty plan
+// (Wrap is the identity).
+func ParsePlan(s string) (*Plan, error) {
+	p := &Plan{src: s}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		c, err := parseClause(part)
+		if err != nil {
+			return nil, err
+		}
+		p.clauses = append(p.clauses, c)
+	}
+	return p, nil
+}
+
+// MustParsePlan is ParsePlan for static specs in tests; it panics on error.
+func MustParsePlan(s string) *Plan {
+	p, err := ParsePlan(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func parseClause(s string) (clause, error) {
+	spec, prob, hasProb := strings.Cut(s, "@")
+	c := clause{p: 1}
+	if hasProb {
+		v, err := strconv.ParseFloat(prob, 64)
+		if err != nil || v < 0 || v > 1 {
+			return c, fmt.Errorf("fault: bad probability %q in clause %q (want 0..1)", prob, s)
+		}
+		c.p = v
+	}
+	fields := strings.Split(spec, ":")
+	c.kind = fields[0]
+	args := fields[1:]
+	argN := func(i int) (uint64, error) {
+		v, err := strconv.ParseUint(args[i], 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("fault: bad count %q in clause %q", args[i], s)
+		}
+		return v, nil
+	}
+	argD := func(i int) (time.Duration, error) {
+		d, err := time.ParseDuration(args[i])
+		if err != nil || d < 0 {
+			return 0, fmt.Errorf("fault: bad duration %q in clause %q", args[i], s)
+		}
+		return d, nil
+	}
+	var err error
+	switch c.kind {
+	case "error", "corrupt", "scramble":
+		if len(args) != 1 {
+			return c, fmt.Errorf("fault: clause %q wants %s:N", s, c.kind)
+		}
+		c.n, err = argN(0)
+	case "stall", "slow":
+		if len(args) != 2 {
+			return c, fmt.Errorf("fault: clause %q wants %s:N:DURATION", s, c.kind)
+		}
+		if c.n, err = argN(0); err == nil {
+			c.d, err = argD(1)
+		}
+	default:
+		return c, fmt.Errorf("fault: unknown injector %q in clause %q (want error, stall, slow, corrupt or scramble)", c.kind, s)
+	}
+	return c, err
+}
+
+// String returns the spec the plan was parsed from.
+func (p *Plan) String() string {
+	if p == nil {
+		return ""
+	}
+	return p.src
+}
+
+// Empty reports whether the plan has no clauses. Nil-safe.
+func (p *Plan) Empty() bool { return p == nil || len(p.clauses) == 0 }
+
+// Wrap applies every clause whose seeded coin fires to r, innermost first
+// in spec order, and returns the wrapped reader. Deterministic in seed;
+// the identity for an empty plan or a seed no clause fires on. Nil-safe.
+func (p *Plan) Wrap(r trace.Reader, seed int64) trace.Reader {
+	if p == nil {
+		return r
+	}
+	for i, c := range p.clauses {
+		if !fires(c.p, seed, i) {
+			continue
+		}
+		switch c.kind {
+		case "error":
+			r = ErrorAfter(r, c.n, nil)
+		case "stall":
+			r = StallAt(r, c.n, c.d)
+		case "slow":
+			r = Stall(r, c.n, c.d)
+		case "corrupt":
+			r = CorruptAddrs(r, c.n)
+		case "scramble":
+			r = ScrambleProcs(r, c.n)
+		}
+	}
+	return r
+}
+
+// Fires reports whether Wrap would apply at least one clause for seed —
+// i.e. whether a job attempt run under this (plan, seed) is a faulted
+// attempt. Nil-safe.
+func (p *Plan) Fires(seed int64) bool {
+	if p == nil {
+		return false
+	}
+	for i, c := range p.clauses {
+		if fires(c.p, seed, i) {
+			return true
+		}
+	}
+	return false
+}
+
+// Errors reports whether Wrap(seed) applies at least one clause that makes
+// the stream fail (error) or compute wrong counts (corrupt, scramble) —
+// as opposed to latency-only clauses, which slow a correct run down.
+// Nil-safe.
+func (p *Plan) Errors(seed int64) bool {
+	if p == nil {
+		return false
+	}
+	for i, c := range p.clauses {
+		if !fires(c.p, seed, i) {
+			continue
+		}
+		switch c.kind {
+		case "error", "corrupt", "scramble":
+			return true
+		}
+	}
+	return false
+}
+
+// fires is the deterministic per-(seed, clause) coin: a splitmix64 hash of
+// the pair mapped onto [0, 1) and compared against p. Probability 1 always
+// fires and 0 never does, exactly.
+func fires(p float64, seed int64, clause int) bool {
+	if p >= 1 {
+		return true
+	}
+	if p <= 0 {
+		return false
+	}
+	x := uint64(seed)*0x9e3779b97f4a7c15 + uint64(clause)*0xbf58476d1ce4e5b9 + 0x94d049bb133111eb
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	u := float64(x>>11) / float64(1<<53)
+	return u < p
+}
+
+// StallAt returns a reader that sleeps d exactly once, just before
+// delivering reference n — a single mid-stream latency spike, as opposed
+// to Stall's periodic slowdown. The stream is otherwise unmodified; the
+// serving layer's drain and deadline tests use it to park a job at a known
+// point and prove cancellation still wins.
+func StallAt(r trace.Reader, n uint64, d time.Duration) trace.Reader {
+	return &stallAt{base: base{r: r}, at: n, d: d}
+}
+
+type stallAt struct {
+	base
+	at    uint64
+	d     time.Duration
+	fired bool
+}
+
+func (s *stallAt) Next() (trace.Ref, error) {
+	if !s.fired && s.n >= s.at {
+		s.fired = true
+		time.Sleep(s.d)
+	}
+	ref, err := s.r.Next()
+	if err != nil {
+		return ref, err
+	}
+	s.n++
+	return ref, nil
+}
+
+var _ trace.Reader = (*stallAt)(nil)

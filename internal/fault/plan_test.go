@@ -1,0 +1,187 @@
+package fault_test
+
+import (
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/trace"
+)
+
+// drain replays r to completion per-reference and returns the refs seen
+// and the terminal error (io.EOF folded to nil).
+func drain(r trace.Reader) (int, error) {
+	n := 0
+	for {
+		_, err := r.Next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// TestStallAtFiresOnce: the one-shot stall must delay exactly once, at the
+// requested reference, and leave the stream contents untouched.
+func TestStallAtFiresOnce(t *testing.T) {
+	tr := testTrace()
+	want, err := drain(tr.Reader())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const at, d = 100, 30 * time.Millisecond
+	r := fault.StallAt(tr.Reader(), at, d)
+	// The refs before the stall point must deliver with no sleep: a full
+	// pre-stall drain far faster than d proves the spike has not fired.
+	start := time.Now()
+	for i := 0; i < at; i++ {
+		if _, err := r.Next(); err != nil {
+			t.Fatalf("ref %d: %v", i, err)
+		}
+	}
+	if e := time.Since(start); e >= d {
+		t.Fatalf("pre-stall refs took %v, want < %v", e, d)
+	}
+	// The next ref carries the spike.
+	start = time.Now()
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if e := time.Since(start); e < d {
+		t.Fatalf("stalled ref took %v, want >= %v", e, d)
+	}
+	// The remainder streams clean and complete, again with no sleep.
+	start = time.Now()
+	rest, err := drain(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := time.Since(start); e >= d {
+		t.Fatalf("post-stall refs took %v, want < %v", e, d)
+	}
+	if got := at + 1 + rest; got != want {
+		t.Fatalf("stalled stream delivered %d refs, want %d", got, want)
+	}
+}
+
+// TestParsePlanErrors pins the spec grammar's error cases.
+func TestParsePlanErrors(t *testing.T) {
+	for _, spec := range []string{
+		"bogus:1",          // unknown injector
+		"error",            // missing count
+		"error:x",          // bad count
+		"error:1:2",        // too many args
+		"stall:1",          // missing duration
+		"stall:1:xs",       // bad duration
+		"stall:1:-5ms",     // negative duration
+		"error:1@2",        // probability out of range
+		"error:1@x",        // bad probability
+		"slow:1:1ms:2",     // too many args
+		"scramble:1,error", // second clause bad
+	} {
+		if _, err := fault.ParsePlan(spec); err == nil {
+			t.Errorf("ParsePlan(%q) = nil error, want failure", spec)
+		}
+	}
+	for _, spec := range []string{"", " , ", "error:0", "stall:5:1ms@0.5", "slow:64:1ms,corrupt:10@0.1,scramble:3"} {
+		if _, err := fault.ParsePlan(spec); err != nil {
+			t.Errorf("ParsePlan(%q) = %v, want nil", spec, err)
+		}
+	}
+}
+
+// TestPlanWrapDeterministic: the same (plan, seed) always wraps the same
+// faults — replaying a seed reproduces the exact failure — and Fires/Errors
+// agree with what Wrap actually does.
+func TestPlanWrapDeterministic(t *testing.T) {
+	tr := testTrace()
+	plan := fault.MustParsePlan("error:50@0.5")
+	var fired, clean int
+	for seed := int64(0); seed < 200; seed++ {
+		_, err1 := drain(plan.Wrap(tr.Reader(), seed))
+		_, err2 := drain(plan.Wrap(tr.Reader(), seed))
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("seed %d: Wrap not deterministic: %v vs %v", seed, err1, err2)
+		}
+		if got, want := err1 != nil, plan.Fires(seed); got != want {
+			t.Fatalf("seed %d: stream errored=%v but Fires=%v", seed, got, want)
+		}
+		if got, want := err1 != nil, plan.Errors(seed); got != want {
+			t.Fatalf("seed %d: stream errored=%v but Errors=%v", seed, got, want)
+		}
+		if err1 != nil {
+			if !errors.Is(err1, fault.ErrInjected) {
+				t.Fatalf("seed %d: error %v does not wrap ErrInjected", seed, err1)
+			}
+			fired++
+		} else {
+			clean++
+		}
+	}
+	// The coin is p=0.5: both outcomes must occur across 200 seeds.
+	if fired == 0 || clean == 0 {
+		t.Fatalf("coin at p=0.5 gave fired=%d clean=%d over 200 seeds", fired, clean)
+	}
+}
+
+// TestPlanProbabilityEdges: @0 never fires, @1 (and no suffix) always does.
+func TestPlanProbabilityEdges(t *testing.T) {
+	always := fault.MustParsePlan("error:10")
+	never := fault.MustParsePlan("error:10@0")
+	for seed := int64(0); seed < 50; seed++ {
+		if !always.Fires(seed) {
+			t.Fatalf("seed %d: p=1 clause did not fire", seed)
+		}
+		if never.Fires(seed) {
+			t.Fatalf("seed %d: p=0 clause fired", seed)
+		}
+	}
+}
+
+// TestPlanLatencyOnlyIsNotAnError: a stall-only plan fires but does not
+// count as an erroring plan, and the wrapped stream completes with its
+// full contents.
+func TestPlanLatencyOnlyIsNotAnError(t *testing.T) {
+	tr := testTrace()
+	want, err := drain(tr.Reader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := fault.MustParsePlan("stall:10:1ms")
+	if !plan.Fires(7) || plan.Errors(7) {
+		t.Fatalf("stall plan: Fires=%v Errors=%v, want true false", plan.Fires(7), plan.Errors(7))
+	}
+	got, err := drain(plan.Wrap(tr.Reader(), 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("stalled stream delivered %d refs, want %d", got, want)
+	}
+}
+
+// TestPlanNilAndEmpty: nil and empty plans are inert identities.
+func TestPlanNilAndEmpty(t *testing.T) {
+	tr := testTrace()
+	var nilPlan *fault.Plan
+	if !nilPlan.Empty() || nilPlan.Fires(1) || nilPlan.Errors(1) || nilPlan.String() != "" {
+		t.Fatal("nil plan is not inert")
+	}
+	r := tr.Reader()
+	if got := nilPlan.Wrap(r, 1); got != r {
+		t.Fatal("nil plan Wrap is not the identity")
+	}
+	empty := fault.MustParsePlan("")
+	if !empty.Empty() {
+		t.Fatal("empty spec parsed to a non-empty plan")
+	}
+	if got := empty.Wrap(r, 1); got != r {
+		t.Fatal("empty plan Wrap is not the identity")
+	}
+}

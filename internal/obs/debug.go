@@ -52,15 +52,36 @@ type DebugServer struct {
 	srv *http.Server
 }
 
+// NewDebugMux returns a fresh mux with the full introspection surface
+// (the routes DebugServer documents) registered. The serving layer mounts
+// it next to its own API routes so one listener exposes both; ServeDebug
+// serves it alone. Every handler reads the process-wide Default registry
+// and readiness state, so all mounts agree.
+func NewDebugMux() *http.ServeMux {
+	publishExpvar()
+	mux := http.NewServeMux()
+	registerDebugRoutes(mux)
+	return mux
+}
+
 // ServeDebug starts the introspection endpoint on addr (e.g. ":6060" or
 // "127.0.0.1:0") and serves until Close.
 func ServeDebug(addr string) (*DebugServer, error) {
-	publishExpvar()
+	mux := NewDebugMux()
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	mux := http.NewServeMux()
+	s := &DebugServer{
+		ln:  ln,
+		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+	}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return s, nil
+}
+
+// registerDebugRoutes installs the introspection handlers on mux.
+func registerDebugRoutes(mux *http.ServeMux) {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		Default.WritePrometheus(w) //nolint:errcheck // best-effort response
@@ -88,12 +109,6 @@ func ServeDebug(addr string) (*DebugServer, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	s := &DebugServer{
-		ln:  ln,
-		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
-	}
-	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
-	return s, nil
 }
 
 // Addr returns the bound listen address (useful with port 0).

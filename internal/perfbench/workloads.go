@@ -15,6 +15,7 @@ import (
 	"repro/internal/finite"
 	"repro/internal/mem"
 	"repro/internal/obs/span"
+	"repro/internal/serve"
 	"repro/internal/trace"
 	"repro/internal/tracestore"
 	"repro/internal/workload"
@@ -329,6 +330,26 @@ func All() []Workload {
 						sp.End()
 					}
 					return uint64(tr.Len()), nil
+				}, nil
+			},
+		},
+		{
+			// The serving layer's control plane: admission slot, circuit
+			// breaker gate and verdict, release. Pinned at 0 allocs/pass —
+			// load shedding must not generate garbage exactly when the
+			// server is busiest.
+			Name:   "serve/submit-path",
+			Pinned: true,
+			Setup: func() (func() (uint64, error), error) {
+				p := serve.NewSubmitPathBench()
+				const cycles = 8192
+				return func() (uint64, error) {
+					for i := 0; i < cycles; i++ {
+						if err := p.Cycle(); err != nil {
+							return 0, err
+						}
+					}
+					return cycles, nil
 				}, nil
 			},
 		},

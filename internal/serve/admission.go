@@ -1,0 +1,97 @@
+package serve
+
+import "sync"
+
+// admitter is the admission controller: it bounds the number of admitted
+// but unfinished jobs (queued + running) and the per-tenant share of that
+// bound, and it is the drain gate. Admission reserves a slot before the job
+// is enqueued, so the job channel's capacity is never the thing clients
+// block on — a full queue is an immediate typed 429, not a stalled request.
+type admitter struct {
+	mu        sync.Mutex
+	queueCap  int // max admitted-but-unfinished jobs in total
+	tenantCap int // max admitted-but-unfinished jobs per tenant
+	queued    int
+	perTenant map[string]int
+	draining  bool
+	drained   chan struct{} // closed when draining && outstanding == 0
+}
+
+func newAdmitter(queueCap, tenantCap int) *admitter {
+	return &admitter{
+		queueCap:  queueCap,
+		tenantCap: tenantCap,
+		perTenant: make(map[string]int),
+		drained:   make(chan struct{}),
+	}
+}
+
+// admit reserves an admission slot for tenant, or explains the rejection
+// with a typed error (draining, tenant cap, queue full). The caller must
+// pair a successful admit with exactly one release.
+func (a *admitter) admit(tenant string) *JobError {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.draining {
+		return &JobError{Code: CodeDraining, Tenant: tenant}
+	}
+	if a.perTenant[tenant] >= a.tenantCap {
+		return &JobError{Code: CodeOverload, Tenant: tenant}
+	}
+	if a.queued >= a.queueCap {
+		return &JobError{Code: CodeOverload, Tenant: tenant}
+	}
+	a.queued++
+	a.perTenant[tenant]++
+	mQueue.Set(float64(a.queued))
+	return nil
+}
+
+// release returns tenant's admission slot. When the server is draining and
+// this was the last outstanding job, the drain gate opens.
+func (a *admitter) release(tenant string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.queued--
+	if a.perTenant[tenant] <= 1 {
+		delete(a.perTenant, tenant)
+	} else {
+		a.perTenant[tenant]--
+	}
+	mQueue.Set(float64(a.queued))
+	if a.draining && a.queued == 0 {
+		select {
+		case <-a.drained:
+		default:
+			close(a.drained)
+		}
+	}
+}
+
+// beginDrain stops admission and returns a channel that closes once every
+// already-admitted job has released its slot. Idempotent.
+func (a *admitter) beginDrain() <-chan struct{} {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.draining = true
+	if a.queued == 0 {
+		select {
+		case <-a.drained:
+		default:
+			close(a.drained)
+		}
+	}
+	return a.drained
+}
+
+// snapshot reports the current depth and per-tenant occupancy for
+// /v1/stats.
+func (a *admitter) snapshot() (queued int, perTenant map[string]int, draining bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	perTenant = make(map[string]int, len(a.perTenant))
+	for k, v := range a.perTenant {
+		perTenant[k] = v
+	}
+	return a.queued, perTenant, a.draining
+}

@@ -1,0 +1,193 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerPolicy tunes the circuit breaker shared by every keyed circuit.
+type breakerPolicy struct {
+	// threshold is the consecutive-failure count that opens a circuit.
+	threshold int
+	// cooldown is how long an open circuit rejects before allowing one
+	// half-open probe.
+	cooldown time.Duration
+}
+
+// breakerState is one circuit's position in the closed → open → half-open
+// cycle.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}
+
+type breakerEntry struct {
+	state    breakerState
+	failures int       // consecutive failures while closed
+	openedAt time.Time // when the circuit last opened
+	probing  bool      // half-open: the single probe slot is taken
+}
+
+// breaker quarantines failing tenants and workloads. Each key ("tenant/X",
+// "workload/Y") has an independent circuit; a job must pass every key it
+// touches, atomically, so a half-open circuit's single probe slot cannot be
+// claimed by a job that another circuit then rejects.
+type breaker struct {
+	mu      sync.Mutex
+	now     func() time.Time
+	policy  breakerPolicy
+	entries map[string]*breakerEntry
+}
+
+func newBreaker(p breakerPolicy, now func() time.Time) *breaker {
+	if now == nil {
+		now = time.Now
+	}
+	return &breaker{now: now, policy: p, entries: make(map[string]*breakerEntry)}
+}
+
+func (b *breaker) entry(key string) *breakerEntry {
+	e := b.entries[key]
+	if e == nil {
+		e = &breakerEntry{}
+		b.entries[key] = e
+	}
+	return e
+}
+
+// allowAll admits a job through every keyed circuit or through none. On
+// rejection it returns the longest remaining cooldown (for Retry-After)
+// and rolls back any probe slot it claimed on earlier keys.
+func (b *breaker) allowAll(keys ...string) (retryAfter time.Duration, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	var claimed []*breakerEntry
+	for _, key := range keys {
+		e := b.entry(key)
+		switch e.state {
+		case breakerClosed:
+			continue
+		case breakerOpen:
+			if wait := e.openedAt.Add(b.policy.cooldown).Sub(now); wait > 0 {
+				for _, c := range claimed {
+					c.probing = false
+				}
+				if wait > retryAfter {
+					retryAfter = wait
+				}
+				return retryAfter, false
+			}
+			// Cooldown elapsed: move to half-open and claim its probe.
+			e.state = breakerHalfOpen
+			e.probing = true
+			claimed = append(claimed, e)
+		case breakerHalfOpen:
+			if e.probing {
+				for _, c := range claimed {
+					c.probing = false
+				}
+				return b.policy.cooldown, false
+			}
+			e.probing = true
+			claimed = append(claimed, e)
+		}
+	}
+	return 0, true
+}
+
+// successAll records a successful job against every keyed circuit: closed
+// circuits reset their failure run, half-open circuits close.
+func (b *breaker) successAll(keys ...string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, key := range keys {
+		e := b.entry(key)
+		e.failures = 0
+		e.probing = false
+		e.state = breakerClosed
+	}
+	b.updateGaugeLocked()
+}
+
+// failureAll records a breaker-relevant job failure against every keyed
+// circuit. A closed circuit opens at the policy threshold; a half-open
+// circuit's failed probe re-opens it and restarts the cooldown. Returns
+// the keys that transitioned to open.
+func (b *breaker) failureAll(keys ...string) (opened []string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	for _, key := range keys {
+		e := b.entry(key)
+		switch e.state {
+		case breakerClosed:
+			e.failures++
+			if e.failures >= b.policy.threshold {
+				e.state = breakerOpen
+				e.openedAt = now
+				opened = append(opened, key)
+			}
+		case breakerHalfOpen:
+			e.state = breakerOpen
+			e.openedAt = now
+			e.probing = false
+			opened = append(opened, key)
+		case breakerOpen:
+			// Late failure from a job admitted before the trip; the
+			// cooldown clock is not restarted for it.
+		}
+	}
+	b.updateGaugeLocked()
+	return opened
+}
+
+// forgiveAll releases any half-open probe slots the keyed job claimed
+// without recording a verdict — for outcomes that say nothing about the
+// circuit's health (client cancellation, admission rollback), so the probe
+// slot cannot leak.
+func (b *breaker) forgiveAll(keys ...string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, key := range keys {
+		if e := b.entries[key]; e != nil {
+			e.probing = false
+		}
+	}
+}
+
+// openKeys snapshots the currently open or half-open circuits for /v1/stats.
+func (b *breaker) openKeys() map[string]string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[string]string)
+	for key, e := range b.entries {
+		if e.state != breakerClosed {
+			out[key] = e.state.String()
+		}
+	}
+	return out
+}
+
+func (b *breaker) updateGaugeLocked() {
+	open := 0
+	for _, e := range b.entries {
+		if e.state != breakerClosed {
+			open++
+		}
+	}
+	mBreakerUp.Set(float64(open))
+}

@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a settable now() for breaker tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1000, 0)} }
+func testBreaker(threshold int, cooldown time.Duration) (*breaker, *fakeClock) {
+	clk := newFakeClock()
+	return newBreaker(breakerPolicy{threshold: threshold, cooldown: cooldown}, clk.now), clk
+}
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b, _ := testBreaker(3, time.Minute)
+	for i := 0; i < 2; i++ {
+		if opened := b.failureAll("tenant/a"); len(opened) != 0 {
+			t.Fatalf("opened after %d failures", i+1)
+		}
+		if _, ok := b.allowAll("tenant/a"); !ok {
+			t.Fatalf("closed circuit rejected after %d failures", i+1)
+		}
+	}
+	if opened := b.failureAll("tenant/a"); len(opened) != 1 || opened[0] != "tenant/a" {
+		t.Fatalf("third failure opened %v, want [tenant/a]", opened)
+	}
+	wait, ok := b.allowAll("tenant/a")
+	if ok {
+		t.Fatal("open circuit admitted")
+	}
+	if wait <= 0 || wait > time.Minute {
+		t.Fatalf("Retry-After %v out of (0, cooldown]", wait)
+	}
+}
+
+func TestBreakerSuccessResetsFailureRun(t *testing.T) {
+	b, _ := testBreaker(2, time.Minute)
+	b.failureAll("tenant/a")
+	b.successAll("tenant/a")
+	if opened := b.failureAll("tenant/a"); len(opened) != 0 {
+		t.Fatal("failure run survived an intervening success")
+	}
+}
+
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	b, clk := testBreaker(1, time.Minute)
+	b.failureAll("tenant/a")
+	clk.advance(61 * time.Second)
+	if _, ok := b.allowAll("tenant/a"); !ok {
+		t.Fatal("cooldown elapsed but probe rejected")
+	}
+	// The probe slot is taken: a second job must wait.
+	if _, ok := b.allowAll("tenant/a"); ok {
+		t.Fatal("two concurrent half-open probes admitted")
+	}
+	// Probe succeeds: circuit closes, traffic flows.
+	b.successAll("tenant/a")
+	if _, ok := b.allowAll("tenant/a"); !ok {
+		t.Fatal("closed circuit rejected after successful probe")
+	}
+}
+
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	b, clk := testBreaker(1, time.Minute)
+	b.failureAll("tenant/a")
+	clk.advance(61 * time.Second)
+	if _, ok := b.allowAll("tenant/a"); !ok {
+		t.Fatal("probe rejected")
+	}
+	if opened := b.failureAll("tenant/a"); len(opened) != 1 {
+		t.Fatal("failed probe did not reopen the circuit")
+	}
+	if _, ok := b.allowAll("tenant/a"); ok {
+		t.Fatal("reopened circuit admitted before a fresh cooldown")
+	}
+	// The cooldown restarted at the failed probe.
+	clk.advance(61 * time.Second)
+	if _, ok := b.allowAll("tenant/a"); !ok {
+		t.Fatal("second cooldown elapsed but probe rejected")
+	}
+}
+
+func TestBreakerForgiveReleasesProbe(t *testing.T) {
+	b, clk := testBreaker(1, time.Minute)
+	b.failureAll("tenant/a")
+	clk.advance(61 * time.Second)
+	if _, ok := b.allowAll("tenant/a"); !ok {
+		t.Fatal("probe rejected")
+	}
+	// The probing job's outcome said nothing (client went away): the
+	// slot must come back so the circuit is not wedged half-open.
+	b.forgiveAll("tenant/a")
+	if _, ok := b.allowAll("tenant/a"); !ok {
+		t.Fatal("forgiven probe slot not reusable")
+	}
+}
+
+func TestBreakerAllowAllAtomicRollback(t *testing.T) {
+	b, clk := testBreaker(1, time.Minute)
+	// workload/w past its cooldown (probe available); tenant/b freshly
+	// open (still cooling).
+	b.failureAll("workload/w")
+	clk.advance(61 * time.Second)
+	b.failureAll("tenant/b")
+	if _, ok := b.allowAll("workload/w", "tenant/b"); ok {
+		t.Fatal("job admitted through an open circuit")
+	}
+	// The rejected job must have rolled back workload/w's probe claim.
+	if _, ok := b.allowAll("workload/w"); !ok {
+		t.Fatal("rollback leaked the half-open probe slot")
+	}
+}
+
+func TestBreakerOpenKeysSnapshot(t *testing.T) {
+	b, _ := testBreaker(1, time.Minute)
+	b.failureAll("tenant/a", "workload/w")
+	b.failureAll("tenant/ok")
+	b.successAll("tenant/ok")
+	keys := b.openKeys()
+	if len(keys) != 2 || keys["tenant/a"] != "open" || keys["workload/w"] != "open" {
+		t.Fatalf("openKeys = %v, want tenant/a and workload/w open", keys)
+	}
+}
+
+func TestBreakerIndependentKeys(t *testing.T) {
+	b, _ := testBreaker(1, time.Minute)
+	b.failureAll("tenant/a")
+	if _, ok := b.allowAll("tenant/b"); !ok {
+		t.Fatal("tenant/b quarantined by tenant/a's failures")
+	}
+}
